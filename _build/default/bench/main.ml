@@ -1,0 +1,635 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   plus the ablation studies listed in DESIGN.md.
+
+   Usage:
+     dune exec bench/main.exe                 # the standard run (all
+                                              # experiments, scaled)
+     dune exec bench/main.exe -- table1       # just Table 1
+     dune exec bench/main.exe -- table2 figure1 epsilon
+     dune exec bench/main.exe -- full         # larger budgets
+     dune exec bench/main.exe -- micro        # Bechamel micro benches
+
+   Budgets are scaled so the default run finishes in minutes on a
+   laptop; EXPERIMENTS.md records settings and committed outputs. The
+   paper used a cluster, 2500 s BSAT timeouts and 20 h totals — the
+   `full` mode raises budgets in that direction. *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '=')
+
+type budget = {
+  unigen_samples : int;
+  uniwit_samples : int;
+  per_call_timeout : float;
+  overall_timeout : float;
+  count_iterations : int option;
+  figure_samples : int;
+}
+
+let quick_budget =
+  {
+    unigen_samples = 40;
+    uniwit_samples = 4;
+    per_call_timeout = 15.0;
+    overall_timeout = 90.0;
+    count_iterations = Some 9;
+    figure_samples = 60_000;
+  }
+
+let full_budget =
+  {
+    unigen_samples = 200;
+    uniwit_samples = 10;
+    per_call_timeout = 120.0;
+    overall_timeout = 900.0;
+    count_iterations = None (* faithful 137 iterations *);
+    figure_samples = 400_000;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Tables 1 and 2 *)
+
+let run_table ~budget ~name instances =
+  section
+    (Printf.sprintf
+       "%s: runtime comparison UniGen vs UniWit (eps=6, %d/%d samples, %gs/%gs timeouts)"
+       name budget.unigen_samples budget.uniwit_samples budget.per_call_timeout
+       budget.overall_timeout);
+  let rows =
+    List.map
+      (fun (i : Workload.Suite.instance) ->
+        Printf.printf "  running %-16s ...%!" i.Workload.Suite.name;
+        let t0 = Unix.gettimeofday () in
+        (* the large-Tseitin instances carry the paper's scalability
+           headline; give them the budget headroom the paper's 20 h
+           runs stand for *)
+        let scale = if i.Workload.Suite.domain = "large-tseitin" then 4.0 else 1.0 in
+        let row =
+          Workload.Experiment.run_row ~epsilon:6.0
+            ~unigen_samples:budget.unigen_samples
+            ~uniwit_samples:budget.uniwit_samples
+            ~per_call_timeout:(budget.per_call_timeout *. scale)
+            ~overall_timeout:(budget.overall_timeout *. scale)
+            ?count_iterations:budget.count_iterations
+            ~rng:(Rng.create (Hashtbl.hash i.Workload.Suite.name))
+            i
+        in
+        Printf.printf " done (%.1fs)\n%!" (Unix.gettimeofday () -. t0);
+        row)
+      instances
+  in
+  print_newline ();
+  Workload.Experiment.pp_table Format.std_formatter rows;
+  Format.print_flush ();
+  (* the paper's headline ratio *)
+  let ratios =
+    List.filter_map
+      (fun (r : Workload.Experiment.row) ->
+        if
+          (not r.Workload.Experiment.unigen_failed)
+          && (not r.Workload.Experiment.uniwit_failed)
+          (* sub-0.5ms UniGen rows (easy case) would make the ratio
+             meaningless *)
+          && r.Workload.Experiment.unigen_avg_seconds >= 5e-4
+        then
+          Some
+            (r.Workload.Experiment.uniwit_avg_seconds
+            /. r.Workload.Experiment.unigen_avg_seconds)
+        else None)
+      rows
+  in
+  (match ratios with
+  | [] -> ()
+  | _ ->
+      Printf.printf
+        "\nUniWit/UniGen per-witness time ratio: min %.1fx, median %.1fx, max %.1fx\n"
+        (List.fold_left min infinity ratios)
+        (List.nth (List.sort compare ratios) (List.length ratios / 2))
+        (List.fold_left max 0.0 ratios));
+  let uw_timeouts =
+    List.length (List.filter (fun (r : Workload.Experiment.row) -> r.Workload.Experiment.uniwit_failed) rows)
+  in
+  if uw_timeouts > 0 then
+    Printf.printf
+      "UniWit produced no witness within budget on %d/%d instances (the paper's '-')\n"
+      uw_timeouts (List.length rows)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1 *)
+
+let run_figure1 ~budget () =
+  section
+    (Printf.sprintf "Figure 1: uniformity, UniGen vs ideal sampler US (%d samples)"
+       budget.figure_samples);
+  let f = Lazy.force Workload.Suite.uniformity_case.Workload.Suite.formula in
+  let r =
+    Workload.Experiment.run_uniformity ~epsilon:6.0
+      ~samples:budget.figure_samples
+      ?count_iterations:budget.count_iterations
+      ~rng:(Rng.create 110) f
+  in
+  Workload.Experiment.pp_uniformity Format.std_formatter r;
+  Format.print_flush ();
+  (* coarse ASCII rendering of the two count distributions *)
+  let render name series =
+    Printf.printf "\n%s count distribution (bucketed):\n" name;
+    let bucket = 8 in
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (c, w) ->
+        let b = c / bucket * bucket in
+        Hashtbl.replace tbl b (w + Option.value ~default:0 (Hashtbl.find_opt tbl b)))
+      series;
+    Hashtbl.fold (fun b w acc -> (b, w) :: acc) tbl []
+    |> List.sort compare
+    |> List.iter (fun (b, w) ->
+           Printf.printf "  %4d-%-4d %5d %s\n" b (b + bucket - 1) w
+             (String.make (min 60 (w / 4)) '#'))
+  in
+  render "UniGen" r.Workload.Experiment.unigen_series;
+  render "US" r.Workload.Experiment.us_series
+
+(* ------------------------------------------------------------------ *)
+(* The epsilon knob (Section 4, "Trading scalability with uniformity") *)
+
+let run_epsilon ~budget () =
+  section "Epsilon sweep: tolerance vs time vs distribution distance";
+  let f = Lazy.force Workload.Suite.uniformity_case.Workload.Suite.formula in
+  let us = Sampling.Us.create f in
+  let rf = Sampling.Us.size us in
+  let sampling = Cnf.Formula.sampling_vars f in
+  Printf.printf "%8s %8s %8s %12s %12s %10s %10s %8s\n" "epsilon" "kappa" "pivot"
+    "s/sample" "succ prob" "TV dist" "chi2 p" "hi-lo";
+  List.iter
+    (fun epsilon ->
+      let rng = Rng.create 55 in
+      match
+        Sampling.Unigen.prepare ?count_iterations:budget.count_iterations ~rng
+          ~epsilon f
+      with
+      | Error _ -> Printf.printf "%8.2f preparation failed\n" epsilon
+      | Ok p ->
+          let samples = 4000 in
+          let keys = ref [] in
+          let drawn = ref 0 in
+          while !drawn < samples do
+            match Sampling.Unigen.sample ~rng p with
+            | Ok m ->
+                incr drawn;
+                keys := Cnf.Model.key (Cnf.Model.restrict m sampling) :: !keys
+            | Error _ -> ()
+          done;
+          let h = Sampling.Stats.histogram_of_keys !keys in
+          let tv =
+            Sampling.Stats.total_variation_from_uniform ~num_outcomes:rf
+              ~num_samples:samples h
+          in
+          let pvalue =
+            Sampling.Stats.uniformity_pvalue ~num_outcomes:rf ~num_samples:samples h
+          in
+          let st = Sampling.Unigen.stats p in
+          Printf.printf "%8.2f %8.3f %8d %12.5f %12.2f %10.4f %10.4f %8.1f\n%!"
+            epsilon
+            (Sampling.Unigen.kappa p) (Sampling.Unigen.pivot p)
+            (Sampling.Sampler.average_seconds_per_sample st)
+            (Sampling.Sampler.success_probability st)
+            tv pvalue
+            (Sampling.Unigen.hi_thresh p -. Sampling.Unigen.lo_thresh p))
+    [ 1.9; 3.0; 6.0; 12.0; 20.0 ];
+  Printf.printf
+    "(at %d samples over %d witnesses the TV statistic is noise-dominated;\n\
+    \ the chi2 p-value is the calibrated test)\n"
+    4000 rf;
+  print_endline
+    "\nsmaller epsilon -> larger pivot/hiThresh -> more BSAT work per sample\n\
+     but tighter uniformity (the paper's scalability/uniformity knob)"
+
+(* ------------------------------------------------------------------ *)
+(* Ablation X2: hashing over S vs over the full support X *)
+
+let run_ablation_support ~budget () =
+  section "Ablation: hash over sampling set S vs full support X (UniGen core insight)";
+  let instance =
+    match Workload.Suite.by_name "s_lfsr16_3" with
+    | Some i -> i
+    | None -> failwith "instance missing"
+  in
+  let f = Lazy.force instance.Workload.Suite.formula in
+  let full_support = List.init f.Cnf.Formula.num_vars (fun i -> i + 1) in
+  let variants =
+    [ ("hash over S", f); ("hash over X", Cnf.Formula.with_sampling_set f full_support) ]
+  in
+  Printf.printf "%14s %8s %12s %12s %10s\n" "variant" "|set|" "s/sample"
+    "avg xor len" "succ prob";
+  List.iter
+    (fun (label, g) ->
+      let rng = Rng.create 77 in
+      match
+        Sampling.Unigen.prepare ?count_iterations:budget.count_iterations ~rng
+          ~epsilon:6.0 g
+      with
+      | Error _ -> Printf.printf "%14s preparation failed\n" label
+      | Ok p ->
+          for _ = 1 to 30 do
+            let deadline = Unix.gettimeofday () +. budget.per_call_timeout in
+            ignore (Sampling.Unigen.sample ~deadline ~rng p)
+          done;
+          let st = Sampling.Unigen.stats p in
+          Printf.printf "%14s %8d %12.5f %12.1f %10.2f\n%!" label
+            (Array.length (Cnf.Formula.sampling_vars g))
+            (Sampling.Sampler.average_seconds_per_sample st)
+            (Sampling.Sampler.average_xor_length st)
+            (Sampling.Sampler.success_probability st))
+    variants
+
+(* ------------------------------------------------------------------ *)
+(* Ablation X3: sparse XOR rows *)
+
+let run_ablation_sparse ~budget () =
+  section "Ablation: sparse XOR rows (density < 0.5 voids the 3-wise independence)";
+  let f = Lazy.force Workload.Suite.uniformity_case.Workload.Suite.formula in
+  let us = Sampling.Us.create f in
+  let rf = Sampling.Us.size us in
+  let sampling = Cnf.Formula.sampling_vars f in
+  Printf.printf "%10s %12s %12s %10s %12s\n" "density" "s/sample" "avg xor len"
+    "TV dist" "succ prob";
+  List.iter
+    (fun density ->
+      let rng = Rng.create 33 in
+      match
+        Sampling.Unigen.prepare ?count_iterations:budget.count_iterations
+          ~hash_density:density ~rng ~epsilon:6.0 f
+      with
+      | Error _ -> Printf.printf "%10.2f preparation failed\n" density
+      | Ok p ->
+          let samples = 4000 in
+          let keys = ref [] and drawn = ref 0 and attempts = ref 0 in
+          while !drawn < samples && !attempts < samples * 20 do
+            incr attempts;
+            match Sampling.Unigen.sample ~rng p with
+            | Ok m ->
+                incr drawn;
+                keys := Cnf.Model.key (Cnf.Model.restrict m sampling) :: !keys
+            | Error _ -> ()
+          done;
+          let h = Sampling.Stats.histogram_of_keys !keys in
+          let tv =
+            Sampling.Stats.total_variation_from_uniform ~num_outcomes:rf
+              ~num_samples:!drawn h
+          in
+          let st = Sampling.Unigen.stats p in
+          Printf.printf "%10.2f %12.5f %12.1f %10.4f %12.2f\n%!" density
+            (Sampling.Sampler.average_seconds_per_sample st)
+            (Sampling.Sampler.average_xor_length st)
+            tv
+            (Sampling.Sampler.success_probability st))
+    [ 0.5; 0.25; 0.1 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation X4: blocking clauses over S vs over X *)
+
+let run_ablation_blocking () =
+  section "Ablation: BSAT blocking clauses restricted to S vs full X";
+  let instance =
+    match Workload.Suite.by_name "case_m2" with
+    | Some i -> i
+    | None -> failwith "instance missing"
+  in
+  let f = Lazy.force instance.Workload.Suite.formula in
+  let s_vars = Cnf.Formula.sampling_vars f in
+  let x_vars = Array.init f.Cnf.Formula.num_vars (fun i -> i + 1) in
+  let time_enumeration label blocking =
+    let t0 = Unix.gettimeofday () in
+    let out = Sat.Bsat.enumerate ~blocking_vars:blocking ~limit:1000 f in
+    Printf.printf "%22s: %4d witnesses in %.3fs (%d conflicts)\n%!" label
+      (List.length out.Sat.Bsat.models)
+      (Unix.gettimeofday () -. t0)
+      out.Sat.Bsat.conflicts
+  in
+  time_enumeration "blocking over S" s_vars;
+  time_enumeration "blocking over X" x_vars;
+  print_endline
+    "(over X the enumeration distinguishes assignments that differ only\n\
+     in dependent variables, and each blocking clause is |X| long)"
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: leapfrogging inside ApproxMC *)
+
+let run_ablation_leapfrog () =
+  section "Ablation: ApproxMC leapfrogging (disabled in the paper's experiments)";
+  let instance =
+    match Workload.Suite.by_name "case_m1" with
+    | Some i -> i
+    | None -> failwith "instance missing"
+  in
+  let f = Lazy.force instance.Workload.Suite.formula in
+  List.iter
+    (fun (label, leapfrog) ->
+      let rng = Rng.create 13 in
+      let t0 = Unix.gettimeofday () in
+      match
+        Counting.Approxmc.count ~leapfrog ~iterations:17 ~rng ~epsilon:0.8
+          ~delta:0.8 f
+      with
+      | Ok r ->
+          Printf.printf "%18s: estimate %.0f in %.2fs (%d ok, %d failed)\n%!" label
+            r.Counting.Approxmc.estimate
+            (Unix.gettimeofday () -. t0)
+            r.Counting.Approxmc.core_iterations r.Counting.Approxmc.failed_iterations
+      | Error _ -> Printf.printf "%18s: failed\n" label)
+    [ ("no leapfrog", false); ("leapfrog", true) ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: amortised multi-sample mode vs one-shot *)
+
+let run_ablation_amortise ~budget () =
+  section "Ablation: amortised preparation (lines 1-11 once) vs one-shot UniGen";
+  let instance =
+    match Workload.Suite.by_name "case_m2" with
+    | Some i -> i
+    | None -> failwith "instance missing"
+  in
+  let f = Lazy.force instance.Workload.Suite.formula in
+  let n = 15 in
+  (* amortised: prepare once *)
+  let rng = Rng.create 21 in
+  let t0 = Unix.gettimeofday () in
+  (match
+     Sampling.Unigen.prepare ?count_iterations:budget.count_iterations ~rng
+       ~epsilon:6.0 f
+   with
+  | Error _ -> print_endline "prepare failed"
+  | Ok p ->
+      for _ = 1 to n do
+        ignore (Sampling.Unigen.sample ~rng p)
+      done;
+      Printf.printf "%18s: %d samples in %.2fs total\n%!" "amortised" n
+        (Unix.gettimeofday () -. t0));
+  (* one-shot: re-run preparation for every sample *)
+  let rng = Rng.create 22 in
+  let t0 = Unix.gettimeofday () in
+  let produced = ref 0 in
+  for _ = 1 to n do
+    match
+      Sampling.Unigen.prepare ?count_iterations:budget.count_iterations ~rng
+        ~epsilon:6.0 f
+    with
+    | Ok p -> ( match Sampling.Unigen.sample ~rng p with Ok _ -> incr produced | _ -> ())
+    | Error _ -> ()
+  done;
+  Printf.printf "%18s: %d samples in %.2fs total\n%!" "one-shot" !produced
+    (Unix.gettimeofday () -. t0);
+  print_endline
+    "(unlike UniWit's leapfrogging, UniGen's amortisation keeps Theorem 1 intact)"
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: sampling-safe preprocessing in front of UniGen *)
+
+let run_ablation_preprocess ~budget () =
+  section "Ablation: sampling-safe preprocessing (Simplify) in front of UniGen";
+  Printf.printf "%14s %10s %10s %12s %12s\n" "instance" "clauses" "simplified"
+    "raw s/samp" "simp s/samp";
+  List.iter
+    (fun name ->
+      match Workload.Suite.by_name name with
+      | None -> ()
+      | Some instance ->
+          let f = Lazy.force instance.Workload.Suite.formula in
+          (match Preprocess.Simplify.run f with
+          | Error `Unsat -> Printf.printf "%14s unsat?!\n" name
+          | Ok r ->
+              let time_sampling g seed =
+                let rng = Rng.create seed in
+                match
+                  Sampling.Unigen.prepare
+                    ?count_iterations:budget.count_iterations ~rng ~epsilon:6.0 g
+                with
+                | Error _ -> Float.nan
+                | Ok p ->
+                    for _ = 1 to 20 do
+                      let deadline =
+                        Unix.gettimeofday () +. budget.per_call_timeout
+                      in
+                      ignore (Sampling.Unigen.sample ~deadline ~rng p)
+                    done;
+                    Sampling.Sampler.average_seconds_per_sample
+                      (Sampling.Unigen.stats p)
+              in
+              let raw_time = time_sampling f 41 in
+              let simp_time = time_sampling r.Preprocess.Simplify.simplified 41 in
+              Printf.printf "%14s %10d %10d %12.5f %12.5f\n%!" name
+                r.Preprocess.Simplify.clauses_before
+                r.Preprocess.Simplify.clauses_after raw_time simp_time))
+    [ "case_m1"; "s_fsm12_3"; "sk_login"; "ll_reverse" ];
+  print_endline
+    "(BVE only touches variables outside the sampling set, so the\n\
+     projected witness distribution UniGen samples from is unchanged)"
+
+(* ------------------------------------------------------------------ *)
+(* Related-work shoot-out: uniformity and cost of every sampler *)
+
+let run_baselines ~budget () =
+  section "Baselines: uniformity and per-witness cost of every sampler";
+  let f = Lazy.force Workload.Suite.uniformity_case.Workload.Suite.formula in
+  let us = Sampling.Us.create f in
+  let rf = Sampling.Us.size us in
+  let sampling = Cnf.Formula.sampling_vars f in
+  let key_of m = Cnf.Model.key (Cnf.Model.restrict m sampling) in
+  let samples = 3000 in
+  Printf.printf "|R_F| = %d, %d samples per sampler\n\n" rf samples;
+  Printf.printf "%14s %12s %10s %10s %12s %10s\n" "sampler" "s/sample" "TV dist"
+    "chi2 p" "succ prob" "coverage";
+  let report name stats keys attempted =
+    let drawn = List.length keys in
+    let h = Sampling.Stats.histogram_of_keys keys in
+    let tv =
+      Sampling.Stats.total_variation_from_uniform ~num_outcomes:rf
+        ~num_samples:drawn h
+    in
+    let p = Sampling.Stats.uniformity_pvalue ~num_outcomes:rf ~num_samples:drawn h in
+    Printf.printf "%14s %12.5f %10.4f %10.4f %12.2f %9.1f%%\n%!" name
+      (Sampling.Sampler.average_seconds_per_sample stats)
+      tv p
+      (float_of_int drawn /. float_of_int attempted)
+      (100.0 *. float_of_int (Hashtbl.length h) /. float_of_int rf)
+  in
+  let collect name next =
+    let stats = Sampling.Sampler.fresh_stats () in
+    let keys = ref [] and drawn = ref 0 and attempts = ref 0 in
+    while !drawn < samples && !attempts < samples * 10 do
+      incr attempts;
+      match next stats with
+      | Some m ->
+          incr drawn;
+          keys := key_of m :: !keys
+      | None -> ()
+    done;
+    report name stats !keys !attempts
+  in
+  (* US *)
+  let rng = Rng.create 61 in
+  collect "US (ideal)" (fun stats ->
+      stats.Sampling.Sampler.samples_requested <-
+        stats.Sampling.Sampler.samples_requested + 1;
+      let t0 = Unix.gettimeofday () in
+      let m = Sampling.Us.sample ~rng us in
+      stats.Sampling.Sampler.wall_seconds <-
+        stats.Sampling.Sampler.wall_seconds +. (Unix.gettimeofday () -. t0);
+      stats.Sampling.Sampler.samples_produced <-
+        stats.Sampling.Sampler.samples_produced + 1;
+      Some m);
+  (* UniGen *)
+  let rng = Rng.create 62 in
+  (match
+     Sampling.Unigen.prepare ?count_iterations:budget.count_iterations ~rng
+       ~epsilon:6.0 f
+   with
+  | Error _ -> print_endline "UniGen preparation failed"
+  | Ok p ->
+      let keys = ref [] and drawn = ref 0 and attempts = ref 0 in
+      while !drawn < samples && !attempts < samples * 10 do
+        incr attempts;
+        match Sampling.Unigen.sample ~rng p with
+        | Ok m ->
+            incr drawn;
+            keys := key_of m :: !keys
+        | Error _ -> ()
+      done;
+      report "UniGen" (Sampling.Unigen.stats p) !keys !attempts);
+  (* UniWit (few samples: it re-searches hash sizes every draw) *)
+  let rng = Rng.create 63 in
+  let uniwit_samples = min samples 300 in
+  let stats = Sampling.Sampler.fresh_stats () in
+  let keys = ref [] in
+  for _ = 1 to uniwit_samples do
+    match Sampling.Uniwit.sample ~stats ~rng f with
+    | Ok m -> keys := key_of m :: !keys
+    | Error _ -> ()
+  done;
+  report
+    (Printf.sprintf "UniWit(%d)" uniwit_samples)
+    stats !keys uniwit_samples;
+  (* XORSample' with s tuned from the true count *)
+  let rng = Rng.create 64 in
+  let s_guess =
+    int_of_float (Float.round (Float.log (float_of_int rf) /. Float.log 2.0)) - 3
+  in
+  collect
+    (Printf.sprintf "XORSample'(%d)" s_guess)
+    (fun stats ->
+      match Sampling.Xorsample.sample ~stats ~rng ~s:s_guess f with
+      | Ok m -> Some m
+      | Error _ -> None);
+  (* MCMC *)
+  let rng = Rng.create 65 in
+  collect "MCMC" (fun stats ->
+      match Sampling.Mcmc.sample ~steps:4000 ~restarts:3 ~stats ~rng f with
+      | Ok m -> Some m
+      | Error _ -> None);
+  print_endline
+    "\ncoverage = fraction of distinct witnesses seen; low chi2 p-values\n\
+     reject uniformity (the paper's related-work claim: MCMC and\n\
+     heuristic samplers are fast but skewed; UniGen matches US)"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro benchmarks *)
+
+let run_micro () =
+  section "Micro benchmarks (Bechamel, monotonic clock)";
+  let open Bechamel in
+  let small_f =
+    Cnf.Formula.create ~num_vars:24
+      (List.init 30 (fun i ->
+           let v = (i mod 22) + 1 in
+           Cnf.Clause.of_dimacs [ v; -(v + 1); v + 2 ]))
+  in
+  let vars40 = Array.init 40 (fun i -> i + 1) in
+  let hash_rng = Rng.create 3 in
+  let solve_once () =
+    let s = Sat.Solver.create small_f in
+    ignore (Sat.Solver.solve s)
+  in
+  let prepared =
+    match
+      Sampling.Unigen.prepare ~count_iterations:5 ~rng:(Rng.create 4) ~epsilon:6.0
+        (Cnf.Formula.create ~num_vars:12 [])
+    with
+    | Ok p -> p
+    | Error _ -> failwith "micro prepare failed"
+  in
+  let sample_rng = Rng.create 5 in
+  let tests =
+    [
+      Test.make ~name:"rng/bits64" (Staged.stage (fun () -> Rng.bits64 hash_rng));
+      Test.make ~name:"hxor/sample m=20 n=40"
+        (Staged.stage (fun () -> Hashing.Hxor.sample hash_rng ~vars:vars40 ~m:20));
+      Test.make ~name:"solver/solve 24v30c" (Staged.stage solve_once);
+      Test.make ~name:"unigen/sample 2^12"
+        (Staged.stage (fun () -> Sampling.Unigen.sample ~rng:sample_rng prepared));
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"unigen" tests) in
+  let results =
+    List.map (fun i -> Analyze.all ols i raw) instances |> Analyze.merge ols instances
+  in
+  Hashtbl.iter
+    (fun label tbl ->
+      if label = Measure.label Toolkit.Instance.monotonic_clock then
+        Hashtbl.iter
+          (fun name ols_result ->
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] -> Printf.printf "  %-32s %12.1f ns/run\n" name est
+            | _ -> Printf.printf "  %-32s (no estimate)\n" name)
+          tbl)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let budget = if List.mem "full" args then full_budget else quick_budget in
+  let targets = List.filter (fun a -> a <> "full") args in
+  let all =
+    [ "table1"; "table2"; "figure1"; "epsilon"; "baselines";
+      "ablation-support"; "ablation-sparse"; "ablation-blocking";
+      "ablation-leapfrog"; "ablation-amortise"; "ablation-preprocess"; "micro" ]
+  in
+  let default = [ "table1"; "figure1"; "epsilon"; "baselines";
+                  "ablation-support"; "ablation-sparse"; "ablation-blocking";
+                  "ablation-leapfrog"; "ablation-amortise"; "ablation-preprocess";
+                  "micro" ]
+  in
+  let targets = if targets = [] then default else targets in
+  List.iter
+    (fun t ->
+      if not (List.mem t all) then begin
+        Printf.eprintf "unknown target %s (available: %s, plus 'full')\n" t
+          (String.concat ", " all);
+        exit 1
+      end)
+    targets;
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (function
+      | "table1" -> run_table ~budget ~name:"Table 1" Workload.Suite.table1
+      | "table2" -> run_table ~budget ~name:"Table 2" Workload.Suite.table2
+      | "figure1" -> run_figure1 ~budget ()
+      | "epsilon" -> run_epsilon ~budget ()
+      | "baselines" -> run_baselines ~budget ()
+      | "ablation-support" -> run_ablation_support ~budget ()
+      | "ablation-sparse" -> run_ablation_sparse ~budget ()
+      | "ablation-blocking" -> run_ablation_blocking ()
+      | "ablation-leapfrog" -> run_ablation_leapfrog ()
+      | "ablation-amortise" -> run_ablation_amortise ~budget ()
+      | "ablation-preprocess" -> run_ablation_preprocess ~budget ()
+      | "micro" -> run_micro ()
+      | _ -> ())
+    targets;
+  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

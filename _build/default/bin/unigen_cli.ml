@@ -1,0 +1,314 @@
+(* Command-line front end, mirroring the original UniGen tool's usage:
+   sample witnesses of a DIMACS CNF file (with optional `c ind`
+   sampling-set lines), approximately count models, compute independent
+   supports, and emit the bundled benchmark instances. *)
+
+open Cmdliner
+
+let read_formula path =
+  try Ok (Cnf.Dimacs.parse_file path) with
+  | Cnf.Dimacs.Parse_error msg -> Error msg
+  | Sys_error msg -> Error msg
+
+let print_witness m sampling =
+  let restricted = Cnf.Model.restrict m sampling in
+  let parts = List.map string_of_int (Cnf.Model.to_dimacs restricted) in
+  print_endline ("v " ^ String.concat " " parts ^ " 0")
+
+(* ------------------------------------------------------------------ *)
+(* unigen sample *)
+
+let sample_cmd =
+  let run file num epsilon seed timeout project_only =
+    match read_formula file with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok f ->
+        let rng = Rng.create seed in
+        let deadline = Unix.gettimeofday () +. timeout in
+        (match Sampling.Unigen.prepare ~deadline ~rng ~epsilon f with
+        | Error Sampling.Unigen.Unsat_formula ->
+            print_endline "s UNSATISFIABLE";
+            2
+        | Error Sampling.Unigen.Prepare_timeout | Error Sampling.Unigen.Count_failed ->
+            Printf.eprintf "error: preparation timed out\n";
+            1
+        | Ok prepared ->
+            let sampling =
+              if project_only then Cnf.Formula.sampling_vars f
+              else Array.init f.Cnf.Formula.num_vars (fun i -> i + 1)
+            in
+            Printf.printf "c UniGen: epsilon=%.2f kappa=%.3f pivot=%d |S|=%d%s\n"
+              epsilon
+              (Sampling.Unigen.kappa prepared)
+              (Sampling.Unigen.pivot prepared)
+              (Array.length (Cnf.Formula.sampling_vars f))
+              (if Sampling.Unigen.is_easy prepared then " (easy case)" else "");
+            let produced = ref 0 in
+            let attempts = ref 0 in
+            while !produced < num && Unix.gettimeofday () < deadline do
+              incr attempts;
+              match Sampling.Unigen.sample ~deadline ~rng prepared with
+              | Ok m ->
+                  incr produced;
+                  print_witness m sampling
+              | Error _ -> ()
+            done;
+            let st = Sampling.Unigen.stats prepared in
+            Printf.printf "c produced %d/%d witnesses in %d attempts (avg %.4f s, avg xor len %.1f)\n"
+              !produced num !attempts
+              (Sampling.Sampler.average_seconds_per_sample st)
+              (Sampling.Sampler.average_xor_length st);
+            if !produced = num then 0 else 1)
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let num =
+    Arg.(value & opt int 10 & info [ "n"; "samples" ] ~doc:"Number of witnesses.")
+  in
+  let epsilon =
+    Arg.(value & opt float 6.0 & info [ "e"; "epsilon" ] ~doc:"Tolerance (> 1.71).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "s"; "seed" ] ~doc:"Random seed.") in
+  let timeout =
+    Arg.(value & opt float 600.0 & info [ "t"; "timeout" ] ~doc:"Overall timeout (s).")
+  in
+  let project =
+    Arg.(value & flag & info [ "project" ] ~doc:"Print only sampling-set variables.")
+  in
+  Cmd.v
+    (Cmd.info "sample" ~doc:"Draw almost-uniform witnesses of a DIMACS CNF file")
+    Term.(const run $ file $ num $ epsilon $ seed $ timeout $ project)
+
+(* ------------------------------------------------------------------ *)
+(* unigen count *)
+
+let count_cmd =
+  let run file epsilon delta seed timeout =
+    match read_formula file with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok f ->
+        let rng = Rng.create seed in
+        let deadline = Unix.gettimeofday () +. timeout in
+        (match Counting.Approxmc.count ~deadline ~rng ~epsilon ~delta f with
+        | Error Counting.Approxmc.Unsat ->
+            print_endline "s UNSATISFIABLE";
+            2
+        | Error Counting.Approxmc.Timed_out ->
+            Printf.eprintf "error: timed out\n";
+            1
+        | Ok r ->
+            Printf.printf "s mc %.0f\n" r.Counting.Approxmc.estimate;
+            Printf.printf "c log2(count) = %.2f%s (%d core iterations, %d failed)\n"
+              r.Counting.Approxmc.log2_estimate
+              (if r.Counting.Approxmc.exact then ", exact" else "")
+              r.Counting.Approxmc.core_iterations r.Counting.Approxmc.failed_iterations;
+            0)
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let epsilon =
+    Arg.(value & opt float 0.8 & info [ "e"; "epsilon" ] ~doc:"Tolerance.")
+  in
+  let delta =
+    Arg.(value & opt float 0.2 & info [ "d"; "delta" ] ~doc:"1 - confidence.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "s"; "seed" ] ~doc:"Random seed.") in
+  let timeout =
+    Arg.(value & opt float 600.0 & info [ "t"; "timeout" ] ~doc:"Timeout (s).")
+  in
+  Cmd.v
+    (Cmd.info "count" ~doc:"Approximately count witnesses (ApproxMC)")
+    Term.(const run $ file $ epsilon $ delta $ seed $ timeout)
+
+(* ------------------------------------------------------------------ *)
+(* unigen support *)
+
+let support_cmd =
+  let run file minimize =
+    match read_formula file with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok f ->
+        let declared = Array.to_list (Cnf.Formula.sampling_vars f) in
+        (match Sat.Indsupport.check f declared with
+        | Sat.Indsupport.Dependent ->
+            Printf.printf "c declared set of %d variables is NOT an independent support\n"
+              (List.length declared);
+            1
+        | Sat.Indsupport.Unknown ->
+            Printf.printf "c could not decide independence within budget\n";
+            1
+        | Sat.Indsupport.Independent ->
+            let final =
+              if minimize then Sat.Indsupport.minimize f declared else declared
+            in
+            Printf.printf "c independent support (%d variables%s)\n"
+              (List.length final)
+              (if minimize then ", minimized" else "");
+            Printf.printf "c ind %s 0\n"
+              (String.concat " " (List.map string_of_int final));
+            0)
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let minimize =
+    Arg.(value & flag & info [ "m"; "minimize" ] ~doc:"Greedily minimize the support.")
+  in
+  Cmd.v
+    (Cmd.info "support"
+       ~doc:"Verify (and optionally minimize) the declared sampling set")
+    Term.(const run $ file $ minimize)
+
+(* ------------------------------------------------------------------ *)
+(* unigen bench-gen *)
+
+let bench_gen_cmd =
+  let run name out list_only =
+    if list_only then begin
+      List.iter
+        (fun (i : Workload.Suite.instance) ->
+          Printf.printf "%-16s %s\n" i.Workload.Suite.name i.Workload.Suite.domain)
+        Workload.Suite.table2;
+      0
+    end
+    else
+      match name with
+      | None ->
+          Printf.eprintf "error: provide an instance name or --list\n";
+          1
+      | Some name -> begin
+          match Workload.Suite.by_name name with
+          | None ->
+              Printf.eprintf "error: unknown instance %s (try --list)\n" name;
+              1
+          | Some i ->
+              let f = Lazy.force i.Workload.Suite.formula in
+              let path =
+                match out with Some p -> p | None -> name ^ ".cnf"
+              in
+              Cnf.Dimacs.write_file path f;
+              Printf.printf "wrote %s: %d vars, %d clauses, |S|=%d\n" path
+                f.Cnf.Formula.num_vars
+                (Cnf.Formula.num_clauses f)
+                (Array.length (Cnf.Formula.sampling_vars f));
+              0
+        end
+  in
+  let inst_name = Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME") in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output path.")
+  in
+  let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List instances.") in
+  Cmd.v
+    (Cmd.info "bench-gen" ~doc:"Emit a bundled benchmark instance as DIMACS")
+    Term.(const run $ inst_name $ out $ list_only)
+
+(* ------------------------------------------------------------------ *)
+(* unigen simplify *)
+
+let simplify_cmd =
+  let run file out no_bve =
+    match read_formula file with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok f -> begin
+        match Preprocess.Simplify.run ~eliminate:(not no_bve) f with
+        | Error `Unsat ->
+            print_endline "s UNSATISFIABLE";
+            2
+        | Ok r ->
+            let path =
+              match out with
+              | Some p -> p
+              | None -> Filename.remove_extension file ^ ".simplified.cnf"
+            in
+            Cnf.Dimacs.write_file path r.Preprocess.Simplify.simplified;
+            Printf.printf
+              "wrote %s: %d -> %d clauses, %d forced, %d variables eliminated\n"
+              path r.Preprocess.Simplify.clauses_before
+              r.Preprocess.Simplify.clauses_after
+              (List.length r.Preprocess.Simplify.forced)
+              (List.length r.Preprocess.Simplify.eliminated);
+            0
+      end
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output path.")
+  in
+  let no_bve =
+    Arg.(value & flag & info [ "no-bve" ] ~doc:"Disable bounded variable elimination.")
+  in
+  Cmd.v
+    (Cmd.info "simplify"
+       ~doc:"Sampling-safe preprocessing (projection on the sampling set preserved)")
+    Term.(const run $ file $ out $ no_bve)
+
+(* ------------------------------------------------------------------ *)
+(* unigen convert: BLIF / AIGER -> CNF with sampling set *)
+
+let convert_cmd =
+  let run file out parity seed =
+    let netlist =
+      try
+        if Filename.check_suffix file ".blif" then Ok (Circuits.Blif.parse_file file)
+        else if Filename.check_suffix file ".aag" then Ok (Circuits.Aiger.parse_file file)
+        else Error "expected a .blif or .aag input"
+      with
+      | Circuits.Blif.Parse_error msg | Circuits.Aiger.Parse_error msg -> Error msg
+      | Sys_error msg -> Error msg
+    in
+    match netlist with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok nl ->
+        let enc =
+          if parity then
+            Circuits.Tseitin.with_output_parity ~rng:(Rng.create seed) nl
+          else Circuits.Tseitin.encode nl
+        in
+        let f = enc.Circuits.Tseitin.formula in
+        let path =
+          match out with
+          | Some p -> p
+          | None -> Filename.remove_extension file ^ ".cnf"
+        in
+        Cnf.Dimacs.write_file path f;
+        Printf.printf
+          "wrote %s: %d vars, %d clauses, sampling set = %d circuit inputs\n" path
+          f.Cnf.Formula.num_vars (Cnf.Formula.num_clauses f)
+          (Array.length enc.Circuits.Tseitin.input_vars);
+        0
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output path.")
+  in
+  let parity =
+    Arg.(value & flag
+         & info [ "parity" ]
+             ~doc:"Add random parity conditions on the outputs (ISCAS-style \
+                   instance construction) instead of asserting them true.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "s"; "seed" ] ~doc:"Parity seed.") in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:"Tseitin-encode a BLIF or ASCII-AIGER circuit to DIMACS with a `c ind` \
+             sampling set")
+    Term.(const run $ file $ out $ parity $ seed)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "almost-uniform SAT witness generation (UniGen, DAC 2014)" in
+  let info = Cmd.info "unigen" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [ sample_cmd; count_cmd; support_cmd; bench_gen_cmd; simplify_cmd;
+            convert_cmd ]))

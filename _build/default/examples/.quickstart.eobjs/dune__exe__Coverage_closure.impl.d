@@ -1,0 +1,1 @@
+examples/coverage_closure.ml: Array Circuits Cnf List Printf Rng Sampling Sat

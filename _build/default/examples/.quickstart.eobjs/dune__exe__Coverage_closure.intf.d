@@ -1,0 +1,1 @@
+examples/coverage_closure.mli:

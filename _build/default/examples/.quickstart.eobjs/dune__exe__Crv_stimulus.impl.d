@@ -1,0 +1,1 @@
+examples/crv_stimulus.ml: Array Circuits Cnf Printf Rng Sampling String

@@ -1,0 +1,1 @@
+examples/crv_stimulus.mli:

@@ -1,0 +1,1 @@
+examples/eda_pipeline.ml: Array Circuits Cnf List Preprocess Printf Rng Sampling String

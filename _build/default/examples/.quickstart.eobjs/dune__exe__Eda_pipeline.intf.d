@@ -1,0 +1,1 @@
+examples/eda_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/model_count_demo.mli:

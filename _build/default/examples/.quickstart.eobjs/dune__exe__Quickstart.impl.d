@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cnf List Printf Rng Sampling String

@@ -1,0 +1,1 @@
+examples/testbench_dsl.ml: Cnf Crv Format List Printf Sampling

@@ -1,0 +1,1 @@
+examples/testbench_dsl.mli:

@@ -1,0 +1,1 @@
+lib/circuits/aiger.ml: Array Buffer List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/circuits/blif.ml: Array Buffer Fun Hashtbl List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/circuits/blif.mli: Netlist

@@ -1,0 +1,1 @@
+lib/circuits/generators.ml: Arith Array List Netlist Printf Rng Sequential Tseitin

@@ -1,0 +1,1 @@
+lib/circuits/netlist.ml: Array List Printf

@@ -1,0 +1,1 @@
+lib/circuits/sequential.ml: Array List Netlist Printf

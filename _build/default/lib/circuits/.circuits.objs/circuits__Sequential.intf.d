@@ -1,0 +1,1 @@
+lib/circuits/sequential.mli: Netlist

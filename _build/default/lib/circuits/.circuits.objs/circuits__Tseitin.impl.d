@@ -1,0 +1,1 @@
+lib/circuits/tseitin.ml: Array Cnf Fun List Netlist Rng

@@ -1,0 +1,1 @@
+lib/circuits/tseitin.mli: Cnf Netlist Rng

@@ -1,0 +1,188 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Netlist -> AIG                                                      *)
+
+type aig = {
+  mutable next_var : int;
+  mutable ands : (int * int * int) list; (* reversed: lhs, rhs0, rhs1 *)
+}
+
+let aig_not l = l lxor 1
+
+let aig_and g a b =
+  if a = 0 || b = 0 then 0
+  else if a = 1 then b
+  else if b = 1 then a
+  else if a = b then a
+  else if a = aig_not b then 0
+  else begin
+    let v = g.next_var in
+    g.next_var <- v + 1;
+    let lhs = 2 * v in
+    g.ands <- (lhs, max a b, min a b) :: g.ands;
+    lhs
+  end
+
+let aig_or g a b = aig_not (aig_and g (aig_not a) (aig_not b))
+
+let aig_xor g a b =
+  aig_not (aig_and g (aig_not (aig_and g a (aig_not b)))
+             (aig_not (aig_and g (aig_not a) b)))
+
+let aig_mux g s a b = aig_or g (aig_and g s a) (aig_and g (aig_not s) b)
+
+let to_string (nl : Netlist.t) =
+  let num_inputs = nl.Netlist.num_inputs in
+  let g = { next_var = num_inputs + 1; ands = [] } in
+  let input_lit = Array.init num_inputs (fun k -> 2 * (k + 1)) in
+  let lit = Array.make (Array.length nl.Netlist.nodes) 0 in
+  Array.iteri
+    (fun i node ->
+      lit.(i) <-
+        (match node with
+        | Netlist.Input k -> input_lit.(k)
+        | Netlist.Const b -> if b then 1 else 0
+        | Netlist.Not a -> aig_not lit.(a)
+        | Netlist.And (a, b) -> aig_and g lit.(a) lit.(b)
+        | Netlist.Or (a, b) -> aig_or g lit.(a) lit.(b)
+        | Netlist.Xor (a, b) -> aig_xor g lit.(a) lit.(b)
+        | Netlist.Mux (s, a, b) -> aig_mux g lit.(s) lit.(a) lit.(b)))
+    nl.Netlist.nodes;
+  let ands = List.rev g.ands in
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "aag %d %d 0 %d %d\n" (g.next_var - 1) num_inputs
+    (Array.length nl.Netlist.outputs)
+    (List.length ands);
+  Array.iter (fun l -> Printf.bprintf buf "%d\n" l) input_lit;
+  Array.iter (fun o -> Printf.bprintf buf "%d\n" lit.(o)) nl.Netlist.outputs;
+  List.iter (fun (l, a, b) -> Printf.bprintf buf "%d %d %d\n" l a b) ands;
+  Buffer.contents buf
+
+let write_file path nl =
+  let oc = open_out path in
+  output_string oc (to_string nl);
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* AIG -> Netlist                                                      *)
+
+let of_string text =
+  let module B = Netlist.Builder in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> 'c')
+  in
+  let ints line =
+    String.split_on_char ' ' line
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun s ->
+           match int_of_string_opt s with
+           | Some i -> i
+           | None -> fail "bad integer %S" s)
+  in
+  match lines with
+  | [] -> fail "empty file"
+  | header :: rest -> begin
+      let m, i, l, o, a =
+        match String.split_on_char ' ' header |> List.filter (fun s -> s <> "") with
+        | [ "aag"; m; i; l; o; a ] -> begin
+            try
+              ( int_of_string m, int_of_string i, int_of_string l, int_of_string o,
+                int_of_string a )
+            with _ -> fail "bad header %S" header
+          end
+        | "aig" :: _ -> fail "binary aig format not supported; use aag"
+        | _ -> fail "bad header %S" header
+      in
+      if l <> 0 then fail "latches not supported (unroll first)";
+      if List.length rest < i + o + a then fail "truncated file";
+      let take n lst =
+        let rec go n acc = function
+          | rest when n = 0 -> (List.rev acc, rest)
+          | [] -> fail "truncated file"
+          | x :: rest -> go (n - 1) (x :: acc) rest
+        in
+        go n [] lst
+      in
+      let input_lines, rest = take i rest in
+      let output_lines, rest = take o rest in
+      let and_lines, _symbols = take a rest in
+      let b = B.create "aiger" in
+      (* literal -> signal table indexed by variable *)
+      let signal = Array.make (m + 1) (-1) in
+      let const_false = B.const b false in
+      signal.(0) <- const_false;
+      let inputs =
+        List.map
+          (fun line ->
+            match ints line with
+            | [ lit ] ->
+                if lit land 1 <> 0 || lit = 0 then fail "bad input literal %d" lit;
+                lit / 2
+            | _ -> fail "bad input line %S" line)
+          input_lines
+      in
+      List.iter
+        (fun v ->
+          if v > m then fail "input variable %d exceeds M" v;
+          if signal.(v) >= 0 then fail "duplicate definition of variable %d" v;
+          signal.(v) <- B.input b)
+        inputs;
+      let parsed_ands =
+        List.map
+          (fun line ->
+            match ints line with
+            | [ lhs; r0; r1 ] ->
+                if lhs land 1 <> 0 then fail "and lhs %d is negated" lhs;
+                (lhs / 2, r0, r1)
+            | _ -> fail "bad and line %S" line)
+          and_lines
+      in
+      let lit_signal lit =
+        let v = lit / 2 in
+        if v > m then fail "literal %d exceeds M" lit;
+        let s = signal.(v) in
+        if s < 0 then raise Not_found;
+        if lit land 1 = 0 then s else B.not_ b s
+      in
+      (* ands may reference forward in pathological files: multi-pass *)
+      let remaining = ref parsed_ands in
+      let progress = ref true in
+      while !remaining <> [] && !progress do
+        progress := false;
+        let next = ref [] in
+        List.iter
+          (fun (v, r0, r1) ->
+            match (lit_signal r0, lit_signal r1) with
+            | s0, s1 ->
+                if signal.(v) >= 0 then fail "duplicate definition of variable %d" v;
+                signal.(v) <- B.and_ b s0 s1;
+                progress := true
+            | exception Not_found -> next := (v, r0, r1) :: !next)
+          !remaining;
+        remaining := List.rev !next
+      done;
+      if !remaining <> [] then fail "cyclic or undefined and gates";
+      List.iter
+        (fun line ->
+          match ints line with
+          | [ lit ] -> begin
+              match lit_signal lit with
+              | s -> B.output b s
+              | exception Not_found -> fail "undefined output literal %d" lit
+            end
+          | _ -> fail "bad output line %S" line)
+        output_lines;
+      B.finish b
+    end
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  of_string content

@@ -1,0 +1,22 @@
+(** AIGER (ASCII [aag]) reader/writer — the standard exchange format
+    for And-Inverter Graphs used by model checkers and the HWMCC
+    benchmark suites, from which the paper's BMC-style instances
+    descend.
+
+    An AIG literal is [2v] (variable v) or [2v + 1] (its negation);
+    literal 0 is constant false, 1 constant true. Only combinational
+    AIGs are supported here ([L = 0]); unroll sequential designs
+    first. *)
+
+exception Parse_error of string
+
+val to_string : Netlist.t -> string
+(** Converts the netlist to an AIG (OR/XOR/MUX are decomposed into
+    AND/NOT via De Morgan) and renders it in [aag] format. *)
+
+val of_string : string -> Netlist.t
+(** Parses an [aag] file with no latches.
+    @raise Parse_error otherwise. *)
+
+val write_file : string -> Netlist.t -> unit
+val parse_file : string -> Netlist.t

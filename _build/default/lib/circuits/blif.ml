@@ -1,0 +1,226 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+
+let to_string (nl : Netlist.t) =
+  let buf = Buffer.create 4096 in
+  let node_name i =
+    match nl.Netlist.nodes.(i) with
+    | Netlist.Input k -> Printf.sprintf "i%d" k
+    | _ -> Printf.sprintf "n%d" i
+  in
+  Printf.bprintf buf ".model %s\n" nl.Netlist.name;
+  Buffer.add_string buf ".inputs";
+  for k = 0 to nl.Netlist.num_inputs - 1 do
+    Printf.bprintf buf " i%d" k
+  done;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf ".outputs";
+  Array.iteri (fun k _ -> Printf.bprintf buf " o%d" k) nl.Netlist.outputs;
+  Buffer.add_char buf '\n';
+  Array.iteri
+    (fun i node ->
+      let me = node_name i in
+      match node with
+      | Netlist.Input _ -> ()
+      | Netlist.Const b ->
+          Printf.bprintf buf ".names %s\n" me;
+          if b then Buffer.add_string buf "1\n"
+      | Netlist.Not a ->
+          Printf.bprintf buf ".names %s %s\n0 1\n" (node_name a) me
+      | Netlist.And (a, b) ->
+          Printf.bprintf buf ".names %s %s %s\n11 1\n" (node_name a) (node_name b) me
+      | Netlist.Or (a, b) ->
+          Printf.bprintf buf ".names %s %s %s\n1- 1\n-1 1\n" (node_name a)
+            (node_name b) me
+      | Netlist.Xor (a, b) ->
+          Printf.bprintf buf ".names %s %s %s\n10 1\n01 1\n" (node_name a)
+            (node_name b) me
+      | Netlist.Mux (s, a, b) ->
+          Printf.bprintf buf ".names %s %s %s %s\n11- 1\n0-1 1\n" (node_name s)
+            (node_name a) (node_name b) me)
+    nl.Netlist.nodes;
+  (* output aliases *)
+  Array.iteri
+    (fun k o -> Printf.bprintf buf ".names %s o%d\n1 1\n" (node_name o) k)
+    nl.Netlist.outputs;
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let write_file path nl =
+  let oc = open_out path in
+  output_string oc (to_string nl);
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+type raw_names = { inputs : string list; output : string; rows : (string * char) list }
+
+let tokenize line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+(* Join continuation lines ending in '\' and drop comments. *)
+let logical_lines text =
+  let lines = String.split_on_char '\n' text in
+  let lines =
+    List.map
+      (fun l -> match String.index_opt l '#' with
+        | Some i -> String.sub l 0 i
+        | None -> l)
+      lines
+  in
+  let rec join acc pending = function
+    | [] -> List.rev (if pending = "" then acc else pending :: acc)
+    | l :: rest ->
+        let l = pending ^ l in
+        let trimmed = String.trim l in
+        if String.length trimmed > 0 && trimmed.[String.length trimmed - 1] = '\\'
+        then join acc (String.sub trimmed 0 (String.length trimmed - 1) ^ " ") rest
+        else join (trimmed :: acc) "" rest
+  in
+  join [] "" lines |> List.filter (fun l -> l <> "")
+
+let parse_structure text =
+  let model = ref "" in
+  let inputs = ref [] and outputs = ref [] in
+  let names = ref [] in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | Some n -> names := n :: !names; current := None
+    | None -> ()
+  in
+  List.iter
+    (fun line ->
+      match tokenize line with
+      | ".model" :: name :: _ ->
+          flush ();
+          model := name
+      | ".inputs" :: ins ->
+          flush ();
+          inputs := !inputs @ ins
+      | ".outputs" :: outs ->
+          flush ();
+          outputs := !outputs @ outs
+      | ".names" :: signals -> begin
+          flush ();
+          match List.rev signals with
+          | out :: rev_ins ->
+              current := Some { inputs = List.rev rev_ins; output = out; rows = [] }
+          | [] -> fail ".names with no signals"
+        end
+      | ".end" :: _ -> flush ()
+      | [ ".latch" ] | ".latch" :: _ -> fail "latches are not supported (unroll first)"
+      | ".subckt" :: _ -> fail "subcircuits are not supported"
+      | tok :: rest -> begin
+          match !current with
+          | None -> fail "unexpected line %S" line
+          | Some n ->
+              let pattern, value =
+                match rest with
+                | [ v ] -> (tok, v)
+                | [] ->
+                    (* single-column row of a constant .names *)
+                    ("", tok)
+                | _ -> fail "malformed cover row %S" line
+              in
+              if String.length value <> 1 || (value.[0] <> '0' && value.[0] <> '1')
+              then fail "bad cover output %S" value;
+              if String.length pattern <> List.length n.inputs then
+                fail "cover width mismatch in %S" line;
+              current := Some { n with rows = (pattern, value.[0]) :: n.rows }
+        end
+      | [] -> ())
+    (logical_lines text);
+  flush ();
+  if !model = "" then fail "missing .model";
+  (!inputs, !outputs, List.rev !names)
+
+(* Build a sum-of-products for a .names cover. *)
+let build_cover b signal_of (n : raw_names) =
+  let module B = Netlist.Builder in
+  let arity = List.length n.inputs in
+  if arity > 12 then fail ".names arity %d exceeds the supported 12" arity;
+  let in_signals = List.map signal_of n.inputs in
+  match n.rows with
+  | [] ->
+      (* no rows: constant 0 *)
+      B.const b false
+  | rows ->
+      let polarity =
+        match List.sort_uniq compare (List.map snd rows) with
+        | [ '1' ] -> `On
+        | [ '0' ] -> `Off
+        | [] -> `On
+        | _ -> fail "mixed 0/1 covers in one .names are not supported"
+      in
+      let row_term (pattern, _) =
+        if pattern = "" then B.const b true
+        else
+          let lits =
+            List.mapi
+              (fun i s ->
+                match pattern.[i] with
+                | '1' -> Some s
+                | '0' -> Some (B.not_ b s)
+                | '-' -> None
+                | c -> fail "bad cover character %c" c)
+              in_signals
+            |> List.filter_map Fun.id
+          in
+          B.and_list b lits
+      in
+      let sum = B.or_list b (List.map row_term rows) in
+      (match polarity with `On -> sum | `Off -> B.not_ b sum)
+
+let of_string text =
+  let module B = Netlist.Builder in
+  let input_names, output_names, names = parse_structure text in
+  let b = B.create "blif" in
+  let env = Hashtbl.create 64 in
+  List.iter
+    (fun name ->
+      if Hashtbl.mem env name then fail "duplicate input %s" name;
+      Hashtbl.add env name (B.input b))
+    input_names;
+  (* .names may reference signals defined later; process in dependency
+     order with a simple multi-pass loop *)
+  let remaining = ref names in
+  let progress = ref true in
+  while !remaining <> [] && !progress do
+    progress := false;
+    let next = ref [] in
+    List.iter
+      (fun n ->
+        if List.for_all (Hashtbl.mem env) n.inputs then begin
+          if Hashtbl.mem env n.output then fail "signal %s defined twice" n.output;
+          Hashtbl.add env n.output (build_cover b (Hashtbl.find env) n);
+          progress := true
+        end
+        else next := n :: !next)
+      !remaining;
+    remaining := List.rev !next
+  done;
+  (match !remaining with
+  | [] -> ()
+  | n :: _ -> fail "undefined or cyclic signal feeding %s" n.output);
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt env name with
+      | Some s -> B.output b s
+      | None -> fail "undefined output %s" name)
+    output_names;
+  B.finish b
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  of_string content

@@ -1,0 +1,24 @@
+(** BLIF (Berkeley Logic Interchange Format) reader/writer for
+    combinational netlists — the lingua franca of academic logic
+    synthesis tools (SIS, ABC, mockturtle), so benchmark circuits can
+    be exchanged with a standard EDA flow.
+
+    Supported subset: [.model], [.inputs], [.outputs], single-output
+    [.names] with 1-covers (the common output of ABC's [write_blif]),
+    and [.end]. Latches and subcircuits are not supported — unroll
+    sequential designs first (see {!Sequential.unroll}). *)
+
+exception Parse_error of string
+
+val to_string : Netlist.t -> string
+(** Gates are emitted as 2-input [.names] covers; inputs are named
+    [i0, i1, ...], internal nodes [n<k>], outputs aliased [o0, ...]. *)
+
+val of_string : string -> Netlist.t
+(** Parses the supported subset. [.names] covers may have up to 12
+    inputs; both 1-covers and 0-covers are accepted, ['-'] means
+    don't-care.
+    @raise Parse_error on malformed or unsupported input. *)
+
+val write_file : string -> Netlist.t -> unit
+val parse_file : string -> Netlist.t

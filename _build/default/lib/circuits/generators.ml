@@ -1,0 +1,152 @@
+module B = Netlist.Builder
+
+let lfsr ~name ~width ~taps =
+  if width < 2 then invalid_arg "Generators.lfsr: width < 2";
+  List.iter
+    (fun t -> if t < 0 || t >= width then invalid_arg "Generators.lfsr: bad tap")
+    taps;
+  let b = B.create name in
+  let state = Array.init width (fun _ -> B.input b) in
+  let ext = B.input b in
+  (* feedback = xor of taps xor external input *)
+  let feedback =
+    B.xor_ b ext (B.xor_list b (List.map (fun t -> state.(t)) taps))
+  in
+  (* next state: shift left, feedback enters at bit 0 *)
+  let next = Array.init width (fun i -> if i = 0 then feedback else state.(i - 1)) in
+  Array.iter (B.output b) next;
+  (* nonlinear observables: AND-mixed parities of the two halves *)
+  let half = width / 2 in
+  let low = Array.to_list (Array.sub state 0 half) in
+  let high = Array.to_list (Array.sub state half (width - half)) in
+  B.output b (B.and_ b (B.xor_list b low) (B.or_list b high));
+  B.output b (B.xor_ b (B.and_list b (Array.to_list (Array.sub state 0 (min 3 width)))) (B.xor_list b high));
+  let step = B.finish b in
+  Sequential.create ~name ~state_width:width ~input_width:1 step
+
+let nonlinear_fsm ~rng ~name ~width =
+  if width < 2 then invalid_arg "Generators.nonlinear_fsm: width < 2";
+  let b = B.create name in
+  let state = Array.init width (fun _ -> B.input b) in
+  let ext = B.input b in
+  let pick () = state.(Rng.int rng width) in
+  let next =
+    Array.init width (fun i ->
+        let a = pick () and c = pick () and d = pick () in
+        match Rng.int rng 3 with
+        | 0 -> B.xor_ b state.(i) (B.and_ b a c)
+        | 1 -> B.mux b ~sel:a c (B.xor_ b d ext)
+        | _ -> B.xor_ b (B.or_ b a c) (B.and_ b d state.((i + 1) mod width)))
+  in
+  Array.iter (B.output b) next;
+  B.output b (B.xor_list b (Array.to_list state));
+  let step = B.finish b in
+  Sequential.create ~name ~state_width:width ~input_width:1 step
+
+let random_dag ~rng ~name ~num_inputs ~num_gates ~num_outputs =
+  if num_inputs < 1 then invalid_arg "Generators.random_dag: no inputs";
+  let b = B.create name in
+  let signals = ref (List.init num_inputs (fun _ -> B.input b)) in
+  let count = ref num_inputs in
+  let pick () =
+    (* bias towards recent nodes so the circuit gains depth *)
+    let l = !signals in
+    let n = !count in
+    let idx = min (n - 1) (Rng.int rng ((n / 2) + 1)) in
+    List.nth l idx
+  in
+  for _ = 1 to num_gates do
+    let x = pick () and y = pick () in
+    let g =
+      match Rng.int rng 4 with
+      | 0 -> B.and_ b x y
+      | 1 -> B.or_ b x y
+      | 2 -> B.xor_ b x y
+      | _ -> B.not_ b x
+    in
+    signals := g :: !signals;
+    incr count
+  done;
+  let arr = Array.of_list !signals in
+  for _ = 1 to num_outputs do
+    B.output b arr.(Rng.int rng (min (Array.length arr) (num_gates + 1)))
+  done;
+  B.finish b
+
+let squaring_equivalence ~bits ~residue ~modulus_bits =
+  if modulus_bits > 2 * bits then
+    invalid_arg "Generators.squaring_equivalence: modulus too wide";
+  let b = B.create (Printf.sprintf "squaring%d" bits) in
+  let x = Arith.input_word b ~width:bits in
+  let square = Arith.squarer b x in
+  let low = List.filteri (fun i _ -> i < modulus_bits) square in
+  let target = Arith.constant b ~width:modulus_bits residue in
+  B.output b (Arith.equal b low target);
+  B.finish b
+
+let multiplier_equivalence ~bits =
+  let b = B.create (Printf.sprintf "multiplier%d" bits) in
+  let x = Arith.input_word b ~width:bits in
+  let y = Arith.input_word b ~width:bits in
+  let z = Arith.input_word b ~width:(2 * bits) in
+  let product = Arith.multiplier b x y in
+  B.output b (Arith.equal b product z);
+  B.finish b
+
+(* A small bit-vector ALU whose behaviour is selected by control bits:
+   each output bit goes through a mux tree driven by the controls. *)
+let sketch ~rng ~name ~control_bits ~data_bits ~num_tests =
+  if control_bits < 1 then invalid_arg "Generators.sketch: no control bits";
+  let b = B.create name in
+  let controls = List.init control_bits (fun _ -> B.input b) in
+  let carr = Array.of_list controls in
+  (* the hidden specification: a fixed random affine-ish function;
+     rotation limited to the sketch's reach so the instance is
+     realizable (satisfiable) by construction *)
+  let spec_mask = Rng.int rng (1 lsl data_bits) in
+  let spec_rot = Rng.int rng 2 in
+  let spec x =
+    let rotated = Array.init data_bits (fun i -> x.((i + spec_rot) mod data_bits)) in
+    Array.mapi
+      (fun i bit -> if spec_mask land (1 lsl i) <> 0 then not bit else bit)
+      rotated
+  in
+  (* the sketch: per output bit, a mux tree over candidate functions of
+     the test inputs, steered by control bits. The selector wiring is
+     fixed once — the same sketch circuit is checked on every test. *)
+  let selectors =
+    Array.init data_bits (fun _ ->
+        (carr.(Rng.int rng control_bits), carr.(Rng.int rng control_bits)))
+  in
+  let sketch_output x_sigs =
+    List.init data_bits (fun i ->
+        let cand1 = x_sigs.(i) in
+        let cand2 = B.not_ b x_sigs.(i) in
+        let cand3 = x_sigs.((i + 1) mod data_bits) in
+        let cand4 = B.not_ b x_sigs.((i + 1) mod data_bits) in
+        let s0, s1 = selectors.(i) in
+        let m0 = B.mux b ~sel:s0 cand1 cand2 in
+        let m1 = B.mux b ~sel:s0 cand3 cand4 in
+        B.mux b ~sel:s1 m0 m1)
+  in
+  let checks =
+    List.init num_tests (fun _ ->
+        let bits = Array.init data_bits (fun _ -> Rng.bool rng) in
+        let expected = spec bits in
+        let x_sigs = Array.map (fun v -> B.const b v) bits in
+        let out = sketch_output x_sigs in
+        let want =
+          Array.to_list expected |> List.map (fun v -> B.const b v)
+        in
+        Arith.equal b out want)
+  in
+  B.output b (B.and_list b checks);
+  B.finish b
+
+let case_formula ~rng ~num_inputs ~num_gates =
+  let name = Printf.sprintf "case_%d_%d" num_inputs num_gates in
+  let nl =
+    random_dag ~rng ~name ~num_inputs ~num_gates
+      ~num_outputs:(max 2 (num_inputs / 2))
+  in
+  (Tseitin.with_output_parity ~rng nl).Tseitin.formula

@@ -1,0 +1,51 @@
+(** Benchmark-circuit generators: synthetic analogs of the four
+    benchmark domains of the paper's experimental section (Section 5).
+
+    Each generator produces either a netlist or directly a CNF formula
+    whose sampling set is an independent support by construction. *)
+
+val lfsr : name:string -> width:int -> taps:int list -> Sequential.t
+(** A linear-feedback shift register step circuit with a nonlinear
+    observation (AND-mixed parity), standing in for ISCAS89 sequential
+    benchmarks. State shifts left; the new low bit is the XOR of the
+    tap positions; observables are two mixed parity bits. *)
+
+val nonlinear_fsm : rng:Rng.t -> name:string -> width:int -> Sequential.t
+(** A random nonlinear next-state function built from AND/XOR/MUX
+    layers — a denser ISCAS-style state machine. *)
+
+val random_dag :
+  rng:Rng.t -> name:string -> num_inputs:int -> num_gates:int -> num_outputs:int ->
+  Netlist.t
+(** Random combinational logic. Every gate draws its operands from
+    earlier nodes (biased towards recent ones to get depth). *)
+
+val squaring_equivalence : bits:int -> residue:int -> modulus_bits:int -> Netlist.t
+(** The "SquaringK"-family analog: inputs x, output asserts that the
+    low [modulus_bits] bits of x² equal [residue]. Input bits form the
+    independent support; solution counts vary with [residue]. *)
+
+val multiplier_equivalence : bits:int -> Netlist.t
+(** Inputs x, y and z; output asserts x·y = z on the low 2·bits.
+    Used as a "Karatsuba"-flavoured equivalence-checking constraint
+    (z is also an input, so the support is x ∪ y ∪ z). *)
+
+(** Program-synthesis sketch: find control bits making a small
+    bit-vector ALU agree with a hidden specification on a set of test
+    vectors — the analog of the paper's program-synthesis constraints
+    (EnqueueSeqSK, Karatsuba, Sort, ...). *)
+val sketch :
+  rng:Rng.t ->
+  name:string ->
+  control_bits:int ->
+  data_bits:int ->
+  num_tests:int ->
+  Netlist.t
+(** The netlist's primary inputs are exactly the control bits (test
+    vectors are baked in as constants); its single output asserts that
+    the sketch matches the specification on every test. Solutions =
+    consistent control assignments. *)
+
+val case_formula : rng:Rng.t -> num_inputs:int -> num_gates:int -> Cnf.Formula.t
+(** A "case*"-style small benchmark: random DAG with parity conditions
+    on outputs; sampling set = circuit inputs. *)

@@ -1,0 +1,52 @@
+type t = {
+  name : string;
+  step : Netlist.t;
+  state_width : int;
+  input_width : int;
+  observable_width : int;
+}
+
+module B = Netlist.Builder
+
+let create ~name ~state_width ~input_width step =
+  if step.Netlist.num_inputs <> state_width + input_width then
+    invalid_arg "Sequential.create: step inputs must be state + inputs";
+  let outs = Array.length step.Netlist.outputs in
+  if outs < state_width then
+    invalid_arg "Sequential.create: step must output the next state";
+  { name; step; state_width; input_width; observable_width = outs - state_width }
+
+let instantiate b (nl : Netlist.t) inputs =
+  if Array.length inputs <> nl.Netlist.num_inputs then
+    invalid_arg "Sequential.instantiate: input arity mismatch";
+  let signal = Array.make (Array.length nl.Netlist.nodes) (-1) in
+  Array.iteri
+    (fun i node ->
+      signal.(i) <-
+        (match node with
+        | Netlist.Input k -> inputs.(k)
+        | Netlist.Const v -> B.const b v
+        | Netlist.Not a -> B.not_ b signal.(a)
+        | Netlist.And (x, y) -> B.and_ b signal.(x) signal.(y)
+        | Netlist.Or (x, y) -> B.or_ b signal.(x) signal.(y)
+        | Netlist.Xor (x, y) -> B.xor_ b signal.(x) signal.(y)
+        | Netlist.Mux (s, x, y) -> B.mux b ~sel:signal.(s) signal.(x) signal.(y)))
+    nl.Netlist.nodes;
+  Array.map (fun o -> signal.(o)) nl.Netlist.outputs
+
+let unroll ?(observe_last_only = true) ~steps t =
+  if steps < 1 then invalid_arg "Sequential.unroll: steps < 1";
+  let b = B.create (Printf.sprintf "%s_unrolled_%d" t.name steps) in
+  let state = ref (Array.init t.state_width (fun _ -> B.input b)) in
+  let observables = ref [] in
+  for step = 1 to steps do
+    let ext = Array.init t.input_width (fun _ -> B.input b) in
+    let outs = instantiate b t.step (Array.append !state ext) in
+    state := Array.sub outs 0 t.state_width;
+    let obs = Array.sub outs t.state_width t.observable_width in
+    if (not observe_last_only) || step = steps then
+      observables := obs :: !observables
+  done;
+  List.iter (Array.iter (B.output b)) (List.rev !observables);
+  Array.iter (B.output b) !state;
+  B.finish b

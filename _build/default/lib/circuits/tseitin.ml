@@ -1,0 +1,87 @@
+type encoded = {
+  formula : Cnf.Formula.t;
+  input_vars : int array;
+  output_vars : int array;
+  node_vars : int array;
+}
+
+let encode ?(assert_outputs = true) (nl : Netlist.t) =
+  let n = Array.length nl.Netlist.nodes in
+  let node_vars = Array.init n (fun i -> i + 1) in
+  let clauses = ref [] in
+  let emit lits = clauses := Cnf.Clause.of_dimacs lits :: !clauses in
+  Array.iteri
+    (fun i node ->
+      let g = node_vars.(i) in
+      match node with
+      | Netlist.Input _ -> ()
+      | Netlist.Const b -> emit [ (if b then g else -g) ]
+      | Netlist.Not a ->
+          let a = node_vars.(a) in
+          emit [ -g; -a ];
+          emit [ g; a ]
+      | Netlist.And (a, b) ->
+          let a = node_vars.(a) and b = node_vars.(b) in
+          emit [ -g; a ];
+          emit [ -g; b ];
+          emit [ g; -a; -b ]
+      | Netlist.Or (a, b) ->
+          let a = node_vars.(a) and b = node_vars.(b) in
+          emit [ g; -a ];
+          emit [ g; -b ];
+          emit [ -g; a; b ]
+      | Netlist.Xor (a, b) ->
+          let a = node_vars.(a) and b = node_vars.(b) in
+          emit [ -g; a; b ];
+          emit [ -g; -a; -b ];
+          emit [ g; -a; b ];
+          emit [ g; a; -b ]
+      | Netlist.Mux (s, a, b) ->
+          let s = node_vars.(s) and a = node_vars.(a) and b = node_vars.(b) in
+          (* g = s ? a : b *)
+          emit [ -g; -s; a ];
+          emit [ g; -s; -a ];
+          emit [ -g; s; b ];
+          emit [ g; s; -b ])
+    nl.Netlist.nodes;
+  let input_vars =
+    Array.to_list nl.Netlist.nodes
+    |> List.mapi (fun i node ->
+           match node with Netlist.Input k -> Some (k, node_vars.(i)) | _ -> None)
+    |> List.filter_map Fun.id
+    |> List.sort compare
+    |> List.map snd
+    |> Array.of_list
+  in
+  let output_vars = Array.map (fun o -> node_vars.(o)) nl.Netlist.outputs in
+  if assert_outputs then
+    Array.iter (fun v -> emit [ v ]) output_vars;
+  let formula =
+    Cnf.Formula.create
+      ~sampling_set:(Array.to_list input_vars)
+      ~num_vars:n (List.rev !clauses)
+  in
+  { formula; input_vars; output_vars; node_vars }
+
+let with_output_parity ~rng ?num_conditions (nl : Netlist.t) =
+  let enc = encode ~assert_outputs:false nl in
+  let outs = enc.output_vars in
+  if Array.length outs = 0 then invalid_arg "with_output_parity: no outputs";
+  let k =
+    match num_conditions with
+    | Some k -> k
+    | None -> max 1 (Array.length outs / 2)
+  in
+  let xors =
+    List.init k (fun _ ->
+        let chosen =
+          Array.to_list outs |> List.filter (fun _ -> Rng.bool rng)
+        in
+        (* guarantee non-trivial conditions *)
+        let chosen =
+          if chosen = [] then [ outs.(Rng.int rng (Array.length outs)) ]
+          else chosen
+        in
+        Cnf.Xor_clause.make chosen (Rng.bool rng))
+  in
+  { enc with formula = Cnf.Formula.add_xors enc.formula xors }

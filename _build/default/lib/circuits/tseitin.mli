@@ -1,0 +1,30 @@
+(** Tseitin encoding of netlists to CNF.
+
+    Every node gets a CNF variable; gate semantics become 2–4 clauses
+    each. The resulting formula's sampling set is the set of primary
+    input variables: as the paper observes for Tseitin-encoded
+    formulas, "the variables introduced by the encoding form a
+    dependent support", i.e. the inputs are an independent support. *)
+
+type encoded = {
+  formula : Cnf.Formula.t;
+      (** sampling set = input variables; outputs asserted true unless
+          overridden *)
+  input_vars : int array;  (** CNF variable of each primary input *)
+  output_vars : int array;  (** CNF variable of each output *)
+  node_vars : int array;  (** CNF variable of every node *)
+}
+
+val encode : ?assert_outputs:bool -> Netlist.t -> encoded
+(** [assert_outputs] (default [true]) adds a unit clause per output,
+    constraining the circuit to input vectors that drive every output
+    to 1 — the standard shape of a CRV constraint block or a BMC
+    property. With [false] the formula only defines the circuit; add
+    custom constraints on [output_vars] afterwards. *)
+
+val with_output_parity :
+  rng:Rng.t -> ?num_conditions:int -> Netlist.t -> encoded
+(** ISCAS89-style instance construction from the paper's experimental
+    section: encode the circuit without asserting outputs, then add
+    parity (XOR) conditions on randomly chosen subsets of the outputs.
+    [num_conditions] defaults to half the output count (at least 1). *)

@@ -1,0 +1,1 @@
+lib/cnf/clause.ml: Array Bool Format Int List Lit

@@ -1,0 +1,1 @@
+lib/cnf/clause.mli: Format Lit

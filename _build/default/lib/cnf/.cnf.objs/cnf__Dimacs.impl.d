@@ -1,0 +1,1 @@
+lib/cnf/dimacs.ml: Array Buffer Formula List Lit Printf String Xor_clause

@@ -1,0 +1,1 @@
+lib/cnf/dimacs.mli: Formula

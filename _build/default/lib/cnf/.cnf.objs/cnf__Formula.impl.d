@@ -1,0 +1,1 @@
+lib/cnf/formula.ml: Array Clause Format Int List Lit Option Printf Xor_clause

@@ -1,0 +1,1 @@
+lib/cnf/formula.mli: Clause Format Xor_clause

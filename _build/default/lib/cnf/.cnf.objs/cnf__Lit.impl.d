@@ -1,0 +1,1 @@
+lib/cnf/lit.ml: Format Int

@@ -1,0 +1,1 @@
+lib/cnf/model.ml: Array Buffer Char Format Formula Int Printf

@@ -1,0 +1,1 @@
+lib/cnf/model.mli: Format Formula

@@ -1,0 +1,1 @@
+lib/cnf/xor_clause.ml: Array Bool Format Int List Lit

@@ -1,0 +1,1 @@
+lib/cnf/xor_clause.mli: Clause Format

@@ -1,0 +1,1 @@
+lib/cnf/xor_gauss.ml: Array Hashtbl Int List Xor_clause

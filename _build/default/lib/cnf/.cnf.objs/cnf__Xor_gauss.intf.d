@@ -1,0 +1,1 @@
+lib/cnf/xor_gauss.mli: Result Xor_clause

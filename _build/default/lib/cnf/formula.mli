@@ -1,0 +1,46 @@
+(** CNF formulas, possibly with native XOR constraints and a declared
+    sampling set (independent support). *)
+
+type t = {
+  num_vars : int;
+  clauses : Clause.t array;
+  xors : Xor_clause.t array;
+  sampling_set : int array option;
+      (** Declared independent support (the [S] of the paper), if any.
+          By convention this is what a [c ind] DIMACS line declares. *)
+}
+
+val create :
+  ?sampling_set:int list -> num_vars:int -> Clause.t list -> t
+(** Plain CNF. Raises [Invalid_argument] if a clause or the sampling
+    set mentions a variable above [num_vars]. *)
+
+val create_with_xors :
+  ?sampling_set:int list ->
+  num_vars:int ->
+  Clause.t list ->
+  Xor_clause.t list ->
+  t
+
+val add_clauses : t -> Clause.t list -> t
+val add_xors : t -> Xor_clause.t list -> t
+
+val with_sampling_set : t -> int list -> t
+val sampling_vars : t -> int array
+(** The declared sampling set, or all variables when none declared. *)
+
+val num_clauses : t -> int
+
+val eval : t -> (int -> bool) -> bool
+(** Evaluate under a total assignment. *)
+
+val blast_xors : t -> t
+(** Replace every native XOR by its CNF expansion over fresh variables
+    (see {!Xor_clause.to_cnf}); the sampling set is preserved, and the
+    fresh variables are dependent on the originals. Used by the
+    reference solver and for the "no native XOR engine" ablation. *)
+
+val map_clauses : t -> f:(Clause.t -> Clause.t option) -> t
+(** Keep clauses for which [f] returns [Some]; used by simplifiers. *)
+
+val pp : Format.formatter -> t -> unit

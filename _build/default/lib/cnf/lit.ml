@@ -1,0 +1,25 @@
+type t = int
+
+let make v positive =
+  if v < 1 then invalid_arg "Lit.make: variable must be >= 1";
+  (v lsl 1) lor (if positive then 0 else 1)
+
+let pos v = make v true
+let neg v = make v false
+let var l = l lsr 1
+let sign l = l land 1 = 0
+let negate l = l lxor 1
+let to_index l = l
+let of_index i =
+  if i < 2 then invalid_arg "Lit.of_index";
+  i
+
+let of_dimacs i =
+  if i = 0 then invalid_arg "Lit.of_dimacs: zero";
+  if i > 0 then pos i else neg (-i)
+
+let to_dimacs l = if sign l then var l else -(var l)
+let compare = Int.compare
+let equal = Int.equal
+let hash l = l
+let pp fmt l = Format.fprintf fmt "%d" (to_dimacs l)

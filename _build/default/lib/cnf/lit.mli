@@ -1,0 +1,43 @@
+(** Propositional literals.
+
+    Variables are positive integers [1 .. n] (the DIMACS convention).
+    A literal packs a variable and a polarity into a single immediate
+    integer so that solver-internal arrays can be indexed by literal:
+    positive literal of [v] is [2v], negative is [2v + 1]. *)
+
+type t = private int
+
+val make : int -> bool -> t
+(** [make v positive] is the literal over variable [v] (≥ 1). *)
+
+val pos : int -> t
+(** Positive literal of a variable. *)
+
+val neg : int -> t
+(** Negative literal of a variable. *)
+
+val var : t -> int
+(** Underlying variable. *)
+
+val sign : t -> bool
+(** [true] iff the literal is positive. *)
+
+val negate : t -> t
+(** Flip the polarity. *)
+
+val to_index : t -> int
+(** Dense index in [2 .. 2n+1], suitable for watch lists. *)
+
+val of_index : int -> t
+(** Inverse of {!to_index}. *)
+
+val of_dimacs : int -> t
+(** From a signed DIMACS integer (non-zero). *)
+
+val to_dimacs : t -> int
+(** To a signed DIMACS integer. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

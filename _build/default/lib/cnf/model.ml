@@ -1,0 +1,83 @@
+type t = {
+  vars : int array; (* sorted ascending *)
+  values : bool array; (* aligned with [vars] *)
+  contiguous : bool; (* vars = [|1; 2; ...; n|], enabling O(1) lookup *)
+}
+
+let make n value =
+  {
+    vars = Array.init n (fun i -> i + 1);
+    values = Array.init n (fun i -> value (i + 1));
+    contiguous = true;
+  }
+
+let of_bool_array a =
+  {
+    vars = Array.init (Array.length a) (fun i -> i + 1);
+    values = Array.copy a;
+    contiguous = true;
+  }
+
+let num_vars t = Array.length t.vars
+
+let find_slot t v =
+  let rec search lo hi =
+    if lo > hi then raise (Invalid_argument (Printf.sprintf "Model.value: variable %d absent" v))
+    else
+      let mid = (lo + hi) / 2 in
+      if t.vars.(mid) = v then mid
+      else if t.vars.(mid) < v then search (mid + 1) hi
+      else search lo (mid - 1)
+  in
+  search 0 (Array.length t.vars - 1)
+
+let value t v =
+  if t.contiguous then begin
+    if v < 1 || v > Array.length t.values then
+      invalid_arg (Printf.sprintf "Model.value: variable %d absent" v);
+    t.values.(v - 1)
+  end
+  else t.values.(find_slot t v)
+
+let restrict t vars =
+  let vars = Array.copy vars in
+  Array.sort Int.compare vars;
+  let values = Array.map (fun v -> value t v) vars in
+  let n = Array.length vars in
+  let contiguous =
+    n > 0 && vars.(0) = 1 && vars.(n - 1) = n
+  in
+  { vars; values; contiguous }
+
+let key t =
+  (* One bit per variable, packed; prefixed by the variable list so
+     models over different supports never collide. *)
+  let buf = Buffer.create (Array.length t.vars / 8 + 16) in
+  Array.iter (fun v -> Buffer.add_string buf (string_of_int v); Buffer.add_char buf ',') t.vars;
+  Buffer.add_char buf '|';
+  let byte = ref 0 and used = ref 0 in
+  Array.iter
+    (fun b ->
+      byte := (!byte lsl 1) lor (if b then 1 else 0);
+      incr used;
+      if !used = 8 then begin
+        Buffer.add_char buf (Char.chr !byte);
+        byte := 0;
+        used := 0
+      end)
+    t.values;
+  if !used > 0 then Buffer.add_char buf (Char.chr !byte);
+  Buffer.contents buf
+
+let to_dimacs t =
+  Array.to_list
+    (Array.mapi (fun i v -> if t.values.(i) then v else -v) t.vars)
+
+let satisfies f t = Formula.eval f (fun v -> value t v)
+
+let equal a b = a.vars = b.vars && a.values = b.values
+
+let pp fmt t =
+  Format.fprintf fmt "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " ") Format.pp_print_int)
+    (to_dimacs t)

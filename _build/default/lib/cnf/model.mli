@@ -1,0 +1,33 @@
+(** Total truth assignments (witnesses). *)
+
+type t
+(** An assignment to variables [1 .. n]. *)
+
+val make : int -> (int -> bool) -> t
+(** [make n value] tabulates [value] over [1 .. n]. *)
+
+val of_bool_array : bool array -> t
+(** The array is indexed from 0 with slot [v] holding variable [v+1]. *)
+
+val num_vars : t -> int
+val value : t -> int -> bool
+
+val restrict : t -> int array -> t
+(** Projection onto a variable subset: returns a packed assignment
+    whose key (see {!key}) identifies the projected witness. The
+    projected model still answers {!value} for the selected variables
+    and raises [Invalid_argument] for others. *)
+
+val key : t -> string
+(** A canonical byte string identifying the assignment (used to
+    deduplicate and histogram witnesses). Two models over the same
+    variable set have equal keys iff they agree on every variable. *)
+
+val to_dimacs : t -> int list
+(** Signed-integer rendering over the model's variables, ascending. *)
+
+val satisfies : Formula.t -> t -> bool
+(** Checks the model against every clause and XOR of the formula. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,112 @@
+type row = { vars : int list; (* sorted ascending *) rhs : bool }
+
+type result = {
+  rows : Xor_clause.t list;
+  units : (int * bool) list;
+  equivalences : (int * int * bool) list;
+  rank : int;
+}
+
+(* symmetric difference of two sorted variable lists *)
+let rec symdiff a b =
+  match (a, b) with
+  | [], r | r, [] -> r
+  | x :: a', y :: b' ->
+      if x = y then symdiff a' b'
+      else if x < y then x :: symdiff a' b
+      else y :: symdiff a b'
+
+let xor_rows r1 r2 = { vars = symdiff r1.vars r2.vars; rhs = r1.rhs <> r2.rhs }
+
+let row_of_clause (x : Xor_clause.t) =
+  { vars = List.sort Int.compare (Array.to_list x.vars); rhs = x.rhs }
+
+let clause_of_row r = Xor_clause.make r.vars r.rhs
+
+exception Inconsistent
+
+(* Forward elimination into a pivot table: pivot variable -> row whose
+   smallest variable is that pivot. *)
+let reduce pivots row =
+  let rec go row =
+    match row.vars with
+    | [] -> row
+    | p :: _ -> (
+        match Hashtbl.find_opt pivots p with
+        | None -> row
+        | Some basis -> go (xor_rows row basis))
+  in
+  go row
+
+let insert pivots row =
+  let row = reduce pivots row in
+  match row.vars with
+  | [] -> if row.rhs then raise Inconsistent
+  | p :: _ -> Hashtbl.replace pivots p row
+
+let eliminate clauses =
+  let pivots = Hashtbl.create 64 in
+  try
+    List.iter (fun x -> insert pivots (row_of_clause x)) clauses;
+    (* back substitution from the largest pivot down: after forward
+       elimination every row's variables exceed its pivot, so cleaning
+       a row only consults rows that are already fully reduced *)
+    let descending =
+      Hashtbl.fold (fun p r acc -> (p, r) :: acc) pivots []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare b a)
+    in
+    let clean_table = Hashtbl.create 64 in
+    let cleaned_desc =
+      List.map
+        (fun (p, r) ->
+          let rec clean r =
+            match
+              List.find_opt (fun v -> v <> p && Hashtbl.mem clean_table v) r.vars
+            with
+            | None -> r
+            | Some v -> clean (xor_rows r (Hashtbl.find clean_table v))
+          in
+          let r = clean r in
+          Hashtbl.replace clean_table p r;
+          (p, r))
+        descending
+    in
+    let rows = List.rev_map snd cleaned_desc in
+    let units =
+      List.filter_map
+        (fun r -> match r.vars with [ v ] -> Some (v, r.rhs) | _ -> None)
+        rows
+    in
+    let equivalences =
+      List.filter_map
+        (fun r -> match r.vars with [ x; y ] -> Some (x, y, r.rhs) | _ -> None)
+        rows
+    in
+    Ok
+      {
+        rows = List.map clause_of_row rows;
+        units;
+        equivalences;
+        rank = List.length rows;
+      }
+  with Inconsistent -> Error `Unsat
+
+let solutions_log2 ~num_vars clauses =
+  match eliminate clauses with
+  | Error `Unsat -> None
+  | Ok r -> Some (float_of_int (num_vars - r.rank))
+
+let implies system x =
+  match eliminate system with
+  | Error `Unsat -> true (* vacuous *)
+  | Ok r ->
+      let pivots = Hashtbl.create 64 in
+      List.iter
+        (fun c ->
+          let row = row_of_clause c in
+          match row.vars with
+          | p :: _ -> Hashtbl.replace pivots p row
+          | [] -> ())
+        r.rows;
+      let residue = reduce pivots (row_of_clause x) in
+      residue.vars = [] && not residue.rhs

@@ -1,0 +1,31 @@
+(** Gaussian elimination over GF(2) for systems of XOR constraints —
+    the reasoning CryptoMiniSAT applies to the very XOR clauses the
+    hash family produces.
+
+    Row-reducing the XOR system preserves its solution set exactly, so
+    the transformation is sampling-safe. Elimination discovers:
+    - inconsistency (0 = 1 rows): the formula is UNSAT,
+    - unit rows (x = b): forced assignments,
+    - binary rows (x ⊕ y = b): variable equivalences,
+    and leaves a reduced-row-echelon basis that is never larger than
+    the input system. *)
+
+type result = {
+  rows : Xor_clause.t list;  (** reduced basis, pivots ascending *)
+  units : (int * bool) list;  (** variables forced by unit rows *)
+  equivalences : (int * int * bool) list;
+      (** [(x, y, b)] from binary rows: x = y ⊕ b *)
+  rank : int;
+}
+
+val eliminate : Xor_clause.t list -> (result, [ `Unsat ]) Result.t
+
+val solutions_log2 : num_vars:int -> Xor_clause.t list -> float option
+(** Number of solutions of the pure XOR system over [num_vars]
+    variables, as log2: [Some (num_vars - rank)], or [None] when the
+    system is inconsistent. This is the algebraic fact behind hash
+    cells having expected size |R_F| / 2^m. *)
+
+val implies : Xor_clause.t list -> Xor_clause.t -> bool
+(** [implies system x] — does every solution of [system] satisfy [x]?
+    Decided by reducing [x] against the eliminated basis. *)

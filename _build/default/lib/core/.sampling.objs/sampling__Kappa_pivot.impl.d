@@ -1,0 +1,1 @@
+lib/core/kappa_pivot.ml: Float Printf

@@ -1,0 +1,1 @@
+lib/core/mcmc.ml: Array Cnf Float Rng Sampler Unix

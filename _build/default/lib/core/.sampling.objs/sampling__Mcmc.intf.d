@@ -1,0 +1,1 @@
+lib/core/mcmc.mli: Cnf Rng Sampler

@@ -1,0 +1,1 @@
+lib/core/sampler.ml: Cnf Float Format Hashing Result

@@ -1,0 +1,1 @@
+lib/core/sampler.mli: Cnf Format Hashing Result

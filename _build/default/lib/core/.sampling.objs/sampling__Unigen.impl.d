@@ -1,0 +1,1 @@
+lib/core/unigen.ml: Array Cnf Counting Float Hashing Kappa_pivot Rng Sampler Sat Unix

@@ -1,0 +1,1 @@
+lib/core/unigen.mli: Cnf Result Rng Sampler

@@ -1,0 +1,1 @@
+lib/core/uniwit.ml: Array Cnf Hashing Rng Sampler Sat Unix

@@ -1,0 +1,1 @@
+lib/core/uniwit.mli: Cnf Rng Sampler

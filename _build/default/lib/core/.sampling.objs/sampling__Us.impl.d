@@ -1,0 +1,1 @@
+lib/core/us.ml: Array Cnf Counting Printf Rng Sat

@@ -1,0 +1,1 @@
+lib/core/us.mli: Cnf Rng

@@ -1,0 +1,1 @@
+lib/core/weighted.ml: Array Cnf Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/xorsample.ml: Array Cnf Hashing Rng Sampler Sat Unix

@@ -1,0 +1,1 @@
+lib/core/xorsample.mli: Cnf Rng Sampler

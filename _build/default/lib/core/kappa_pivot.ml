@@ -1,0 +1,26 @@
+let min_epsilon = 1.71
+
+let epsilon_of_kappa kappa =
+  ((1.0 +. kappa) *. (2.23 +. (0.48 /. ((1.0 -. kappa) ** 2.0)))) -. 1.0
+
+let compute epsilon =
+  if epsilon <= min_epsilon then
+    invalid_arg
+      (Printf.sprintf "Kappa_pivot.compute: epsilon must exceed %.2f" min_epsilon);
+  (* epsilon_of_kappa is strictly increasing on [0, 1): bisect. *)
+  let rec bisect lo hi iter =
+    if iter = 0 then (lo +. hi) /. 2.0
+    else
+      let mid = (lo +. hi) /. 2.0 in
+      if epsilon_of_kappa mid < epsilon then bisect mid hi (iter - 1)
+      else bisect lo mid (iter - 1)
+  in
+  let kappa = bisect 0.0 0.999_999 80 in
+  let pivot =
+    int_of_float
+      (Float.ceil (3.0 *. Float.exp 0.5 *. ((1.0 +. (1.0 /. kappa)) ** 2.0)))
+  in
+  (kappa, pivot)
+
+let hi_thresh ~kappa ~pivot = 1.0 +. ((1.0 +. kappa) *. float_of_int pivot)
+let lo_thresh ~kappa ~pivot = float_of_int pivot /. (1.0 +. kappa)

@@ -1,0 +1,20 @@
+(** ComputeKappaPivot (Algorithm 2 of the paper).
+
+    Given the user-facing tolerance ε > 1.71, find κ ∈ [0, 1) such
+    that ε = (1 + κ)(2.23 + 0.48/(1 − κ)²) − 1, and set
+    pivot = ⌈3·e^(1/2)·(1 + 1/κ)²⌉. κ controls how far a cell's size
+    may deviate from pivot; the constants come from the paper's
+    Lemmas 4 and 6. *)
+
+val min_epsilon : float
+(** 1.71 — below this no κ ∈ [0, 1) exists (Appendix of the paper). *)
+
+val compute : float -> float * int
+(** [compute epsilon] is [(kappa, pivot)].
+    @raise Invalid_argument when [epsilon <= min_epsilon]. *)
+
+val hi_thresh : kappa:float -> pivot:int -> float
+(** 1 + (1 + κ)·pivot — upper cell-size threshold. *)
+
+val lo_thresh : kappa:float -> pivot:int -> float
+(** pivot/(1 + κ) — lower cell-size threshold. *)

@@ -1,0 +1,47 @@
+type failure = Unsat | Cell_failure | Timed_out
+
+type outcome = (Cnf.Model.t, failure) Result.t
+
+type run_stats = {
+  mutable samples_requested : int;
+  mutable samples_produced : int;
+  mutable cell_failures : int;
+  mutable timeouts : int;
+  mutable xor_rows : int;
+  mutable xor_vars : int;
+  mutable wall_seconds : float;
+}
+
+let fresh_stats () =
+  {
+    samples_requested = 0;
+    samples_produced = 0;
+    cell_failures = 0;
+    timeouts = 0;
+    xor_rows = 0;
+    xor_vars = 0;
+    wall_seconds = 0.0;
+  }
+
+let success_probability s =
+  if s.samples_requested = 0 then Float.nan
+  else float_of_int s.samples_produced /. float_of_int s.samples_requested
+
+let average_xor_length s =
+  if s.xor_rows = 0 then 0.0
+  else float_of_int s.xor_vars /. float_of_int s.xor_rows
+
+let average_seconds_per_sample s =
+  if s.samples_produced = 0 then Float.nan
+  else s.wall_seconds /. float_of_int s.samples_produced
+
+let record_hash s h =
+  s.xor_rows <- s.xor_rows + Hashing.Hxor.m h;
+  s.xor_vars <- s.xor_vars + Hashing.Hxor.total_xor_length h
+
+let pp fmt s =
+  Format.fprintf fmt
+    "requested=%d produced=%d cell_failures=%d timeouts=%d avg_xor_len=%.1f avg_s=%.3f"
+    s.samples_requested s.samples_produced s.cell_failures s.timeouts
+    (average_xor_length s)
+    (average_seconds_per_sample s)

@@ -1,0 +1,37 @@
+(** Types shared by every witness generator in this library. *)
+
+type failure =
+  | Unsat  (** the formula has no witness at all *)
+  | Cell_failure
+      (** the algorithm's random cell fell outside its thresholds (the
+          ⊥ of Algorithm 1); retrying with fresh randomness may
+          succeed — Theorem 1 bounds the probability of this at ≤ 0.38
+          for UniGen *)
+  | Timed_out
+
+type outcome = (Cnf.Model.t, failure) Result.t
+
+(** Per-run accounting used to fill the paper's table columns. *)
+type run_stats = {
+  mutable samples_requested : int;
+  mutable samples_produced : int;
+  mutable cell_failures : int;
+  mutable timeouts : int;
+  mutable xor_rows : int;  (** total XOR rows across all hash draws *)
+  mutable xor_vars : int;  (** total variables across those rows *)
+  mutable wall_seconds : float;
+}
+
+val fresh_stats : unit -> run_stats
+val success_probability : run_stats -> float
+(** produced / requested; NaN when nothing was requested. *)
+
+val average_xor_length : run_stats -> float
+(** Mean variables per XOR row across the run (the "Avg XOR len"
+    column); 0 when no hash was ever drawn. *)
+
+val average_seconds_per_sample : run_stats -> float
+
+val record_hash : run_stats -> Hashing.Hxor.t -> unit
+
+val pp : Format.formatter -> run_stats -> unit

@@ -1,0 +1,156 @@
+type histogram = (string, int) Hashtbl.t
+
+let histogram_of_keys keys =
+  let h = Hashtbl.create 1024 in
+  List.iter
+    (fun k -> Hashtbl.replace h k (1 + Option.value ~default:0 (Hashtbl.find_opt h k)))
+    keys;
+  h
+
+let occurrence_distribution ?support_size h =
+  let buckets = Hashtbl.create 64 in
+  let bump c =
+    Hashtbl.replace buckets c (1 + Option.value ~default:0 (Hashtbl.find_opt buckets c))
+  in
+  Hashtbl.iter (fun _ c -> bump c) h;
+  (match support_size with
+  | Some n ->
+      let unseen = n - Hashtbl.length h in
+      if unseen > 0 then Hashtbl.replace buckets 0 unseen
+  | None -> ());
+  Hashtbl.fold (fun c w acc -> (c, w) :: acc) buckets []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let chi_square_uniform ~num_outcomes ~num_samples h =
+  if num_outcomes <= 0 then invalid_arg "chi_square_uniform: no outcomes";
+  let expected = float_of_int num_samples /. float_of_int num_outcomes in
+  let sampled = Hashtbl.fold (fun _ c acc -> acc + c) h 0 in
+  if sampled <> num_samples then
+    invalid_arg "chi_square_uniform: histogram does not sum to num_samples";
+  let stat = ref 0.0 in
+  Hashtbl.iter
+    (fun _ c ->
+      let d = float_of_int c -. expected in
+      stat := !stat +. (d *. d /. expected))
+    h;
+  (* outcomes never sampled each contribute expected *)
+  let unseen = num_outcomes - Hashtbl.length h in
+  stat := !stat +. (float_of_int unseen *. expected);
+  !stat
+
+(* Lanczos approximation of ln Γ. *)
+let rec log_gamma x =
+  let g = 7.0 in
+  let coefficients =
+    [|
+      0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+      771.32342877765313; -176.61502916214059; 12.507343278686905;
+      -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7;
+    |]
+  in
+  if x < 0.5 then
+    (* reflection formula *)
+    Float.log (Float.pi /. Float.sin (Float.pi *. x)) -. log_gamma_pos (1.0 -. x) g coefficients
+  else log_gamma_pos x g coefficients
+
+and log_gamma_pos x g coefficients =
+  let x = x -. 1.0 in
+  let a = ref coefficients.(0) in
+  let t = x +. g +. 0.5 in
+  for i = 1 to 8 do
+    a := !a +. (coefficients.(i) /. (x +. float_of_int i))
+  done;
+  (0.5 *. Float.log (2.0 *. Float.pi))
+  +. ((x +. 0.5) *. Float.log t)
+  -. t +. Float.log !a
+
+(* Lower regularized incomplete gamma P(a, x): series for x < a+1,
+   continued fraction otherwise (Numerical Recipes 6.2). *)
+let regularized_gamma_p a x =
+  if a <= 0.0 then invalid_arg "regularized_gamma_p: a <= 0";
+  if x < 0.0 then invalid_arg "regularized_gamma_p: x < 0";
+  if x = 0.0 then 0.0
+  else if x < a +. 1.0 then begin
+    (* series representation *)
+    let ap = ref a in
+    let sum = ref (1.0 /. a) in
+    let del = ref !sum in
+    (try
+       for _ = 1 to 500 do
+         ap := !ap +. 1.0;
+         del := !del *. x /. !ap;
+         sum := !sum +. !del;
+         if Float.abs !del < Float.abs !sum *. 1e-14 then raise Exit
+       done
+     with Exit -> ());
+    !sum *. Float.exp ((-.x) +. (a *. Float.log x) -. log_gamma a)
+  end
+  else begin
+    (* continued fraction for Q(a,x), then P = 1 - Q *)
+    let tiny = 1e-300 in
+    let b = ref (x +. 1.0 -. a) in
+    let c = ref (1.0 /. tiny) in
+    let d = ref (1.0 /. !b) in
+    let h = ref !d in
+    (try
+       for i = 1 to 500 do
+         let an = -.float_of_int i *. (float_of_int i -. a) in
+         b := !b +. 2.0;
+         d := (an *. !d) +. !b;
+         if Float.abs !d < tiny then d := tiny;
+         c := !b +. (an /. !c);
+         if Float.abs !c < tiny then c := tiny;
+         d := 1.0 /. !d;
+         let del = !d *. !c in
+         h := !h *. del;
+         if Float.abs (del -. 1.0) < 1e-14 then raise Exit
+       done
+     with Exit -> ());
+    let q = Float.exp ((-.x) +. (a *. Float.log x) -. log_gamma a) *. !h in
+    1.0 -. q
+  end
+
+let chi_square_pvalue ~dof stat =
+  if dof <= 0 then invalid_arg "chi_square_pvalue: dof <= 0";
+  if stat <= 0.0 then 1.0
+  else 1.0 -. regularized_gamma_p (float_of_int dof /. 2.0) (stat /. 2.0)
+
+let uniformity_pvalue ~num_outcomes ~num_samples h =
+  chi_square_pvalue ~dof:(num_outcomes - 1)
+    (chi_square_uniform ~num_outcomes ~num_samples h)
+
+let total_variation_from_uniform ~num_outcomes ~num_samples h =
+  let n = float_of_int num_samples in
+  let u = 1.0 /. float_of_int num_outcomes in
+  let acc = ref 0.0 in
+  Hashtbl.iter (fun _ c -> acc := !acc +. Float.abs ((float_of_int c /. n) -. u)) h;
+  let unseen = num_outcomes - Hashtbl.length h in
+  acc := !acc +. (float_of_int unseen *. u);
+  0.5 *. !acc
+
+let kl_from_uniform ~num_outcomes ~num_samples h =
+  let n = float_of_int num_samples in
+  let u = 1.0 /. float_of_int num_outcomes in
+  let acc = ref 0.0 in
+  Hashtbl.iter
+    (fun _ c ->
+      let p = float_of_int c /. n in
+      if p > 0.0 then acc := !acc +. (p *. (Float.log (p /. u) /. Float.log 2.0)))
+    h;
+  !acc
+
+let mean l =
+  match l with
+  | [] -> Float.nan
+  | _ -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let stddev l =
+  match l with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean l in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 l
+        /. float_of_int (List.length l - 1)
+      in
+      Float.sqrt var

@@ -1,0 +1,43 @@
+(** Statistical machinery for the uniformity experiments (Figure 1 of
+    the paper and the ε-knob study). *)
+
+type histogram = (string, int) Hashtbl.t
+(** Occurrence counts keyed by witness identity. *)
+
+val histogram_of_keys : string list -> histogram
+
+val occurrence_distribution : ?support_size:int -> histogram -> (int * int) list
+(** The Figure 1 series: pairs (c, w) meaning "w distinct witnesses
+    were each generated exactly c times", sorted by c ascending. When
+    [support_size] (the true |R_F|) is given, witnesses never sampled
+    contribute to the c = 0 bucket. *)
+
+val chi_square_uniform : num_outcomes:int -> num_samples:int -> histogram -> float
+(** Pearson's χ² statistic of the sample against the uniform
+    distribution over [num_outcomes] outcomes. *)
+
+val chi_square_pvalue : dof:int -> float -> float
+(** Upper-tail p-value of a χ² statistic with [dof] degrees of
+    freedom, via the regularized incomplete gamma function. *)
+
+val uniformity_pvalue : num_outcomes:int -> num_samples:int -> histogram -> float
+(** Convenience: p-value of the χ² uniformity test (dof =
+    num_outcomes − 1). Values very close to 0 reject uniformity. *)
+
+val total_variation_from_uniform :
+  num_outcomes:int -> num_samples:int -> histogram -> float
+(** ½ Σ |p̂(y) − 1/n| over all outcomes (unsampled ones included). *)
+
+val kl_from_uniform : num_outcomes:int -> num_samples:int -> histogram -> float
+(** Kullback–Leibler divergence D(p̂ ‖ uniform) in bits; unsampled
+    outcomes contribute 0 by the 0·log 0 = 0 convention. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+
+val log_gamma : float -> float
+(** ln Γ(x), Lanczos approximation (exposed for tests). *)
+
+val regularized_gamma_p : float -> float -> float
+(** P(a, x), the lower regularized incomplete gamma function
+    (exposed for tests). *)

@@ -1,0 +1,135 @@
+type phase =
+  | Easy of Cnf.Model.t array
+      (** |R_F| ≤ hiThresh: all witnesses enumerated up front *)
+  | Hashed of { q : int; count_estimate : float }
+
+type prepared = {
+  formula : Cnf.Formula.t;
+  sampling : int array;
+  kappa : float;
+  pivot : int;
+  hi : float; (* hiThresh *)
+  lo : float; (* loThresh *)
+  hi_limit : int; (* BSAT enumeration limit: floor(hi) + 1 *)
+  hash_density : float;
+  phase : phase;
+  stats : Sampler.run_stats;
+}
+
+type prepare_error = Unsat_formula | Prepare_timeout | Count_failed
+
+let log2 x = Float.log x /. Float.log 2.0
+
+let prepare ?deadline ?count_iterations ?(hash_density = 0.5) ~rng ~epsilon formula =
+  let kappa, pivot = Kappa_pivot.compute epsilon in
+  let hi = Kappa_pivot.hi_thresh ~kappa ~pivot in
+  let lo = Kappa_pivot.lo_thresh ~kappa ~pivot in
+  let hi_limit = int_of_float (Float.floor hi) + 1 in
+  let sampling = Cnf.Formula.sampling_vars formula in
+  let make phase =
+    { formula; sampling; kappa; pivot; hi; lo; hi_limit; hash_density; phase;
+      stats = Sampler.fresh_stats () }
+  in
+  (* lines 4-7: the easy case *)
+  let out = Sat.Bsat.enumerate ?deadline ~limit:hi_limit formula in
+  if out.Sat.Bsat.timed_out then Error Prepare_timeout
+  else begin
+    let models = Array.of_list out.Sat.Bsat.models in
+    if Array.length models = 0 then Error Unsat_formula
+    else if out.Sat.Bsat.exhausted && float_of_int (Array.length models) <= hi
+    then Ok (make (Easy models))
+    else begin
+      (* lines 9-10: approximate count, then q = ⌈log C + log 1.8 − log pivot⌉ *)
+      match
+        Counting.Approxmc.count ?deadline ?iterations:count_iterations ~rng
+          ~epsilon:0.8 ~delta:0.8 formula
+      with
+      | Error Counting.Approxmc.Unsat -> Error Unsat_formula
+      | Error Counting.Approxmc.Timed_out -> Error Count_failed
+      | Ok c ->
+          let q =
+            int_of_float
+              (Float.ceil (c.Counting.Approxmc.log2_estimate +. log2 1.8 -. log2 (float_of_int pivot)))
+          in
+          Ok (make (Hashed { q; count_estimate = c.Counting.Approxmc.estimate }))
+    end
+  end
+
+let timeout_retries = 3
+
+(* lines 12-22 *)
+let sample_once ?deadline ~rng t =
+  match t.phase with
+  | Easy models -> Ok (Rng.choose rng models)
+  | Hashed { q; _ } ->
+      let rec try_size i retries =
+        if i > q then Error Sampler.Cell_failure
+        else if i < 1 then try_size (i + 1) timeout_retries
+          (* m ≤ 0 would leave the whole solution space as one cell,
+             necessarily oversized: an automatic failure of this size *)
+        else begin
+          let h =
+            Hashing.Hxor.sample ~density:t.hash_density rng ~vars:t.sampling ~m:i
+          in
+          Sampler.record_hash t.stats h;
+          let g = Cnf.Formula.add_xors t.formula (Hashing.Hxor.constraints h) in
+          let out = Sat.Bsat.enumerate ?deadline ~limit:t.hi_limit g in
+          if out.Sat.Bsat.timed_out then begin
+            (* the paper repeats lines 14-16 on a BSAT timeout without
+               incrementing i *)
+            let expired =
+              match deadline with
+              | Some d -> Unix.gettimeofday () > d
+              | None -> false
+            in
+            if retries > 0 && not expired then try_size i (retries - 1)
+            else Error Sampler.Timed_out
+          end
+          else begin
+            let models = Array.of_list out.Sat.Bsat.models in
+            let n = float_of_int (Array.length models) in
+            if out.Sat.Bsat.exhausted && n >= t.lo && n <= t.hi && n > 0.0 then
+              Ok (Rng.choose rng models)
+            else try_size (i + 1) timeout_retries
+          end
+        end
+      in
+      try_size (q - 3) timeout_retries
+
+let sample ?deadline ~rng t =
+  t.stats.Sampler.samples_requested <- t.stats.Sampler.samples_requested + 1;
+  let start = Unix.gettimeofday () in
+  let result = sample_once ?deadline ~rng t in
+  t.stats.Sampler.wall_seconds <-
+    t.stats.Sampler.wall_seconds +. (Unix.gettimeofday () -. start);
+  (match result with
+  | Ok _ -> t.stats.Sampler.samples_produced <- t.stats.Sampler.samples_produced + 1
+  | Error Sampler.Cell_failure ->
+      t.stats.Sampler.cell_failures <- t.stats.Sampler.cell_failures + 1
+  | Error Sampler.Timed_out -> t.stats.Sampler.timeouts <- t.stats.Sampler.timeouts + 1
+  | Error Sampler.Unsat -> ());
+  result
+
+let sample_retrying ?deadline ?(max_attempts = 10) ~rng t =
+  let rec go n =
+    match sample ?deadline ~rng t with
+    | Error Sampler.Cell_failure when n < max_attempts -> go (n + 1)
+    | outcome -> outcome
+  in
+  go 1
+
+let stats t = t.stats
+let kappa t = t.kappa
+let pivot t = t.pivot
+let hi_thresh t = t.hi
+let lo_thresh t = t.lo
+
+let q_range t =
+  match t.phase with Easy _ -> None | Hashed { q; _ } -> Some (q - 3, q)
+
+let is_easy t = match t.phase with Easy _ -> true | Hashed _ -> false
+
+let count_estimate t =
+  match t.phase with
+  | Easy models -> float_of_int (Array.length models)
+  | Hashed { count_estimate; _ } -> count_estimate

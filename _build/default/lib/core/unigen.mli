@@ -1,0 +1,73 @@
+(** UniGen (Algorithm 1 of the paper): an almost-uniform generator of
+    SAT witnesses.
+
+    Guarantee (Theorem 1): if the sampling set is an independent
+    support of [F] and ε > 1.71, then for every witness y,
+
+      1/((1+ε)(|R_F|−1)) ≤ Pr[output = y] ≤ (1+ε)/(|R_F|−1),
+
+    and the success probability is at least 0.62.
+
+    The expensive preparation (lines 1–11: κ/pivot computation, the
+    easy-case enumeration, the ApproxMC call and the derivation of the
+    candidate hash-size range q−3..q) runs once per formula in
+    {!prepare}; each {!sample} then only executes lines 12–22. Unlike
+    UniWit's "leapfrogging", this amortisation is part of the
+    algorithm and sacrifices no guarantee. *)
+
+type prepared
+
+type prepare_error =
+  | Unsat_formula
+  | Prepare_timeout
+  | Count_failed  (** ApproxMC could not produce an estimate *)
+
+val prepare :
+  ?deadline:float ->
+  ?count_iterations:int ->
+  ?hash_density:float ->
+  rng:Rng.t ->
+  epsilon:float ->
+  Cnf.Formula.t ->
+  (prepared, prepare_error) Result.t
+(** Runs lines 1–11. The formula's sampling set is used as the set [S]
+    of sampling variables; it must be an independent support for the
+    uniformity guarantee (this is not checked here — see
+    {!Sat.Indsupport} for a checker).
+    [count_iterations] overrides the ApproxMC median-iteration count
+    (tolerance 0.8 and confidence 0.8 are fixed by the algorithm).
+    [hash_density] (default 0.5) sets the per-variable inclusion
+    probability of the XOR rows; values below 0.5 give the sparse-XOR
+    variant of Gomes et al. that voids Theorem 1 — it exists only for
+    the ablation bench.
+    @raise Invalid_argument when [epsilon <= 1.71]. *)
+
+val sample : ?deadline:float -> rng:Rng.t -> prepared -> Sampler.outcome
+(** Runs lines 12–22 once: picks a hash size in q−3..q, a random hash
+    and cell, enumerates the cell, and returns a uniformly chosen
+    witness if the cell size lies within [loThresh, hiThresh]. A
+    [Cell_failure] is the algorithm's ⊥; callers typically retry. *)
+
+val sample_retrying :
+  ?deadline:float -> ?max_attempts:int -> rng:Rng.t -> prepared -> Sampler.outcome
+(** Repeats {!sample} on [Cell_failure] (fresh randomness each time,
+    up to [max_attempts], default 10). This is how a CRV testbench
+    uses the generator. *)
+
+val stats : prepared -> Sampler.run_stats
+(** Accounting across every sample drawn from this preparation. *)
+
+(** Introspection (used by benches, tests and EXPERIMENTS.md). *)
+
+val kappa : prepared -> float
+val pivot : prepared -> int
+val hi_thresh : prepared -> float
+val lo_thresh : prepared -> float
+
+val q_range : prepared -> (int * int) option
+(** The candidate hash-size range (q−3, q); [None] in the easy case
+    (|R_F| ≤ hiThresh, where witnesses are enumerated outright). *)
+
+val is_easy : prepared -> bool
+val count_estimate : prepared -> float
+(** ApproxMC's estimate of |R_F| (exact in the easy case). *)

@@ -1,0 +1,15 @@
+type t = { witnesses : Cnf.Model.t array }
+
+let create ?(limit = 1 lsl 20) f =
+  let out = Sat.Bsat.enumerate ~limit:(limit + 1) f in
+  let witnesses = Array.of_list out.Sat.Bsat.models in
+  if Array.length witnesses = 0 then raise Not_found;
+  if not out.Sat.Bsat.exhausted then
+    failwith
+      (Printf.sprintf "Us.create: more than %d witnesses, not enumerable" limit);
+  { witnesses }
+
+let size t = Array.length t.witnesses
+let exact_count f = Counting.Exact_counter.count f
+let sample ~rng t = Rng.choose rng t.witnesses
+let sample_index ~rng t = Rng.int rng (Array.length t.witnesses)

@@ -1,0 +1,31 @@
+(** US — the ideal uniform sampler of the paper's Figure 1 experiment.
+
+    The paper's US determines |R_F| with an exact model counter and
+    then "generates" a witness by drawing a uniform index in
+    {1..|R_F|}. Ours additionally materialises the witnesses (via
+    exhaustive BSAT enumeration) so it can return real models; for
+    histogram-only experiments {!sample_index} reproduces the paper's
+    cheaper index-drawing variant. Only usable on formulas whose
+    (projected) witness set is small enough to enumerate. *)
+
+type t
+
+val create : ?limit:int -> Cnf.Formula.t -> t
+(** Enumerate all witnesses (distinct on the sampling set), up to
+    [limit] (default 2^20).
+    @raise Failure if the formula has more witnesses than [limit].
+    @raise Not_found if the formula is unsatisfiable. *)
+
+val size : t -> int
+(** |R_F| (projected on the sampling set). *)
+
+val exact_count : Cnf.Formula.t -> int
+(** Independent exact count through the DPLL counter (not through
+    enumeration); tests use it to cross-check {!size}. Counts over all
+    variables. *)
+
+val sample : rng:Rng.t -> t -> Cnf.Model.t
+(** A perfectly uniform witness. *)
+
+val sample_index : rng:Rng.t -> t -> int
+(** A uniform index in [0, size), the paper's US formulation. *)

@@ -1,0 +1,48 @@
+(** Weighted (distribution-aware) sampling — the extension the UniGen
+    line of work developed next (WeightGen / the weighted-to-unweighted
+    reduction of Chakraborty et al.), built here on top of the
+    unweighted UniGen core.
+
+    Literal weights are dyadic rationals: P(v = true) = num / 2^m.
+    Each weighted variable [v] is tied to [m] fresh "coin" variables
+    through the constraint v ↔ ([coins]₂ < num), so a witness with
+    v = true has exactly [num] coin extensions and one with v = false
+    has 2^m − num. Uniform sampling of the lifted formula therefore
+    induces the weighted distribution on the original variables, and
+    UniGen's (1+ε) uniformity bounds carry over multiplicatively. *)
+
+type weight = { num : int; log_denom : int }
+(** [num / 2^log_denom], with [0 < num < 2^log_denom] and
+    [log_denom <= 10] (the encoding enumerates the 2^log_denom coin
+    patterns). *)
+
+val weight_of_float : ?log_denom:int -> float -> weight
+(** Nearest dyadic weight with the given denominator (default 2^6).
+    @raise Invalid_argument if the rounded weight degenerates
+    to 0 or 1 — constrain the variable with a unit clause instead. *)
+
+val probability : weight -> float
+
+type lifted = {
+  formula : Cnf.Formula.t;
+      (** the unweighted lift; its sampling set replaces each weighted
+          variable by that variable's coins (the weighted variable
+          itself becomes dependent) *)
+  original_vars : int;
+  coins : (int * int list) list;  (** weighted var -> its coin vars *)
+}
+
+val lift : Cnf.Formula.t -> (int * weight) list -> lifted
+(** @raise Invalid_argument on repeated or out-of-range variables, or
+    weights on variables outside the sampling set (weights must apply
+    to independent-support variables for the guarantee to carry). *)
+
+val project : lifted -> Cnf.Model.t -> Cnf.Model.t
+(** Restrict a witness of the lifted formula to the original
+    variables. *)
+
+val expected_probability :
+  lifted -> (int * weight) list -> Cnf.Model.t -> float
+(** The analytic probability of a projected witness under the target
+    weighted distribution, up to the normalizing constant: the product
+    of its literal weights. Used by the statistical tests. *)

@@ -1,0 +1,1 @@
+lib/counting/approxmc.ml: Array Cnf Float Hashing List Sat Unix

@@ -1,0 +1,1 @@
+lib/counting/approxmc.mli: Cnf Result Rng

@@ -1,0 +1,1 @@
+lib/counting/exact_counter.ml: Array Cnf Hashtbl Int List Option String

@@ -1,0 +1,1 @@
+lib/counting/exact_counter.mli: Cnf

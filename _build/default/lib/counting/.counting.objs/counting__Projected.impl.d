@@ -1,0 +1,1 @@
+lib/counting/projected.ml: Cnf List Sat

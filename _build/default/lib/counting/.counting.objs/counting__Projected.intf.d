@@ -1,0 +1,1 @@
+lib/counting/projected.mli: Cnf

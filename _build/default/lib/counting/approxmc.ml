@@ -1,0 +1,98 @@
+type result = {
+  estimate : float;
+  log2_estimate : float;
+  exact : bool;
+  core_iterations : int;
+  failed_iterations : int;
+}
+
+type error = Unsat | Timed_out
+
+let pivot_of_epsilon epsilon =
+  if epsilon <= 0.0 then invalid_arg "Approxmc: epsilon must be positive";
+  int_of_float (Float.ceil (2.0 *. Float.exp 1.5 *. ((1.0 +. (1.0 /. epsilon)) ** 2.0)))
+
+let iterations_of_delta delta =
+  if delta <= 0.0 || delta >= 1.0 then invalid_arg "Approxmc: delta in (0,1)";
+  int_of_float (Float.ceil (35.0 *. (Float.log (3.0 /. delta) /. Float.log 2.0)))
+
+let median l =
+  match List.sort Float.compare l with
+  | [] -> invalid_arg "median of empty list"
+  | sorted ->
+      let n = List.length sorted in
+      List.nth sorted (n / 2)
+
+exception Deadline
+
+let check_deadline deadline =
+  match deadline with
+  | Some d when Unix.gettimeofday () > d -> raise Deadline
+  | _ -> ()
+
+(* One ApproxMCCore run: returns Some count-estimate or None (failure). *)
+let core ?deadline ~rng ~pivot ~start f =
+  let sampling = Cnf.Formula.sampling_vars f in
+  let n = Array.length sampling in
+  let rec try_size i =
+    check_deadline deadline;
+    if i > n then None
+    else begin
+      let h = Hashing.Hxor.sample rng ~vars:sampling ~m:i in
+      let g = Cnf.Formula.add_xors f (Hashing.Hxor.constraints h) in
+      let out = Sat.Bsat.enumerate ?deadline ~limit:(pivot + 1) g in
+      if out.Sat.Bsat.timed_out then raise Deadline;
+      let count = List.length out.Sat.Bsat.models in
+      if count >= 1 && count <= pivot && out.Sat.Bsat.exhausted then
+        Some (float_of_int count *. (2.0 ** float_of_int i), i)
+      else try_size (i + 1)
+    end
+  in
+  try_size start
+
+let count ?deadline ?(leapfrog = false) ?iterations ~rng ~epsilon ~delta f =
+  let pivot = pivot_of_epsilon epsilon in
+  let t = match iterations with Some t -> t | None -> iterations_of_delta delta in
+  try
+    (* Easy case: few enough witnesses to enumerate exactly. *)
+    let out = Sat.Bsat.enumerate ?deadline ~limit:(pivot + 1) f in
+    if out.Sat.Bsat.timed_out then Error Timed_out
+    else begin
+      let n0 = List.length out.Sat.Bsat.models in
+      if n0 = 0 then Error Unsat
+      else if out.Sat.Bsat.exhausted then
+        Ok
+          {
+            estimate = float_of_int n0;
+            log2_estimate = Float.log (float_of_int n0) /. Float.log 2.0;
+            exact = true;
+            core_iterations = 0;
+            failed_iterations = 0;
+          }
+      else begin
+        let estimates = ref [] in
+        let failures = ref 0 in
+        let prev_i = ref 1 in
+        for _ = 1 to t do
+          let start = if leapfrog then max 1 (!prev_i - 1) else 1 in
+          match core ?deadline ~rng ~pivot ~start f with
+          | Some (e, i) ->
+              prev_i := i;
+              estimates := e :: !estimates
+          | None -> incr failures
+        done;
+        match !estimates with
+        | [] -> Error Timed_out (* all iterations failed: no usable estimate *)
+        | es ->
+            let est = median es in
+            Ok
+              {
+                estimate = est;
+                log2_estimate = Float.log est /. Float.log 2.0;
+                exact = false;
+                core_iterations = List.length es;
+                failed_iterations = !failures;
+              }
+      end
+    end
+  with Deadline -> Error Timed_out

@@ -1,0 +1,46 @@
+(** ApproxMC — the (ε, δ) approximate model counter of Chakraborty,
+    Meel, Vardi (CP 2013), re-implemented from the published
+    pseudocode. UniGen invokes it (line 9 of Algorithm 1) with
+    tolerance 0.8 and confidence 0.8 to locate the candidate range of
+    hash sizes.
+
+    Guarantee: Pr[ |R_F|/(1+ε) ≤ estimate ≤ (1+ε)·|R_F| ] ≥ 1 − δ.
+
+    Counting is performed over the formula's sampling set (the
+    projection); when the sampling set is an independent support this
+    equals the full model count, which is how UniGen uses it. *)
+
+type result = {
+  estimate : float;  (** the median-of-iterations estimate of |R_F| *)
+  log2_estimate : float;
+  exact : bool;
+      (** [true] when the formula was small enough that the count is
+          exact (enumeration finished below the pivot). *)
+  core_iterations : int;  (** successful ApproxMCCore runs *)
+  failed_iterations : int;
+}
+
+type error = Unsat | Timed_out
+
+val pivot_of_epsilon : float -> int
+(** ⌈ 2·e^(3/2)·(1 + 1/ε)² ⌉ — the cell-size threshold of the CP 2013
+    analysis. *)
+
+val iterations_of_delta : float -> int
+(** ⌈ 35·log2(3/δ) ⌉ — the number of median iterations. *)
+
+val count :
+  ?deadline:float ->
+  ?leapfrog:bool ->
+  ?iterations:int ->
+  rng:Rng.t ->
+  epsilon:float ->
+  delta:float ->
+  Cnf.Formula.t ->
+  (result, error) Result.t
+(** [leapfrog] (default [false]) starts each core iteration's search
+    for the hash size near the previous success instead of from 1 —
+    the CP 2013 heuristic that the UniGen paper explicitly disables
+    because it voids the guarantees. It exists for the ablation bench.
+    [iterations] overrides {!iterations_of_delta} (used by benches to
+    trade confidence for time; the default is the faithful value). *)

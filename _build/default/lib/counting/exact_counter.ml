@@ -1,0 +1,172 @@
+exception Overflow
+
+(* Internally clauses are sorted lists of signed DIMACS literals. *)
+
+let checked_mul a b =
+  if a = 0 || b = 0 then 0
+  else if a > max_int / b then raise Overflow
+  else a * b
+
+let pow2 k =
+  if k >= 62 then raise Overflow;
+  1 lsl k
+
+(* Set of variables occurring in a clause list. *)
+let clause_vars clauses =
+  let s = Hashtbl.create 64 in
+  List.iter (List.iter (fun l -> Hashtbl.replace s (abs l) ())) clauses;
+  s
+
+(* Assign literal [l] true: drop satisfied clauses, shrink the rest.
+   Returns [None] on an empty (falsified) clause. *)
+let assign l clauses =
+  let rec go acc = function
+    | [] -> Some acc
+    | c :: rest ->
+        if List.mem l c then go acc rest
+        else
+          let c' = List.filter (fun x -> x <> -l) c in
+          if c' = [] then None else go (c' :: acc) rest
+  in
+  go [] clauses
+
+let canonical clauses =
+  let cls = List.map (List.sort Int.compare) clauses in
+  let cls = List.sort compare cls in
+  String.concat ";"
+    (List.map (fun c -> String.concat "," (List.map string_of_int c)) cls)
+
+(* Split a clause list into connected components of its
+   variable-interaction graph, via union-find on variables. *)
+let components clauses =
+  let parent = Hashtbl.create 64 in
+  let rec find v =
+    match Hashtbl.find_opt parent v with
+    | None ->
+        Hashtbl.add parent v v;
+        v
+    | Some p -> if p = v then v else begin
+        let r = find p in
+        Hashtbl.replace parent v r;
+        r
+      end
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent ra rb
+  in
+  List.iter
+    (fun c ->
+      match c with
+      | [] -> ()
+      | l :: rest ->
+          let v0 = abs l in
+          List.iter (fun l' -> union v0 (abs l')) rest)
+    clauses;
+  let buckets = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      let root = match c with [] -> 0 | l :: _ -> find (abs l) in
+      let cur = try Hashtbl.find buckets root with Not_found -> [] in
+      Hashtbl.replace buckets root (c :: cur))
+    clauses;
+  Hashtbl.fold (fun _ cls acc -> cls :: acc) buckets []
+
+(* [solutions clauses] = number of assignments over exactly the
+   variables occurring in [clauses] that satisfy all of them. *)
+let solutions ~budget cache clauses =
+  let rec go clauses =
+    match clauses with
+    | [] -> 1
+    | _ when List.exists (fun c -> c = []) clauses -> 0
+    | _ -> begin
+        decr budget;
+        if !budget <= 0 then failwith "Exact_counter: decision budget exhausted";
+        (* unit propagation: each forced variable contributes factor 1,
+           but satisfied clauses may drop other variables from scope —
+           those become free and multiply by 2 each. *)
+        match List.find_opt (fun c -> List.length c = 1) clauses with
+        | Some [ l ] -> begin
+            let before = Hashtbl.length (clause_vars clauses) in
+            match assign l clauses with
+            | None -> 0
+            | Some rest ->
+                let after = Hashtbl.length (clause_vars rest) in
+                let vanished = before - 1 - after in
+                checked_mul (go_components rest) (pow2 vanished)
+          end
+        | Some _ -> assert false
+        | None ->
+            (* branch on the most frequent variable *)
+            let occ = Hashtbl.create 64 in
+            List.iter
+              (List.iter (fun l ->
+                   let v = abs l in
+                   Hashtbl.replace occ v (1 + Option.value ~default:0 (Hashtbl.find_opt occ v))))
+              clauses;
+            let v, _ =
+              Hashtbl.fold
+                (fun v c ((_, best) as acc) -> if c > best then (v, c) else acc)
+                occ (0, -1)
+            in
+            let before = Hashtbl.length occ in
+            let branch l =
+              match assign l clauses with
+              | None -> 0
+              | Some rest ->
+                  let after = Hashtbl.length (clause_vars rest) in
+                  let vanished = before - 1 - after in
+                  checked_mul (go_components rest) (pow2 vanished)
+            in
+            let pos = branch v in
+            let neg = branch (-v) in
+            if pos > max_int - neg then raise Overflow;
+            pos + neg
+      end
+  and go_components clauses =
+    match clauses with
+    | [] -> 1
+    | _ ->
+        let comps = components clauses in
+        List.fold_left
+          (fun acc comp -> checked_mul acc (cached comp))
+          1 comps
+  and cached comp =
+    let key = canonical comp in
+    match Hashtbl.find_opt cache key with
+    | Some n -> n
+    | None ->
+        let n = go comp in
+        Hashtbl.add cache key n;
+        n
+  in
+  go_components clauses
+
+let to_clause_lists (f : Cnf.Formula.t) =
+  Array.to_list f.clauses |> List.map Cnf.Clause.to_dimacs
+
+let count_with ?(max_decisions = 10_000_000) (f : Cnf.Formula.t) extra =
+  let f = Cnf.Formula.blast_xors f in
+  let clauses = extra @ to_clause_lists f in
+  (* tautologies would break the occurrence bookkeeping: drop them *)
+  let clauses =
+    List.filter_map
+      (fun c ->
+        match Cnf.Clause.normalize (Cnf.Clause.of_dimacs c) with
+        | None -> None
+        | Some c' -> Some (Cnf.Clause.to_dimacs c'))
+      clauses
+  in
+  let budget = ref max_decisions in
+  let cache = Hashtbl.create 1024 in
+  let core = solutions ~budget cache clauses in
+  let occupied = Hashtbl.length (clause_vars clauses) in
+  let free = f.num_vars - occupied in
+  if free < 0 then invalid_arg "Exact_counter: clause variable out of range";
+  checked_mul core (pow2 free)
+
+let count ?max_decisions f = count_with ?max_decisions f []
+
+let count_restricted ?max_decisions f assumptions =
+  let extra = List.map (fun l -> [ Cnf.Lit.to_dimacs l ]) assumptions in
+  count_with ?max_decisions f extra

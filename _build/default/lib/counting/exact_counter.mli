@@ -1,0 +1,22 @@
+(** Exact model counting (#SAT) — the sharpSAT stand-in used by the
+    ideal uniform sampler [US] of the paper's Figure 1 experiment.
+
+    The algorithm is DPLL-style counting with the three standard
+    ingredients of modern exact counters: unit propagation,
+    connected-component decomposition (disjoint sub-formulas multiply),
+    and component caching. Native XOR clauses are CNF-blasted first;
+    the fresh chaining variables are functionally determined, so the
+    count is unchanged. *)
+
+exception Overflow
+(** The count does not fit in an OCaml [int] (≥ 2^62). *)
+
+val count : ?max_decisions:int -> Cnf.Formula.t -> int
+(** Number of witnesses over all [num_vars] variables.
+    @param max_decisions safety valve on search-tree size (default
+    10^7 branching steps); exceeding it raises [Failure]. *)
+
+val count_restricted : ?max_decisions:int -> Cnf.Formula.t -> Cnf.Lit.t list -> int
+(** [count_restricted f assumptions] counts witnesses of [f] that agree
+    with the given literals. Used by tests and by self-composition
+    style queries. *)

@@ -1,0 +1,9 @@
+type result = Exact of int | At_least of int
+
+let count ?deadline ?(limit = 1 lsl 20) f vars =
+  let out = Sat.Bsat.enumerate ?deadline ~blocking_vars:vars ~limit f in
+  let n = List.length out.Sat.Bsat.models in
+  if out.Sat.Bsat.exhausted then Exact n else At_least n
+
+let count_on_sampling_set ?deadline ?limit f =
+  count ?deadline ?limit f (Cnf.Formula.sampling_vars f)

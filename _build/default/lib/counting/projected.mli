@@ -1,0 +1,16 @@
+(** Projected model counting: the number of distinct witness
+    projections onto a variable set (∃-counting). When the set is an
+    independent support this equals the full model count — the
+    identity UniGen's use of ApproxMC relies on; this module computes
+    the projected count {e exactly}, by blocking-clause enumeration,
+    for sets small enough to enumerate. *)
+
+type result = Exact of int | At_least of int  (** enumeration limit hit *)
+
+val count :
+  ?deadline:float -> ?limit:int -> Cnf.Formula.t -> int array -> result
+(** [count f vars] enumerates distinct projections onto [vars] (limit
+    defaults to 2^20). *)
+
+val count_on_sampling_set : ?deadline:float -> ?limit:int -> Cnf.Formula.t -> result
+(** Projection onto the formula's sampling set. *)

@@ -1,0 +1,1 @@
+lib/crv/constraint_spec.ml: Array Circuits Cnf List Printf

@@ -1,0 +1,1 @@
+lib/crv/constraint_spec.mli: Cnf

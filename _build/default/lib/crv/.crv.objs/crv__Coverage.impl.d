@@ -1,0 +1,1 @@
+lib/crv/coverage.ml: Array Format Hashtbl Int List Option Printf String

@@ -1,0 +1,1 @@
+lib/crv/coverage.mli: Format

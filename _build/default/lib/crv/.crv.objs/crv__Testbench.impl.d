@@ -1,0 +1,1 @@
+lib/crv/testbench.ml: Constraint_spec Rng Sampling

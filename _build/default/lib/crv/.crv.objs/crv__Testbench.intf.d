@@ -1,0 +1,1 @@
+lib/crv/testbench.mli: Constraint_spec Result Sampling

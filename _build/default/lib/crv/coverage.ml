@@ -1,0 +1,163 @@
+type bin = { label : string; lo : int; hi : int }
+
+type coverpoint = {
+  cfield : string;
+  bins : bin array;
+  counts : int array; (* aligned with bins *)
+}
+
+type cross_cov = {
+  a : string;
+  b : string;
+  cross_counts : (string * string, int) Hashtbl.t;
+}
+
+type t = {
+  mutable points : coverpoint list; (* declaration order, reversed *)
+  mutable crosses : cross_cov list;
+  mutable recorded : int;
+}
+
+let create () = { points = []; crosses = []; recorded = 0 }
+
+let find_point t field = List.find_opt (fun p -> p.cfield = field) t.points
+
+let coverpoint t ~field bins =
+  if find_point t field <> None then
+    invalid_arg (Printf.sprintf "Coverage.coverpoint: duplicate for %s" field);
+  List.iter
+    (fun b ->
+      if b.lo > b.hi then
+        invalid_arg (Printf.sprintf "Coverage.coverpoint: empty bin %s" b.label))
+    bins;
+  let sorted = List.sort (fun a b -> Int.compare a.lo b.lo) bins in
+  let rec overlaps = function
+    | a :: (b :: _ as rest) -> a.hi >= b.lo || overlaps rest
+    | _ -> false
+  in
+  if overlaps sorted then
+    invalid_arg (Printf.sprintf "Coverage.coverpoint: overlapping bins for %s" field);
+  let bins = Array.of_list bins in
+  t.points <-
+    { cfield = field; bins; counts = Array.make (Array.length bins) 0 } :: t.points
+
+let auto_bins ?count ~width () =
+  let space = 1 lsl width in
+  let count = match count with Some c -> c | None -> min 16 space in
+  if count < 1 || count > space then invalid_arg "Coverage.auto_bins: bad count";
+  let per = space / count in
+  List.init count (fun i ->
+      let lo = i * per in
+      let hi = if i = count - 1 then space - 1 else lo + per - 1 in
+      { label = Printf.sprintf "[%d:%d]" lo hi; lo; hi })
+
+let cross t a b =
+  if find_point t a = None || find_point t b = None then
+    invalid_arg "Coverage.cross: both coverpoints must be declared";
+  t.crosses <- { a; b; cross_counts = Hashtbl.create 64 } :: t.crosses
+
+let bin_of point v =
+  let found = ref None in
+  Array.iteri
+    (fun i b -> if !found = None && v >= b.lo && v <= b.hi then found := Some i)
+    point.bins;
+  !found
+
+let record t stimulus =
+  t.recorded <- t.recorded + 1;
+  let hit_label = Hashtbl.create 8 in
+  List.iter
+    (fun (field, v) ->
+      match find_point t field with
+      | None -> ()
+      | Some p -> (
+          match bin_of p v with
+          | None -> ()
+          | Some i ->
+              p.counts.(i) <- p.counts.(i) + 1;
+              Hashtbl.replace hit_label field p.bins.(i).label))
+    stimulus;
+  List.iter
+    (fun c ->
+      match (Hashtbl.find_opt hit_label c.a, Hashtbl.find_opt hit_label c.b) with
+      | Some la, Some lb ->
+          let key = (la, lb) in
+          Hashtbl.replace c.cross_counts key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt c.cross_counts key))
+      | _ -> ())
+    t.crosses
+
+let hits t ~field =
+  match find_point t field with
+  | None -> invalid_arg (Printf.sprintf "Coverage.hits: no coverpoint for %s" field)
+  | Some p ->
+      Array.to_list (Array.mapi (fun i b -> (b.label, p.counts.(i))) p.bins)
+
+let cross_bin_total t c =
+  match (find_point t c.a, find_point t c.b) with
+  | Some pa, Some pb -> Array.length pa.bins * Array.length pb.bins
+  | _ -> 0
+
+let coverage t =
+  let point_bins =
+    List.fold_left (fun acc p -> acc + Array.length p.bins) 0 t.points
+  in
+  let point_hit =
+    List.fold_left
+      (fun acc p -> acc + Array.fold_left (fun a c -> if c > 0 then a + 1 else a) 0 p.counts)
+      0 t.points
+  in
+  let cross_bins = List.fold_left (fun acc c -> acc + cross_bin_total t c) 0 t.crosses in
+  let cross_hit =
+    List.fold_left (fun acc c -> acc + Hashtbl.length c.cross_counts) 0 t.crosses
+  in
+  let total = point_bins + cross_bins in
+  if total = 0 then 1.0
+  else float_of_int (point_hit + cross_hit) /. float_of_int total
+
+let unhit t =
+  let from_points =
+    List.concat_map
+      (fun p ->
+        Array.to_list p.bins
+        |> List.mapi (fun i b -> (i, b))
+        |> List.filter_map (fun (i, b) ->
+               if p.counts.(i) = 0 then Some (p.cfield ^ "." ^ b.label) else None))
+      (List.rev t.points)
+  in
+  let from_crosses =
+    List.concat_map
+      (fun c ->
+        match (find_point t c.a, find_point t c.b) with
+        | Some pa, Some pb ->
+            Array.to_list pa.bins
+            |> List.concat_map (fun ba ->
+                   Array.to_list pb.bins
+                   |> List.filter_map (fun bb ->
+                          if Hashtbl.mem c.cross_counts (ba.label, bb.label) then
+                            None
+                          else
+                            Some
+                              (Printf.sprintf "%s.x.%s.%s*%s" c.a c.b ba.label
+                                 bb.label)))
+        | _ -> [])
+      (List.rev t.crosses)
+  in
+  from_points @ from_crosses
+
+let stimuli_recorded t = t.recorded
+
+let pp fmt t =
+  Format.fprintf fmt "coverage %.1f%% after %d stimuli@."
+    (100.0 *. coverage t) t.recorded;
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "  %s:@." p.cfield;
+      Array.iteri
+        (fun i b -> Format.fprintf fmt "    %-12s %d@." b.label p.counts.(i))
+        p.bins)
+    (List.rev t.points);
+  match unhit t with
+  | [] -> Format.fprintf fmt "  all bins hit@."
+  | missing ->
+      Format.fprintf fmt "  unhit: %s@." (String.concat ", " missing)

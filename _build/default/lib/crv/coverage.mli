@@ -1,0 +1,49 @@
+(** Functional-coverage bookkeeping for constrained-random testbenches
+    — the closure metric that motivates uniform stimulus generation
+    (every coverage bin must be hit by some stimulus; a skewed
+    generator leaves bins unreached).
+
+    A coverpoint partitions one field's values into named bins; a
+    cross tracks the Cartesian product of two coverpoints. Stimuli (as
+    decoded by {!Constraint_spec.decode}) are recorded and per-bin hit
+    counts reported. *)
+
+type t
+
+type bin = { label : string; lo : int; hi : int }
+(** A value range [lo, hi], inclusive. *)
+
+val create : unit -> t
+
+val coverpoint : t -> field:string -> bin list -> unit
+(** Declare bins over a named field. Bins may not overlap.
+    @raise Invalid_argument on overlaps, empty ranges, or a duplicate
+    coverpoint for the same field. *)
+
+val auto_bins : ?count:int -> width:int -> unit -> bin list
+(** Equal-width bins covering [0, 2^width); [count] defaults to
+    min(16, 2^width). *)
+
+val cross : t -> string -> string -> unit
+(** Track the product of two declared coverpoints.
+    @raise Invalid_argument if either coverpoint is missing. *)
+
+val record : t -> (string * int) list -> unit
+(** Record one stimulus; fields without coverpoints are ignored.
+    Values falling in no declared bin are counted as misses. *)
+
+val hits : t -> field:string -> (string * int) list
+(** Hit count per bin label. *)
+
+val coverage : t -> float
+(** Fraction of all bins (coverpoints and crosses) hit at least once,
+    in [0, 1]; 1.0 when nothing is declared. *)
+
+val unhit : t -> string list
+(** Labels of bins never hit, as ["field.bin"] or
+    ["fieldA.x.fieldB.binA*binB"]. *)
+
+val stimuli_recorded : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable coverage report. *)

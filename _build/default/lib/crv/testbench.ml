@@ -1,0 +1,28 @@
+type t = {
+  compiled : Constraint_spec.compiled;
+  prepared : Sampling.Unigen.prepared;
+  rng : Rng.t;
+}
+
+type error = Unsatisfiable_constraints | Preparation_failed
+
+let create ?(epsilon = 6.0) ?(seed = 1) ?(count_iterations = 15) compiled =
+  let rng = Rng.create seed in
+  match
+    Sampling.Unigen.prepare ~count_iterations ~rng ~epsilon
+      (Constraint_spec.formula compiled)
+  with
+  | Ok prepared -> Ok { compiled; prepared; rng }
+  | Error Sampling.Unigen.Unsat_formula -> Error Unsatisfiable_constraints
+  | Error _ -> Error Preparation_failed
+
+let next ?deadline t =
+  match
+    Sampling.Unigen.sample_retrying ?deadline ~max_attempts:20 ~rng:t.rng
+      t.prepared
+  with
+  | Ok m -> Some (Constraint_spec.decode t.compiled m)
+  | Error _ -> None
+
+let estimated_stimulus_space t = Sampling.Unigen.count_estimate t.prepared
+let stats t = Sampling.Unigen.stats t.prepared

@@ -1,0 +1,1 @@
+lib/hashing/hxor.ml: Array Cnf List Rng

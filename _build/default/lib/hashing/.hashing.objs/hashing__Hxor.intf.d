@@ -1,0 +1,1 @@
+lib/hashing/hxor.mli: Cnf Rng

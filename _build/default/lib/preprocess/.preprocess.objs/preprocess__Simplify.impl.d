@@ -1,0 +1,1 @@
+lib/preprocess/simplify.ml: Array Cnf Hashtbl Int List Option

@@ -1,0 +1,1 @@
+lib/preprocess/simplify.mli: Cnf Result

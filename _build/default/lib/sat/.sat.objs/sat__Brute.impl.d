@@ -1,0 +1,1 @@
+lib/sat/brute.ml: Cnf Hashtbl List

@@ -1,0 +1,1 @@
+lib/sat/bsat.ml: Array Cnf List Solver

@@ -1,0 +1,1 @@
+lib/sat/drat.ml: Array Buffer Cnf Hashtbl Int List Printf String

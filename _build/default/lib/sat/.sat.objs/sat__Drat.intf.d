@@ -1,0 +1,1 @@
+lib/sat/drat.mli: Cnf

@@ -1,0 +1,1 @@
+lib/sat/indsupport.ml: Array Cnf Int List Solver

@@ -1,0 +1,1 @@
+lib/sat/indsupport.mli: Cnf

@@ -1,0 +1,1 @@
+lib/sat/order_heap.mli:

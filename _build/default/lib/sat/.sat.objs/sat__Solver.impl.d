@@ -1,0 +1,1 @@
+lib/sat/solver.ml: Array Cnf Drat Float Int List Luby Order_heap Unix Vec

@@ -1,0 +1,41 @@
+let check_size (f : Cnf.Formula.t) =
+  if f.num_vars > 24 then
+    invalid_arg "Brute: formula too large for exhaustive enumeration"
+
+let iter_solutions f k =
+  check_size f;
+  let n = f.Cnf.Formula.num_vars in
+  for mask = 0 to (1 lsl n) - 1 do
+    let value v = mask land (1 lsl (v - 1)) <> 0 in
+    if Cnf.Formula.eval f value then k value
+  done
+
+let is_sat f =
+  let found = ref false in
+  (try iter_solutions f (fun _ -> found := true; raise Exit) with Exit -> ());
+  !found
+
+let count f =
+  let c = ref 0 in
+  iter_solutions f (fun _ -> incr c);
+  !c
+
+let solutions ?(limit = max_int) f =
+  let acc = ref [] in
+  let n = f.Cnf.Formula.num_vars in
+  let remaining = ref limit in
+  (try
+     iter_solutions f (fun value ->
+         if !remaining = 0 then raise Exit;
+         decr remaining;
+         acc := Cnf.Model.make n value :: !acc)
+   with Exit -> ());
+  List.rev !acc
+
+let count_projected f vars =
+  let seen = Hashtbl.create 64 in
+  let n = f.Cnf.Formula.num_vars in
+  iter_solutions f (fun value ->
+      let m = Cnf.Model.restrict (Cnf.Model.make n value) vars in
+      Hashtbl.replace seen (Cnf.Model.key m) ());
+  Hashtbl.length seen

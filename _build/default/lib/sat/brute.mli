@@ -1,0 +1,17 @@
+(** Brute-force reference solver: exhaustive enumeration over all
+    2^n assignments. Only usable for small supports; serves as the
+    test oracle for the CDCL solver, the counters and the samplers. *)
+
+val is_sat : Cnf.Formula.t -> bool
+(** Requires [num_vars <= 24]. *)
+
+val count : Cnf.Formula.t -> int
+(** Number of witnesses; requires [num_vars <= 24]. *)
+
+val solutions : ?limit:int -> Cnf.Formula.t -> Cnf.Model.t list
+(** All witnesses in lexicographic order (variable 1 = least
+    significant bit), up to [limit]; requires [num_vars <= 24]. *)
+
+val count_projected : Cnf.Formula.t -> int array -> int
+(** Number of distinct projections of witnesses onto the given
+    variable set. *)

@@ -1,0 +1,61 @@
+type outcome = {
+  models : Cnf.Model.t list;
+  exhausted : bool;
+  timed_out : bool;
+  conflicts : int;
+}
+
+(* Row-reduce the XOR system before loading the solver: RREF preserves
+   the solution set exactly and typically shortens dense hash rows a
+   lot (a random m×n system in RREF has rows of expected length
+   1 + (n − m)/2), which is where most of the CDCL search effort on
+   hash-constrained formulas goes. This is the static counterpart of
+   CryptoMiniSAT's in-search Gaussian elimination. *)
+let reduce_xors (f : Cnf.Formula.t) =
+  if Array.length f.Cnf.Formula.xors < 2 then `Reduced f
+  else
+    match Cnf.Xor_gauss.eliminate (Array.to_list f.Cnf.Formula.xors) with
+    | Error `Unsat -> `Unsat
+    | Ok r ->
+        `Reduced
+          { f with Cnf.Formula.xors = Array.of_list r.Cnf.Xor_gauss.rows }
+
+let enumerate ?deadline ?blocking_vars ~limit (f : Cnf.Formula.t) =
+  let blocking =
+    match blocking_vars with
+    | Some vs -> vs
+    | None -> Cnf.Formula.sampling_vars f
+  in
+  match reduce_xors f with
+  | `Unsat ->
+      { models = []; exhausted = true; timed_out = false; conflicts = 0 }
+  | `Reduced reduced ->
+  let solver = Solver.create reduced in
+  let rec loop acc found =
+    if found >= limit then
+      { models = List.rev acc; exhausted = false; timed_out = false;
+        conflicts = Solver.conflicts solver }
+    else
+      match Solver.solve ?deadline solver with
+      | Solver.Unsat ->
+          { models = List.rev acc; exhausted = true; timed_out = false;
+            conflicts = Solver.conflicts solver }
+      | Solver.Unknown ->
+          { models = List.rev acc; exhausted = false; timed_out = true;
+            conflicts = Solver.conflicts solver }
+      | Solver.Sat ->
+          let m = Solver.model solver in
+          if not (Cnf.Model.satisfies f m) then
+            failwith "Bsat.enumerate: solver returned a non-model (internal bug)";
+          (* block this witness on the projection *)
+          let block =
+            Array.to_list blocking
+            |> List.map (fun v -> Cnf.Lit.make v (not (Cnf.Model.value m v)))
+          in
+          Solver.add_clause solver block;
+          loop (m :: acc) (found + 1)
+  in
+  loop [] 0
+
+let count_upto ?deadline ~limit f =
+  List.length (enumerate ?deadline ~limit f).models

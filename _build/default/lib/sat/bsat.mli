@@ -1,0 +1,29 @@
+(** Bounded model enumeration — the [BSAT(F, N)] subroutine of the
+    paper: returns up to [N] distinct witnesses of [F].
+
+    Distinctness (and the blocking clauses enforcing it) is measured
+    on the [blocking_vars] projection, which defaults to the formula's
+    sampling set. When the sampling set is an independent support this
+    is exactly the paper's optimization of "blocking clauses restricted
+    to variables in S": the enumerated witnesses are still pairwise
+    distinct as full assignments, but the blocking clauses are short. *)
+
+type outcome = {
+  models : Cnf.Model.t list;  (** in discovery order *)
+  exhausted : bool;  (** [true] iff no further witness exists *)
+  timed_out : bool;  (** [true] iff the deadline interrupted the search *)
+  conflicts : int;  (** solver conflicts spent on this enumeration *)
+}
+
+val enumerate :
+  ?deadline:float ->
+  ?blocking_vars:int array ->
+  limit:int ->
+  Cnf.Formula.t ->
+  outcome
+(** Every returned model is verified against the formula; a violation
+    (a solver soundness bug) raises [Failure]. *)
+
+val count_upto : ?deadline:float -> limit:int -> Cnf.Formula.t -> int
+(** [count_upto ~limit f] is [min (number of distinct projected
+    witnesses) limit]; convenience wrapper over {!enumerate}. *)

@@ -1,0 +1,104 @@
+type step = Add of int list | Delete of int list
+
+(* Scan-based unit propagation over a clause database: adequate for
+   proof checking (the checker is the trusted base, so simplicity
+   beats speed). Returns true iff propagating the given assumptions
+   reaches a conflict. *)
+let rup_conflict clauses assumptions =
+  let value = Hashtbl.create 64 in
+  let conflict = ref false in
+  let assign l =
+    match Hashtbl.find_opt value (abs l) with
+    | Some b -> if b <> (l > 0) then conflict := true
+    | None -> Hashtbl.add value (abs l) (l > 0)
+  in
+  List.iter assign assumptions;
+  let progress = ref true in
+  while !progress && not !conflict do
+    progress := false;
+    List.iter
+      (fun clause ->
+        if not !conflict then begin
+          let unassigned = ref [] in
+          let satisfied = ref false in
+          List.iter
+            (fun l ->
+              match Hashtbl.find_opt value (abs l) with
+              | Some b -> if b = (l > 0) then satisfied := true
+              | None -> unassigned := l :: !unassigned)
+            clause;
+          if not !satisfied then
+            match !unassigned with
+            | [] -> conflict := true
+            | [ l ] ->
+                assign l;
+                progress := true
+            | _ -> ()
+        end)
+      clauses
+  done;
+  !conflict
+
+let check (f : Cnf.Formula.t) proof =
+  if Array.length f.Cnf.Formula.xors > 0 then
+    invalid_arg "Drat.check: XOR constraints have no DRAT representation";
+  let db =
+    ref
+      (Array.to_list f.Cnf.Formula.clauses
+      |> List.map (fun c -> List.sort_uniq Int.compare (Cnf.Clause.to_dimacs c)))
+  in
+  let ok = ref true in
+  List.iter
+    (fun step ->
+      if !ok then
+        match step with
+        | Delete _ -> () (* keeping deleted clauses is sound *)
+        | Add clause ->
+            let clause = List.sort_uniq Int.compare clause in
+            let negation = List.map (fun l -> -l) clause in
+            if rup_conflict !db negation then db := clause :: !db
+            else ok := false)
+    proof;
+  !ok
+
+let refutes f proof =
+  check f proof
+  && List.exists (function Add [] -> true | _ -> false) proof
+
+let to_string proof =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun step ->
+      let lits, prefix =
+        match step with Add c -> (c, "") | Delete c -> (c, "d ")
+      in
+      Buffer.add_string buf prefix;
+      List.iter (fun l -> Printf.bprintf buf "%d " l) lits;
+      Buffer.add_string buf "0\n")
+    proof;
+  Buffer.contents buf
+
+let of_string text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = 'c' then None
+         else begin
+           let deletion = String.length line > 1 && line.[0] = 'd' in
+           let body =
+             if deletion then String.sub line 1 (String.length line - 1) else line
+           in
+           let ints =
+             String.split_on_char ' ' body
+             |> List.filter (fun s -> s <> "")
+             |> List.map (fun s ->
+                    match int_of_string_opt s with
+                    | Some i -> i
+                    | None -> failwith ("Drat.of_string: bad literal " ^ s))
+           in
+           match List.rev ints with
+           | 0 :: rev ->
+               let lits = List.rev rev in
+               Some (if deletion then Delete lits else Add lits)
+           | _ -> failwith "Drat.of_string: line not terminated by 0"
+         end)

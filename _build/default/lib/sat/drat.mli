@@ -1,0 +1,38 @@
+(** Clausal proof logging and checking (DRAT, restricted to the RUP
+    fragment that CDCL clause learning emits).
+
+    When proof logging is enabled on a {!Solver}, every learnt clause
+    is recorded, and an UNSAT verdict ends the log with the empty
+    clause. {!check} replays the log against the original formula: a
+    step is accepted iff it is a {e reverse unit propagation} (RUP)
+    consequence — propagating the negation of the clause over
+    everything derived so far yields a conflict. A verified log ending
+    in the empty clause is a machine-checkable unsatisfiability proof,
+    independent of the solver's implementation.
+
+    Proofs cover CNF reasoning only; native XOR constraints have no
+    DRAT representation (CryptoMiniSAT has the same restriction for
+    its Gaussian elimination), so proof logging refuses formulas with
+    XOR clauses. *)
+
+type step =
+  | Add of int list
+      (** a derived clause, as signed DIMACS literals; [Add []] is the
+          final empty clause *)
+  | Delete of int list  (** clause removed by DB reduction (informational) *)
+
+val check : Cnf.Formula.t -> step list -> bool
+(** [check f proof] verifies every [Add] step by RUP against [f] plus
+    the previously accepted steps. [Delete] steps are ignored (the
+    checker keeps all clauses, which is sound). Returns [false] on the
+    first non-RUP step. A complete refutation additionally requires
+    the last [Add] to be empty — use {!refutes}. *)
+
+val refutes : Cnf.Formula.t -> step list -> bool
+(** [check] and the proof derives the empty clause. *)
+
+val to_string : step list -> string
+(** Standard DRAT text format ([d] lines for deletions). *)
+
+val of_string : string -> step list
+(** Parses the text format. @raise Failure on malformed input. *)

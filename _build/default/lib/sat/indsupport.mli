@@ -1,0 +1,35 @@
+(** Independent-support checking and minimization.
+
+    The paper assumes a (not necessarily minimal) independent support
+    is supplied with each benchmark and notes that computing one
+    algorithmically is "beyond the scope of this paper". This module
+    provides that missing piece, as the later MIS line of work did:
+
+    [S] is an independent support of [F] iff the self-composition
+
+      F(X) ∧ F(X') ∧ (∧_{s ∈ S} s = s') ∧ (∨_{d ∉ S} d ≠ d')
+
+    is unsatisfiable — two witnesses agreeing on [S] cannot differ
+    elsewhere. *)
+
+type verdict = Independent | Dependent | Unknown
+(** [Unknown] when the SAT query exhausted its budget. *)
+
+val check :
+  ?conflict_limit:int -> ?deadline:float -> Cnf.Formula.t -> int list -> verdict
+(** Decide whether the given variable set is an independent support.
+    Native XORs are CNF-blasted for the self-composition (the blast's
+    fresh variables are dependent, which cannot affect the answer
+    for a candidate set drawn from the original variables). *)
+
+val minimize :
+  ?conflict_limit:int -> ?deadline:float -> Cnf.Formula.t -> int list -> int list
+(** Greedily drop variables from a known independent support while it
+    stays independent (one SAT query per candidate). The input set
+    must be independent; the result is a (locally) minimal independent
+    support. Variables whose removal yields [Unknown] are kept. *)
+
+val of_formula :
+  ?conflict_limit:int -> ?deadline:float -> Cnf.Formula.t -> int list
+(** [minimize] starting from all variables — computes an independent
+    support from scratch. *)

@@ -1,0 +1,11 @@
+(* luby(i) = 2^(k-1)                    if i = 2^k - 1
+   luby(i) = luby(i - 2^(k-1) + 1)      if 2^(k-1) <= i < 2^k - 1 *)
+let rec term i =
+  if i < 1 then invalid_arg "Luby.term";
+  (* smallest k with i < 2^k, i.e. 2^(k-1) <= i < 2^k *)
+  let rec find_k k pow = if i < pow then k else find_k (k + 1) (pow * 2) in
+  let k = find_k 1 2 in
+  if i = (1 lsl k) - 1 then 1 lsl (k - 1)
+  else term (i - (1 lsl (k - 1)) + 1)
+
+let budget ~base i = base * term i

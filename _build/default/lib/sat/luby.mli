@@ -1,0 +1,12 @@
+(** The Luby restart sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+
+    Restart budgets that follow this sequence are within a constant
+    factor of the optimal universal restart strategy (Luby, Sinclair,
+    Zuckerman 1993); every modern CDCL solver uses it. *)
+
+val term : int -> int
+(** [term i] is the i-th element of the sequence, [i >= 1]. *)
+
+val budget : base:int -> int -> int
+(** [budget ~base i] is [base * term i], the conflict budget of the
+    i-th restart. *)

@@ -1,0 +1,25 @@
+(** Indexed binary max-heap over variables, ordered by a mutable
+    activity score — the VSIDS decision queue.
+
+    The heap stores variable indices [1 .. n]; activities live in an
+    external float array that callers mutate through {!update}. *)
+
+type t
+
+val create : int -> float array -> t
+(** [create n activity] builds an empty heap for variables [1 .. n]
+    with scores read from [activity] (indexed by variable). *)
+
+val in_heap : t -> int -> bool
+val insert : t -> int -> unit
+(** No-op if the variable is already present. *)
+
+val update : t -> int -> unit
+(** Re-establish heap order after the variable's activity increased. *)
+
+val pop_max : t -> int option
+(** Remove and return the variable with the highest activity. *)
+
+val size : t -> int
+val rebuild : t -> int list -> unit
+(** Clear and re-insert the given variables. *)

@@ -1,0 +1,707 @@
+(* Literals are raw ints throughout the solver: the positive literal of
+   variable v is 2v, the negative one 2v + 1 (the Cnf.Lit encoding).
+   Variable truth values are coded 1 (true), -1 (false), 0 (unassigned). *)
+
+type clause = {
+  lits : int array; (* positions 0 and 1 are the watched literals *)
+  learnt : bool;
+  mutable activity : float;
+  mutable deleted : bool;
+}
+
+type xor_constraint = {
+  xvars : int array;
+  xrhs : bool;
+  mutable wa : int; (* watched position in xvars *)
+  mutable wb : int;
+}
+
+type reason = No_reason | R_clause of clause | R_xor of xor_constraint
+
+type conflict = C_clause of clause | C_xor of xor_constraint
+
+type result = Sat | Unsat | Unknown
+
+let dummy_clause = { lits = [||]; learnt = false; activity = 0.; deleted = true }
+let dummy_xor = { xvars = [||]; xrhs = false; wa = 0; wb = 0 }
+
+type t = {
+  nvars : int;
+  assigns : int array; (* var -> 1 / -1 / 0 *)
+  level : int array; (* var -> decision level of its assignment *)
+  reason : reason array; (* var -> why it was assigned *)
+  polarity : bool array; (* var -> saved phase *)
+  activity : float array; (* var -> VSIDS score *)
+  seen : bool array; (* scratch for conflict analysis *)
+  watches : clause Vec.t array; (* lit -> clauses watching it *)
+  xwatches : xor_constraint Vec.t array; (* var -> xors watching it *)
+  clauses : clause Vec.t;
+  learnts : clause Vec.t;
+  xors : xor_constraint Vec.t;
+  trail : int Vec.t; (* assigned literals, chronological *)
+  trail_lim : int Vec.t; (* trail position at each decision *)
+  order : Order_heap.t;
+  mutable qhead : int;
+  mutable ok : bool;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable model_valid : bool;
+  mutable saved_model : Cnf.Model.t option;
+  mutable n_conflicts : int;
+  mutable n_decisions : int;
+  mutable n_propagations : int;
+  mutable n_restarts : int;
+  mutable max_learnts : float;
+  mutable proof : Drat.step list option; (* reversed; None = disabled *)
+}
+
+let lit_to_dimacs l = if l land 1 = 0 then l lsr 1 else -(l lsr 1)
+
+let log_proof t lits =
+  match t.proof with
+  | None -> ()
+  | Some steps -> t.proof <- Some (Drat.Add (List.map lit_to_dimacs lits) :: steps)
+
+(* The empty clause may be derivable before logging was even enabled
+   (top-level conflict during clause loading); emit it at most once. *)
+let log_proof_empty_once t =
+  match t.proof with
+  | Some steps when not (List.mem (Drat.Add []) steps) ->
+      t.proof <- Some (Drat.Add [] :: steps)
+  | _ -> ()
+
+let log_delete t lits =
+  match t.proof with
+  | None -> ()
+  | Some steps ->
+      t.proof <- Some (Drat.Delete (List.map lit_to_dimacs lits) :: steps)
+
+let var_decay = 1.0 /. 0.95
+let clause_decay = 1.0 /. 0.999
+let restart_base = 100
+
+let lit_var l = l lsr 1
+let lit_neg l = l lxor 1
+let lit_is_pos l = l land 1 = 0
+let lit_of_var v positive = (v lsl 1) lor (if positive then 0 else 1)
+
+let value_var t v = t.assigns.(v)
+let value_lit t l =
+  let a = t.assigns.(l lsr 1) in
+  if l land 1 = 0 then a else -a
+
+let decision_level t = Vec.size t.trail_lim
+
+let create_empty nvars =
+  let activity = Array.make (nvars + 1) 0. in
+  let t =
+    {
+      nvars;
+      assigns = Array.make (nvars + 1) 0;
+      level = Array.make (nvars + 1) 0;
+      reason = Array.make (nvars + 1) No_reason;
+      polarity = Array.make (nvars + 1) false;
+      activity;
+      seen = Array.make (nvars + 1) false;
+      watches = Array.init ((2 * nvars) + 2) (fun _ -> Vec.create ~dummy:dummy_clause ());
+      xwatches = Array.init (nvars + 1) (fun _ -> Vec.create ~dummy:dummy_xor ());
+      clauses = Vec.create ~dummy:dummy_clause ();
+      learnts = Vec.create ~dummy:dummy_clause ();
+      xors = Vec.create ~dummy:dummy_xor ();
+      trail = Vec.create ~dummy:0 ();
+      trail_lim = Vec.create ~dummy:0 ();
+      order = Order_heap.create nvars activity;
+      qhead = 0;
+      ok = true;
+      var_inc = 1.0;
+      cla_inc = 1.0;
+      model_valid = false;
+      saved_model = None;
+      n_conflicts = 0;
+      n_decisions = 0;
+      n_propagations = 0;
+      n_restarts = 0;
+      max_learnts = 0.;
+      proof = None;
+    }
+  in
+  for v = 1 to nvars do
+    Order_heap.insert t.order v
+  done;
+  t
+
+let okay t = t.ok
+let num_vars t = t.nvars
+let conflicts t = t.n_conflicts
+let decisions t = t.n_decisions
+let propagations t = t.n_propagations
+let restarts t = t.n_restarts
+let num_clauses t = Vec.size t.clauses
+let num_learnts t = Vec.size t.learnts
+
+(* ------------------------------------------------------------------ *)
+(* Activity                                                            *)
+
+let var_bump t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > 1e100 then begin
+    for u = 1 to t.nvars do
+      t.activity.(u) <- t.activity.(u) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end;
+  Order_heap.update t.order v
+
+let var_decay_all t = t.var_inc <- t.var_inc *. var_decay
+
+let clause_bump t (c : clause) =
+  c.activity <- c.activity +. t.cla_inc;
+  if c.activity > 1e20 then begin
+    Vec.iter (fun (cl : clause) -> cl.activity <- cl.activity *. 1e-20) t.learnts;
+    t.cla_inc <- t.cla_inc *. 1e-20
+  end
+
+let clause_decay_all t = t.cla_inc <- t.cla_inc *. clause_decay
+
+(* ------------------------------------------------------------------ *)
+(* Assignment management                                               *)
+
+let enqueue t l reason =
+  match value_lit t l with
+  | 1 -> true
+  | -1 -> false
+  | _ ->
+      let v = lit_var l in
+      t.assigns.(v) <- (if lit_is_pos l then 1 else -1);
+      t.level.(v) <- decision_level t;
+      t.reason.(v) <- reason;
+      Vec.push t.trail l;
+      true
+
+let cancel_until t lvl =
+  if decision_level t > lvl then begin
+    let bound = Vec.get t.trail_lim lvl in
+    for i = Vec.size t.trail - 1 downto bound do
+      let l = Vec.get t.trail i in
+      let v = lit_var l in
+      t.polarity.(v) <- lit_is_pos l;
+      t.assigns.(v) <- 0;
+      t.reason.(v) <- No_reason;
+      Order_heap.insert t.order v
+    done;
+    Vec.shrink t.trail bound;
+    Vec.shrink t.trail_lim lvl;
+    t.qhead <- Vec.size t.trail
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Clause attachment                                                   *)
+
+let attach_clause t c =
+  Vec.push t.watches.(c.lits.(0)) c;
+  Vec.push t.watches.(c.lits.(1)) c
+
+let attach_xor t x =
+  Vec.push t.xwatches.(x.xvars.(x.wa)) x;
+  Vec.push t.xwatches.(x.xvars.(x.wb)) x
+
+(* ------------------------------------------------------------------ *)
+(* Propagation                                                         *)
+
+exception Found_conflict of conflict
+
+let xor_parity_assigned t x ~except =
+  (* Parity of the assigned variables of [x], skipping position [except]
+     (pass -1 to include everything). Unassigned variables contribute 0. *)
+  let p = ref false in
+  Array.iteri
+    (fun i v ->
+      if i <> except && t.assigns.(v) = 1 then p := not !p)
+    x.xvars;
+  !p
+
+let propagate_clauses t p =
+  (* [p] just became true: visit clauses watching ¬p. *)
+  let false_lit = lit_neg p in
+  let ws = t.watches.(false_lit) in
+  let i = ref 0 and j = ref 0 in
+  let n = Vec.size ws in
+  (try
+     while !i < n do
+       let c = Vec.get ws !i in
+       incr i;
+       if c.deleted then () (* drop lazily *)
+       else begin
+         let lits = c.lits in
+         if lits.(0) = false_lit then begin
+           lits.(0) <- lits.(1);
+           lits.(1) <- false_lit
+         end;
+         if value_lit t lits.(0) = 1 then begin
+           Vec.set ws !j c;
+           incr j
+         end
+         else begin
+           (* look for a new literal to watch *)
+           let len = Array.length lits in
+           let k = ref 2 in
+           while !k < len && value_lit t lits.(!k) = -1 do
+             incr k
+           done;
+           if !k < len then begin
+             lits.(1) <- lits.(!k);
+             lits.(!k) <- false_lit;
+             Vec.push t.watches.(lits.(1)) c
+             (* not kept in this watch list *)
+           end
+           else begin
+             (* unit or conflicting *)
+             Vec.set ws !j c;
+             incr j;
+             if value_lit t lits.(0) = -1 then begin
+               (* keep the remaining watches before failing *)
+               while !i < n do
+                 Vec.set ws !j (Vec.get ws !i);
+                 incr i;
+                 incr j
+               done;
+               Vec.shrink ws !j;
+               raise (Found_conflict (C_clause c))
+             end
+             else ignore (enqueue t lits.(0) (R_clause c))
+           end
+         end
+       end
+     done;
+     Vec.shrink ws !j
+   with Found_conflict _ as e -> raise e)
+
+let propagate_xors t p =
+  let v0 = lit_var p in
+  let ws = t.xwatches.(v0) in
+  let i = ref 0 and j = ref 0 in
+  let n = Vec.size ws in
+  (try
+     while !i < n do
+       let x = Vec.get ws !i in
+       incr i;
+       let pos = if x.xvars.(x.wa) = v0 then x.wa else x.wb in
+       let other_pos = if pos = x.wa then x.wb else x.wa in
+       (* search for an unassigned replacement variable *)
+       let len = Array.length x.xvars in
+       let repl = ref (-1) in
+       let k = ref 0 in
+       while !repl < 0 && !k < len do
+         if !k <> x.wa && !k <> x.wb && t.assigns.(x.xvars.(!k)) = 0 then repl := !k;
+         incr k
+       done;
+       if !repl >= 0 then begin
+         (* move this watch to the replacement *)
+         if pos = x.wa then x.wa <- !repl else x.wb <- !repl;
+         Vec.push t.xwatches.(x.xvars.(!repl)) x
+       end
+       else begin
+         (* every variable except possibly [other] is assigned *)
+         Vec.set ws !j x;
+         incr j;
+         let other = x.xvars.(other_pos) in
+         if t.assigns.(other) = 0 then begin
+           let parity_rest = xor_parity_assigned t x ~except:other_pos in
+           let implied = if x.xrhs then not parity_rest else parity_rest in
+           ignore (enqueue t (lit_of_var other implied) (R_xor x))
+         end
+         else begin
+           let parity = xor_parity_assigned t x ~except:(-1) in
+           if parity <> x.xrhs then begin
+             while !i < n do
+               Vec.set ws !j (Vec.get ws !i);
+               incr i;
+               incr j
+             done;
+             Vec.shrink ws !j;
+             raise (Found_conflict (C_xor x))
+           end
+         end
+       end
+     done;
+     Vec.shrink ws !j
+   with Found_conflict _ as e -> raise e)
+
+let propagate t =
+  try
+    while t.qhead < Vec.size t.trail do
+      let p = Vec.get t.trail t.qhead in
+      t.qhead <- t.qhead + 1;
+      t.n_propagations <- t.n_propagations + 1;
+      propagate_clauses t p;
+      propagate_xors t p
+    done;
+    None
+  with Found_conflict c ->
+    t.qhead <- Vec.size t.trail;
+    Some c
+
+(* ------------------------------------------------------------------ *)
+(* Reasons as literal arrays (for conflict analysis)                   *)
+
+(* For an XOR-implied literal, the reason clause is
+     p ∨ ¬(u1 = b1) ∨ ... — every other variable of the XOR negated as
+   currently assigned. The same construction with no implied literal
+   yields the conflict clause of a violated XOR. *)
+let xor_reason_lits t x ~implied =
+  let acc = ref [] in
+  Array.iter
+    (fun v ->
+      if implied < 0 || v <> lit_var implied then begin
+        let a = t.assigns.(v) in
+        (* the literal that is FALSE under the current assignment *)
+        acc := lit_of_var v (a <> 1) :: !acc
+      end)
+    x.xvars;
+  let others = Array.of_list !acc in
+  if implied >= 0 then Array.append [| implied |] others else others
+
+let conflict_lits t = function
+  | C_clause c -> c.lits
+  | C_xor x -> xor_reason_lits t x ~implied:(-1)
+
+let reason_lits t v =
+  match t.reason.(v) with
+  | No_reason -> invalid_arg "Solver.reason_lits: decision variable"
+  | R_clause c -> c.lits (* invariant: c.lits.(0) is the implied literal *)
+  | R_xor x ->
+      let a = t.assigns.(v) in
+      let implied = lit_of_var v (a = 1) in
+      xor_reason_lits t x ~implied
+
+(* ------------------------------------------------------------------ *)
+(* Conflict analysis (first UIP) with simple clause minimization       *)
+
+let analyze t confl =
+  let learnt = ref [] in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let index = ref (Vec.size t.trail - 1) in
+  let current = decision_level t in
+  let bump_reason_clause = function
+    | C_clause c when c.learnt -> clause_bump t c
+    | _ -> ()
+  in
+  bump_reason_clause confl;
+  let process_lits lits start =
+    let len = Array.length lits in
+    for k = start to len - 1 do
+      let q = lits.(k) in
+      let v = lit_var q in
+      if (not t.seen.(v)) && t.level.(v) > 0 then begin
+        t.seen.(v) <- true;
+        var_bump t v;
+        if t.level.(v) >= current then incr counter
+        else learnt := q :: !learnt
+      end
+    done
+  in
+  process_lits (conflict_lits t confl) 0;
+  let continue = ref true in
+  while !continue do
+    (* find the next seen literal on the trail *)
+    while not t.seen.(lit_var (Vec.get t.trail !index)) do
+      decr index
+    done;
+    let lit = Vec.get t.trail !index in
+    decr index;
+    let v = lit_var lit in
+    t.seen.(v) <- false;
+    decr counter;
+    if !counter = 0 then begin
+      p := lit;
+      continue := false
+    end
+    else begin
+      (match t.reason.(v) with
+      | R_clause c when c.learnt -> clause_bump t c
+      | _ -> ());
+      process_lits (reason_lits t v) 1
+    end
+  done;
+  let asserting = lit_neg !p in
+  (* simple minimization: a literal is redundant if its reason is fully
+     subsumed by the other literals of the learnt clause *)
+  let learnt_list = !learnt in
+  List.iter (fun q -> t.seen.(lit_var q) <- true) learnt_list;
+  let redundant q =
+    let v = lit_var q in
+    match t.reason.(v) with
+    | No_reason -> false
+    | _ ->
+        let lits = reason_lits t v in
+        let ok = ref true in
+        Array.iteri
+          (fun k r ->
+            if k > 0 then begin
+              let u = lit_var r in
+              if t.level.(u) > 0 && not t.seen.(u) then ok := false
+            end)
+          lits;
+        !ok
+  in
+  let kept = List.filter (fun q -> not (redundant q)) learnt_list in
+  List.iter (fun q -> t.seen.(lit_var q) <- false) learnt_list;
+  (* backtrack level = max level among kept literals *)
+  let blevel = List.fold_left (fun acc q -> max acc t.level.(lit_var q)) 0 kept in
+  (asserting, kept, blevel)
+
+(* ------------------------------------------------------------------ *)
+(* Learnt clause recording                                             *)
+
+let record_learnt t asserting others blevel =
+  log_proof t (asserting :: others);
+  cancel_until t blevel;
+  match others with
+  | [] ->
+      (* unit learnt: asserting at level 0 *)
+      if not (enqueue t asserting No_reason) then begin
+        t.ok <- false;
+        log_proof t []
+      end
+  | _ ->
+      (* place a literal of the backtrack level in watch position 1 *)
+      let arr = Array.of_list (asserting :: others) in
+      let best = ref 1 in
+      for k = 2 to Array.length arr - 1 do
+        if t.level.(lit_var arr.(k)) > t.level.(lit_var arr.(!best)) then best := k
+      done;
+      let tmp = arr.(1) in
+      arr.(1) <- arr.(!best);
+      arr.(!best) <- tmp;
+      let c = { lits = arr; learnt = true; activity = 0.; deleted = false } in
+      clause_bump t c;
+      attach_clause t c;
+      Vec.push t.learnts c;
+      ignore (enqueue t asserting (R_clause c))
+
+(* ------------------------------------------------------------------ *)
+(* Learnt database reduction                                           *)
+
+let is_reason t c =
+  Array.length c.lits > 0
+  &&
+  let v = lit_var c.lits.(0) in
+  t.assigns.(v) <> 0
+  && (match t.reason.(v) with R_clause c' -> c' == c | _ -> false)
+
+let reduce_db t =
+  Vec.sort (fun (a : clause) (b : clause) -> Float.compare a.activity b.activity) t.learnts;
+  let n = Vec.size t.learnts in
+  let limit = n / 2 in
+  let removed = ref 0 in
+  for i = 0 to n - 1 do
+    let c = Vec.get t.learnts i in
+    if
+      !removed < limit
+      && Array.length c.lits > 2
+      && not (is_reason t c)
+    then begin
+      c.deleted <- true;
+      log_delete t (Array.to_list c.lits);
+      incr removed
+    end
+  done;
+  Vec.filter_in_place (fun c -> not c.deleted) t.learnts
+(* deleted clauses are skipped and dropped lazily during propagation *)
+
+(* ------------------------------------------------------------------ *)
+(* Adding constraints (decision level 0 only)                          *)
+
+let add_clause t lits =
+  assert (decision_level t = 0);
+  if t.ok then begin
+    let raw = List.map (fun l -> (Cnf.Lit.to_index l : int)) lits in
+    (* normalize: sort, dedup, detect tautology, drop false literals *)
+    let sorted = List.sort_uniq Int.compare raw in
+    let rec scan acc = function
+      | [] -> Some (List.rev acc)
+      | l :: rest ->
+          if List.mem (lit_neg l) rest then None
+          else
+            match value_lit t l with
+            | 1 -> None (* satisfied at level 0 *)
+            | -1 -> scan acc rest
+            | _ -> scan (l :: acc) rest
+    in
+    match scan [] sorted with
+    | None -> ()
+    | Some [] ->
+        t.ok <- false;
+        log_proof t []
+    | Some [ l ] ->
+        if not (enqueue t l No_reason) then begin
+          t.ok <- false;
+          log_proof t []
+        end
+        else if propagate t <> None then begin
+          t.ok <- false;
+          log_proof t []
+        end
+    | Some (l0 :: l1 :: rest) ->
+        let c =
+          {
+            lits = Array.of_list (l0 :: l1 :: rest);
+            learnt = false;
+            activity = 0.;
+            deleted = false;
+          }
+        in
+        attach_clause t c;
+        Vec.push t.clauses c
+  end
+
+let add_xor t (x : Cnf.Xor_clause.t) =
+  assert (decision_level t = 0);
+  if t.proof <> None then
+    invalid_arg "Solver.add_xor: proof logging excludes XOR constraints";
+  if t.ok then begin
+    (* substitute level-0 assignments *)
+    let rhs = ref x.rhs in
+    let vars =
+      Array.to_list x.vars
+      |> List.filter (fun v ->
+             match value_var t v with
+             | 1 ->
+                 rhs := not !rhs;
+                 false
+             | -1 -> false
+             | _ -> true)
+    in
+    match vars with
+    | [] -> if !rhs then t.ok <- false
+    | [ v ] ->
+        if not (enqueue t (lit_of_var v !rhs) No_reason) then t.ok <- false
+        else if propagate t <> None then t.ok <- false
+    | _ :: _ :: _ ->
+        let xc = { xvars = Array.of_list vars; xrhs = !rhs; wa = 0; wb = 1 } in
+        attach_xor t xc;
+        Vec.push t.xors xc
+  end
+
+let create (f : Cnf.Formula.t) =
+  let t = create_empty f.num_vars in
+  Array.iter (fun c -> add_clause t (Array.to_list c)) f.clauses;
+  Array.iter (fun x -> add_xor t x) f.xors;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Search                                                              *)
+
+let pick_branch_var t =
+  let rec go () =
+    match Order_heap.pop_max t.order with
+    | None -> None
+    | Some v -> if t.assigns.(v) = 0 then Some v else go ()
+  in
+  go ()
+
+type search_outcome = S_sat | S_unsat | S_restart | S_timeout
+
+let search t ~budget ~deadline =
+  let local_conflicts = ref 0 in
+  let outcome = ref None in
+  while !outcome = None do
+    match propagate t with
+    | Some confl ->
+        t.n_conflicts <- t.n_conflicts + 1;
+        incr local_conflicts;
+        if decision_level t = 0 then begin
+          log_proof t [];
+          outcome := Some S_unsat
+        end
+        else begin
+          let asserting, others, blevel = analyze t confl in
+          record_learnt t asserting others blevel;
+          if not t.ok then outcome := Some S_unsat
+          else begin
+            var_decay_all t;
+            clause_decay_all t
+          end
+        end
+    | None ->
+        if !local_conflicts >= budget then begin
+          cancel_until t 0;
+          outcome := Some S_restart
+        end
+        else if
+          (match deadline with
+          | Some d -> t.n_decisions land 255 = 0 && Unix.gettimeofday () > d
+          | None -> false)
+        then begin
+          cancel_until t 0;
+          outcome := Some S_timeout
+        end
+        else begin
+          if float_of_int (Vec.size t.learnts) > t.max_learnts then reduce_db t;
+          match pick_branch_var t with
+          | None -> outcome := Some S_sat
+          | Some v ->
+              t.n_decisions <- t.n_decisions + 1;
+              Vec.push t.trail_lim (Vec.size t.trail);
+              ignore (enqueue t (lit_of_var v t.polarity.(v)) No_reason)
+        end
+  done;
+  match !outcome with Some o -> o | None -> assert false
+
+let solve ?(conflict_limit = max_int) ?deadline t =
+  t.model_valid <- false;
+  if not t.ok then begin
+    log_proof_empty_once t;
+    Unsat
+  end
+  else begin
+    match propagate t with
+    | Some _ ->
+        t.ok <- false;
+        log_proof t [];
+        Unsat
+    | None ->
+        t.max_learnts <-
+          max 1000. (float_of_int (Vec.size t.clauses) /. 3.);
+        let start_conflicts = t.n_conflicts in
+        let rec run i =
+          if t.n_conflicts - start_conflicts >= conflict_limit then begin
+            cancel_until t 0;
+            Unknown
+          end
+          else begin
+            let budget = Luby.budget ~base:restart_base i in
+            match search t ~budget ~deadline with
+            | S_sat ->
+                let m =
+                  Cnf.Model.make t.nvars (fun v -> t.assigns.(v) = 1)
+                in
+                t.saved_model <- Some m;
+                t.model_valid <- true;
+                cancel_until t 0;
+                t.max_learnts <- t.max_learnts *. 1.1;
+                Sat
+            | S_unsat ->
+                t.ok <- false;
+                Unsat
+            | S_timeout -> Unknown
+            | S_restart ->
+                t.n_restarts <- t.n_restarts + 1;
+                run (i + 1)
+          end
+        in
+        run 1
+  end
+
+let model t =
+  match (t.model_valid, t.saved_model) with
+  | true, Some m -> m
+  | _ -> invalid_arg "Solver.model: last solve was not Sat"
+
+let enable_proof_logging t =
+  if Vec.size t.xors > 0 then
+    invalid_arg "Solver.enable_proof_logging: XOR constraints present";
+  if t.proof = None then t.proof <- Some []
+
+let proof t = match t.proof with None -> [] | Some steps -> List.rev steps

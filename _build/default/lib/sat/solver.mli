@@ -1,0 +1,67 @@
+(** CDCL SAT solver with native XOR-constraint propagation.
+
+    This is the CryptoMiniSAT stand-in the paper's implementation
+    section calls for: a conflict-driven clause-learning solver
+    (two-watched-literal propagation, first-UIP clause learning with
+    minimization, VSIDS decision heuristic, phase saving, Luby
+    restarts, activity-based learnt-clause deletion) extended with a
+    parity engine that propagates XOR constraints through a
+    two-watched-variable scheme, generating reason clauses on demand
+    so that XOR-derived implications take part in clause learning.
+
+    Clauses and XORs may only be added at decision level 0 (the solver
+    backtracks to the root on every [solve] return, so interleaving
+    [solve] / [add_clause] — the blocking-clause loop of BSAT — is
+    always legal). *)
+
+type t
+
+type result = Sat | Unsat | Unknown
+(** [Unknown] is returned when a conflict budget or deadline expires. *)
+
+val create : Cnf.Formula.t -> t
+(** Load a formula (clauses and XORs). *)
+
+val create_empty : int -> t
+(** [create_empty n] is a solver over variables [1 .. n] with no
+    constraints yet. *)
+
+val okay : t -> bool
+(** [false] once the clause set is known unsatisfiable at level 0. *)
+
+val num_vars : t -> int
+
+val add_clause : t -> Cnf.Lit.t list -> unit
+(** May set [okay t = false]. Tautologies are ignored. *)
+
+val add_xor : t -> Cnf.Xor_clause.t -> unit
+
+val solve : ?conflict_limit:int -> ?deadline:float -> t -> result
+(** [deadline] is an absolute [Unix.gettimeofday] instant. *)
+
+val model : t -> Cnf.Model.t
+(** The satisfying assignment found by the last [solve]; raises
+    [Invalid_argument] if the last call did not return [Sat]. *)
+
+(** {2 Proof logging} *)
+
+val enable_proof_logging : t -> unit
+(** Start recording learnt clauses as DRAT/RUP steps; an UNSAT verdict
+    then ends the log with the empty clause, checkable by
+    {!Drat.refutes} against the original formula. Only meaningful for
+    one-shot solving of a pure-CNF formula: XOR constraints are
+    refused, and clauses added {e after} a [solve] (blocking-clause
+    loops) are new axioms the proof does not account for.
+    @raise Invalid_argument if the solver holds XOR constraints. *)
+
+val proof : t -> Drat.step list
+(** Chronological proof log (empty when logging is disabled). *)
+
+(** Solver statistics, cumulative across [solve] calls. *)
+
+val conflicts : t -> int
+val decisions : t -> int
+val propagations : t -> int
+val restarts : t -> int
+val num_clauses : t -> int
+val num_learnts : t -> int

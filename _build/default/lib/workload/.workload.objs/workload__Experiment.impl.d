@@ -1,0 +1,1 @@
+lib/workload/experiment.ml: Array Cnf Float Format Int Lazy List Option Rng Sampling String Suite Unix

@@ -1,0 +1,1 @@
+lib/workload/experiment.mli: Cnf Format Rng Suite

@@ -1,0 +1,1 @@
+lib/workload/suite.ml: Array Circuits Cnf Hashtbl Lazy List Printf Rng Sat

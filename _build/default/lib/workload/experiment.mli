@@ -1,0 +1,65 @@
+(** Experiment harnesses regenerating the paper's tables and figure.
+
+    Every harness takes explicit sample budgets and timeouts so the
+    bench binary can run a faithful (slow) or scaled (fast) variant of
+    each experiment; EXPERIMENTS.md records which settings produced
+    the committed outputs. *)
+
+(** One row of Table 1 / Table 2. *)
+type row = {
+  name : string;
+  num_vars : int;
+  sampling_size : int;
+  unigen_success : float;
+  unigen_avg_seconds : float;
+  unigen_avg_xor_len : float;
+  uniwit_success : float;
+  uniwit_avg_seconds : float;
+  uniwit_avg_xor_len : float;
+  unigen_failed : bool;  (** no witness produced within the budget *)
+  uniwit_failed : bool;
+}
+
+val run_row :
+  ?epsilon:float ->
+  ?unigen_samples:int ->
+  ?uniwit_samples:int ->
+  ?per_call_timeout:float ->
+  ?overall_timeout:float ->
+  ?count_iterations:int ->
+  rng:Rng.t ->
+  Suite.instance ->
+  row
+(** Runs UniGen (one preparation, then [unigen_samples] draws) and
+    UniWit ([uniwit_samples] draws — typically far fewer, it is orders
+    of magnitude slower) on the instance. Timeouts are in seconds:
+    [per_call_timeout] bounds each sample attempt, [overall_timeout]
+    bounds each generator's total budget (the paper used 2500 s and
+    20 h respectively). *)
+
+val pp_table : Format.formatter -> row list -> unit
+(** Renders rows in the layout of the paper's Table 1. *)
+
+(** Figure 1: witness-count distributions of UniGen vs the ideal
+    sampler US. *)
+type uniformity_result = {
+  witness_count : int;  (** |R_F| *)
+  samples : int;
+  unigen_series : (int * int) list;
+      (** (occurrence count c, number of witnesses generated c times) *)
+  us_series : (int * int) list;
+  unigen_pvalue : float;  (** χ² uniformity test p-value *)
+  us_pvalue : float;
+  unigen_tv : float;  (** total variation distance from uniform *)
+  us_tv : float;
+}
+
+val run_uniformity :
+  ?epsilon:float ->
+  ?samples:int ->
+  ?count_iterations:int ->
+  rng:Rng.t ->
+  Cnf.Formula.t ->
+  uniformity_result
+
+val pp_uniformity : Format.formatter -> uniformity_result -> unit

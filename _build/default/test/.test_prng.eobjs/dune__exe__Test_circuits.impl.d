@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Array Circuits Cnf Counting List Printf Rng Sat

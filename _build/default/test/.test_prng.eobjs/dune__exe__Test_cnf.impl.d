@@ -1,0 +1,1 @@
+test/test_cnf.ml: Alcotest Array Bool Cnf Filename List QCheck2 QCheck_alcotest Rng String Sys Test_util

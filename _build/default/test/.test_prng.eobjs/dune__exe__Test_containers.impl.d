@@ -1,0 +1,1 @@
+test/test_containers.ml: Alcotest Array Float Int List QCheck2 QCheck_alcotest Rng Sat

@@ -1,0 +1,1 @@
+test/test_counting.ml: Alcotest Array Cnf Counting List Printf QCheck2 QCheck_alcotest Rng Sat Test_util

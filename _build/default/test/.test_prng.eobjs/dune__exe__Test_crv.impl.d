@@ -1,0 +1,1 @@
+test/test_crv.ml: Alcotest Array Cnf Crv Fun Hashtbl List Printf Sat

@@ -1,0 +1,1 @@
+test/test_drat.ml: Alcotest Cnf Fun List Printf QCheck2 QCheck_alcotest Rng Sat Test_util

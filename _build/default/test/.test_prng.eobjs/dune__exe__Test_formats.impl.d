@@ -1,0 +1,1 @@
+test/test_formats.ml: Alcotest Array Circuits Counting Filename List QCheck2 QCheck_alcotest Rng Sys

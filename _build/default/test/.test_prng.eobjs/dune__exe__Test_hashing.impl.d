@@ -1,0 +1,1 @@
+test/test_hashing.ml: Alcotest Array Cnf Float Hashing List Printf Rng Sat

@@ -1,0 +1,1 @@
+test/test_indsupport.ml: Alcotest Cnf Format List Rng Sampling Sat

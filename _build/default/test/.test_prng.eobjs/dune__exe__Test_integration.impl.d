@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Circuits Cnf Counting Filename Float Hashtbl Lazy List Preprocess Printf Rng Sampling Sat String Sys Workload

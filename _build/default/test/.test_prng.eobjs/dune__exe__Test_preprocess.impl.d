@@ -1,0 +1,1 @@
+test/test_preprocess.ml: Alcotest Array Cnf Hashtbl List Preprocess Printf QCheck2 QCheck_alcotest Rng Sat Test_util

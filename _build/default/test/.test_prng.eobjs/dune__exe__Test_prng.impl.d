@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float Fun Hashtbl Int Int64 List Rng

@@ -1,0 +1,1 @@
+test/test_sampling.ml: Alcotest Cnf Float Hashtbl List Option Printf Rng Sampling Sat

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Cnf Fun List Printf QCheck2 QCheck_alcotest Rng Sat String Test_util Unix

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Buffer Cnf Format Lazy List Printf Rng Sampling Sat String Workload

@@ -1,0 +1,1 @@
+test/test_xor_gauss.ml: Alcotest Bool Cnf List QCheck2 QCheck_alcotest Rng Test_util

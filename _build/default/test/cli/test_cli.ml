@@ -1,0 +1,152 @@
+(* Integration tests driving the unigen command-line binary the way a
+   user would, checking exit codes and output shapes. *)
+
+(* `dune runtest` executes from the test's build directory;
+   `dune exec` from the workspace root — probe both. *)
+let binary =
+  let candidates =
+    [ "../../bin/unigen_cli.exe"; "_build/default/bin/unigen_cli.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> failwith "unigen_cli.exe not found; build bin/ first"
+
+let run args =
+  let out = Filename.temp_file "unigen_cli" ".out" in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s %s > %s 2>&1" (Filename.quote binary) args
+         (Filename.quote out))
+  in
+  let ic = open_in out in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  Sys.remove out;
+  (code, text)
+
+let contains needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let temp_cnf contents =
+  let path = Filename.temp_file "unigen_cli" ".cnf" in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let test_help () =
+  let code, text = run "--help=plain" in
+  Alcotest.(check int) "exit 0" 0 code;
+  List.iter
+    (fun cmd -> Alcotest.(check bool) cmd true (contains cmd text))
+    [ "sample"; "count"; "support"; "bench-gen"; "simplify"; "convert" ]
+
+let test_bench_gen_list () =
+  let code, text = run "bench-gen --list" in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "mentions squaring" true (contains "squaring_7" text);
+  Alcotest.(check bool) "mentions tutorial" true (contains "tutorial_xl" text)
+
+let test_sample_on_simple_formula () =
+  let path = temp_cnf "p cnf 4 1\nc ind 1 2 0\n1 2 3 0\n" in
+  let code, text = run (Printf.sprintf "sample %s -n 5 -s 3 --project" path) in
+  Sys.remove path;
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "witness lines" true (contains "\nv " ("\n" ^ text));
+  Alcotest.(check bool) "reports production" true (contains "produced 5/5" text)
+
+let test_sample_unsat_exit_code () =
+  let path = temp_cnf "p cnf 1 2\n1 0\n-1 0\n" in
+  let code, text = run (Printf.sprintf "sample %s -n 1" path) in
+  Sys.remove path;
+  Alcotest.(check int) "exit 2" 2 code;
+  Alcotest.(check bool) "says unsat" true (contains "UNSATISFIABLE" text)
+
+let test_count_matches_truth () =
+  (* 3 free vars, one clause: 7 witnesses, below the exact threshold *)
+  let path = temp_cnf "p cnf 3 1\n1 2 3 0\n" in
+  let code, text = run (Printf.sprintf "count %s -s 2" path) in
+  Sys.remove path;
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "s mc 7" true (contains "s mc 7" text)
+
+let test_support_verifies_and_minimizes () =
+  (* v3 = v1 xor v2 via CNF; declared support {1,2,3} minimizes to 2 *)
+  let path =
+    temp_cnf
+      "p cnf 3 4\nc ind 1 2 3 0\n-3 1 2 0\n-3 -1 -2 0\n3 -1 2 0\n3 1 -2 0\n"
+  in
+  let code, text = run (Printf.sprintf "support %s -m" path) in
+  Sys.remove path;
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "minimized to 2" true (contains "(2 variables" text);
+  Alcotest.(check bool) "emits c ind" true (contains "c ind" text)
+
+let test_simplify_roundtrip () =
+  let path = temp_cnf "p cnf 3 3\nc ind 1 2 0\n1 0\n-1 2 3 0\n2 3 0\n" in
+  let out = Filename.temp_file "unigen_cli" ".simp.cnf" in
+  let code, text = run (Printf.sprintf "simplify %s -o %s" path out) in
+  Sys.remove path;
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "reports reduction" true (contains "clauses" text);
+  (* the output must be a parseable DIMACS file *)
+  let code2, text2 = run (Printf.sprintf "count %s" out) in
+  Sys.remove out;
+  Alcotest.(check int) "count on simplified" 0 code2;
+  Alcotest.(check bool) "has a count" true (contains "s mc" text2)
+
+let test_convert_blif () =
+  let blif = Filename.temp_file "unigen_cli" ".blif" in
+  let oc = open_out blif in
+  output_string oc
+    ".model and2\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n";
+  close_out oc;
+  let out = Filename.temp_file "unigen_cli" ".cnf" in
+  let code, text = run (Printf.sprintf "convert %s -o %s" blif out) in
+  Sys.remove blif;
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "reports sampling set" true
+    (contains "sampling set = 2" text);
+  (* AND with asserted output: exactly one witness *)
+  let code2, text2 = run (Printf.sprintf "count %s" out) in
+  Sys.remove out;
+  Alcotest.(check int) "count ok" 0 code2;
+  Alcotest.(check bool) "one witness" true (contains "s mc 1" text2)
+
+let test_missing_file_error () =
+  let code, _ = run "sample /nonexistent.cnf" in
+  Alcotest.(check bool) "nonzero exit" true (code <> 0)
+
+let test_malformed_dimacs_error () =
+  let path = temp_cnf "not a cnf file\n" in
+  let code, text = run (Printf.sprintf "count %s" path) in
+  Sys.remove path;
+  Alcotest.(check int) "exit 1" 1 code;
+  Alcotest.(check bool) "error message" true (contains "error" text)
+
+let test_bench_gen_unknown_instance () =
+  let code, text = run "bench-gen no_such_instance" in
+  Alcotest.(check int) "exit 1" 1 code;
+  Alcotest.(check bool) "suggests --list" true (contains "--list" text)
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "commands",
+        [
+          Alcotest.test_case "help" `Quick test_help;
+          Alcotest.test_case "bench-gen list" `Quick test_bench_gen_list;
+          Alcotest.test_case "sample" `Quick test_sample_on_simple_formula;
+          Alcotest.test_case "sample unsat" `Quick test_sample_unsat_exit_code;
+          Alcotest.test_case "count" `Quick test_count_matches_truth;
+          Alcotest.test_case "support" `Quick test_support_verifies_and_minimizes;
+          Alcotest.test_case "simplify" `Quick test_simplify_roundtrip;
+          Alcotest.test_case "convert" `Quick test_convert_blif;
+          Alcotest.test_case "missing file" `Quick test_missing_file_error;
+          Alcotest.test_case "malformed dimacs" `Quick test_malformed_dimacs_error;
+          Alcotest.test_case "unknown instance" `Quick test_bench_gen_unknown_instance;
+        ] );
+    ]

@@ -1,0 +1,432 @@
+(* Tests for the circuit substrate: netlists, arithmetic blocks,
+   Tseitin encoding, sequential unrolling, and the generators. *)
+
+module B = Circuits.Netlist.Builder
+
+(* ------------------------------------------------------------------ *)
+(* Netlist basics *)
+
+let test_simple_gates () =
+  let b = B.create "gates" in
+  let x = B.input b and y = B.input b in
+  B.output b (B.and_ b x y);
+  B.output b (B.or_ b x y);
+  B.output b (B.xor_ b x y);
+  B.output b (B.not_ b x);
+  let nl = B.finish b in
+  let check ins expected =
+    Alcotest.(check (array bool)) "outputs" expected (Circuits.Netlist.simulate nl ins)
+  in
+  check [| false; false |] [| false; false; false; true |];
+  check [| true; false |] [| false; true; true; false |];
+  check [| true; true |] [| true; true; false; false |]
+
+let test_mux () =
+  let b = B.create "mux" in
+  let s = B.input b and x = B.input b and y = B.input b in
+  B.output b (B.mux b ~sel:s x y);
+  let nl = B.finish b in
+  let run s x y = (Circuits.Netlist.simulate nl [| s; x; y |]).(0) in
+  Alcotest.(check bool) "sel=1 picks x" true (run true true false);
+  Alcotest.(check bool) "sel=0 picks y" false (run false true false);
+  Alcotest.(check bool) "sel=0 picks y=1" true (run false false true)
+
+let test_const_and_lists () =
+  let b = B.create "lists" in
+  let x = B.input b and y = B.input b and z = B.input b in
+  B.output b (B.and_list b [ x; y; z ]);
+  B.output b (B.or_list b []);
+  B.output b (B.and_list b []);
+  B.output b (B.xor_list b [ x; y; z ]);
+  let nl = B.finish b in
+  let out = Circuits.Netlist.simulate nl [| true; true; true |] in
+  Alcotest.(check (array bool)) "all true" [| true; false; true; true |] out
+
+let test_builder_rejects_dangling () =
+  let b = B.create "bad" in
+  Alcotest.(check bool) "dangling rejected" true
+    (try
+       ignore (B.not_ b 5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_wrong_input_arity () =
+  let b = B.create "arity" in
+  let x = B.input b in
+  B.output b x;
+  let nl = B.finish b in
+  Alcotest.(check bool) "arity checked" true
+    (try
+       ignore (Circuits.Netlist.simulate nl [| true; false |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_num_gates () =
+  let b = B.create "count" in
+  let x = B.input b and y = B.input b in
+  B.output b (B.and_ b x y);
+  let nl = B.finish b in
+  Alcotest.(check int) "one gate" 1 (Circuits.Netlist.num_gates nl)
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic *)
+
+let test_adder () =
+  let width = 5 in
+  for x = 0 to 7 do
+    for y = 0 to 7 do
+      let b = B.create "add" in
+      let xs = Circuits.Arith.input_word b ~width in
+      let ys = Circuits.Arith.input_word b ~width in
+      List.iter (B.output b) (Circuits.Arith.ripple_adder b xs ys);
+      let nl = B.finish b in
+      let ins =
+        Array.append
+          (Circuits.Arith.of_int ~width x)
+          (Circuits.Arith.of_int ~width y)
+      in
+      let out = Circuits.Netlist.simulate nl ins in
+      Alcotest.(check int)
+        (Printf.sprintf "%d+%d" x y)
+        (x + y)
+        (Circuits.Arith.to_int out)
+    done
+  done
+
+let test_multiplier () =
+  let width = 4 in
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      let b = B.create "mul" in
+      let xs = Circuits.Arith.input_word b ~width in
+      let ys = Circuits.Arith.input_word b ~width in
+      List.iter (B.output b) (Circuits.Arith.multiplier b xs ys);
+      let nl = B.finish b in
+      let ins =
+        Array.append
+          (Circuits.Arith.of_int ~width x)
+          (Circuits.Arith.of_int ~width y)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%d*%d" x y)
+        (x * y)
+        (Circuits.Arith.to_int (Circuits.Netlist.simulate nl ins))
+    done
+  done
+
+let test_squarer () =
+  let width = 5 in
+  for x = 0 to 31 do
+    let b = B.create "sq" in
+    let xs = Circuits.Arith.input_word b ~width in
+    List.iter (B.output b) (Circuits.Arith.squarer b xs);
+    let nl = B.finish b in
+    Alcotest.(check int)
+      (Printf.sprintf "%d^2" x)
+      (x * x)
+      (Circuits.Arith.to_int
+         (Circuits.Netlist.simulate nl (Circuits.Arith.of_int ~width x)))
+  done
+
+let test_comparators () =
+  let width = 4 in
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      let b = B.create "cmp" in
+      let xs = Circuits.Arith.input_word b ~width in
+      let ys = Circuits.Arith.input_word b ~width in
+      B.output b (Circuits.Arith.equal b xs ys);
+      B.output b (Circuits.Arith.less_than b xs ys);
+      B.output b (Circuits.Arith.parity b xs);
+      let nl = B.finish b in
+      let ins =
+        Array.append
+          (Circuits.Arith.of_int ~width x)
+          (Circuits.Arith.of_int ~width y)
+      in
+      let out = Circuits.Netlist.simulate nl ins in
+      Alcotest.(check bool) (Printf.sprintf "%d=%d" x y) (x = y) out.(0);
+      Alcotest.(check bool) (Printf.sprintf "%d<%d" x y) (x < y) out.(1);
+      let pop = List.length (List.filter (fun i -> x land (1 lsl i) <> 0) [ 0; 1; 2; 3 ]) in
+      Alcotest.(check bool) "parity" (pop mod 2 = 1) out.(2)
+    done
+  done
+
+let test_int_roundtrip () =
+  for v = 0 to 63 do
+    Alcotest.(check int) "roundtrip" v
+      (Circuits.Arith.to_int (Circuits.Arith.of_int ~width:6 v))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Tseitin encoding: CNF witnesses restricted to inputs = simulations *)
+
+let check_tseitin_agrees nl =
+  let enc = Circuits.Tseitin.encode ~assert_outputs:false nl in
+  let f = enc.Circuits.Tseitin.formula in
+  let n_in = Array.length enc.Circuits.Tseitin.input_vars in
+  for mask = 0 to (1 lsl n_in) - 1 do
+    let inputs = Array.init n_in (fun i -> mask land (1 lsl i) <> 0) in
+    (* fix the inputs with unit clauses, solve, compare every output *)
+    let units =
+      Array.to_list enc.Circuits.Tseitin.input_vars
+      |> List.mapi (fun i v -> Cnf.Clause.of_list [ Cnf.Lit.make v inputs.(i) ])
+    in
+    let g = Cnf.Formula.add_clauses f units in
+    let solver = Sat.Solver.create g in
+    (match Sat.Solver.solve solver with
+    | Sat.Solver.Sat ->
+        let m = Sat.Solver.model solver in
+        let sim = Circuits.Netlist.simulate nl inputs in
+        Array.iteri
+          (fun i ov ->
+            Alcotest.(check bool)
+              (Printf.sprintf "mask %d output %d" mask i)
+              sim.(i)
+              (Cnf.Model.value m ov))
+          enc.Circuits.Tseitin.output_vars
+    | _ -> Alcotest.fail "tseitin formula must be satisfiable for every input")
+  done
+
+let test_tseitin_gate_mix () =
+  let b = B.create "mix" in
+  let x = B.input b and y = B.input b and z = B.input b in
+  let g1 = B.and_ b x y in
+  let g2 = B.or_ b g1 (B.not_ b z) in
+  let g3 = B.xor_ b g2 (B.mux b ~sel:x y z) in
+  B.output b g3;
+  B.output b (B.xnor_ b g1 g2);
+  B.output b (B.nand_ b x z);
+  check_tseitin_agrees (B.finish b)
+
+let test_tseitin_arith () =
+  let b = B.create "arith" in
+  let xs = Circuits.Arith.input_word b ~width:3 in
+  let sq = Circuits.Arith.squarer b xs in
+  List.iter (B.output b) sq;
+  check_tseitin_agrees (B.finish b)
+
+let test_tseitin_constants () =
+  let b = B.create "consts" in
+  let x = B.input b in
+  B.output b (B.and_ b x (B.const b true));
+  B.output b (B.or_ b x (B.const b false));
+  check_tseitin_agrees (B.finish b)
+
+let test_tseitin_sampling_set_is_inputs () =
+  let b = B.create "ss" in
+  let x = B.input b and y = B.input b in
+  B.output b (B.and_ b x y);
+  let enc = Circuits.Tseitin.encode (B.finish b) in
+  Alcotest.(check (array int)) "sampling = inputs"
+    enc.Circuits.Tseitin.input_vars
+    (Cnf.Formula.sampling_vars enc.Circuits.Tseitin.formula)
+
+let test_tseitin_assert_outputs_counts () =
+  (* AND circuit with asserted output: only input 11 survives *)
+  let b = B.create "assert" in
+  let x = B.input b and y = B.input b in
+  B.output b (B.and_ b x y);
+  let enc = Circuits.Tseitin.encode (B.finish b) in
+  Alcotest.(check int) "one witness" 1
+    (Counting.Exact_counter.count enc.Circuits.Tseitin.formula)
+
+(* the inputs of a Tseitin encoding form an independent support *)
+let test_tseitin_inputs_are_independent_support () =
+  let b = B.create "indep" in
+  let x = B.input b and y = B.input b and z = B.input b in
+  B.output b (B.xor_ b (B.and_ b x y) z);
+  let enc = Circuits.Tseitin.encode ~assert_outputs:false (B.finish b) in
+  let support = Array.to_list enc.Circuits.Tseitin.input_vars in
+  match Sat.Indsupport.check enc.Circuits.Tseitin.formula support with
+  | Sat.Indsupport.Independent -> ()
+  | _ -> Alcotest.fail "inputs must be an independent support"
+
+(* ------------------------------------------------------------------ *)
+(* Sequential unrolling *)
+
+let toggle_circuit () =
+  (* one state bit; next = state xor input; observable = state *)
+  let b = B.create "toggle" in
+  let s = B.input b and i = B.input b in
+  B.output b (B.xor_ b s i);
+  B.output b s;
+  Circuits.Sequential.create ~name:"toggle" ~state_width:1 ~input_width:1
+    (B.finish b)
+
+let test_unroll_semantics () =
+  let seq = toggle_circuit () in
+  let unrolled = Circuits.Sequential.unroll ~steps:3 seq in
+  (* inputs: s0, i1, i2, i3; outputs: last observable (state before
+     step 3) then final state *)
+  Alcotest.(check int) "inputs" 4 unrolled.Circuits.Netlist.num_inputs;
+  let out = Circuits.Netlist.simulate unrolled [| false; true; true; true |] in
+  let final = out.(Array.length out - 1) in
+  Alcotest.(check bool) "three toggles from 0" true final
+
+let test_unroll_observe_all () =
+  let seq = toggle_circuit () in
+  let unrolled = Circuits.Sequential.unroll ~observe_last_only:false ~steps:2 seq in
+  (* observables of both steps + final state = 3 outputs *)
+  Alcotest.(check int) "outputs" 3 (Array.length unrolled.Circuits.Netlist.outputs)
+
+let test_unroll_matches_step_simulation () =
+  let rng = Rng.create 3 in
+  let seq = Circuits.Generators.nonlinear_fsm ~rng ~name:"fsm" ~width:5 in
+  let steps = 4 in
+  let unrolled = Circuits.Sequential.unroll ~steps seq in
+  for trial = 1 to 20 do
+    ignore trial;
+    let init = Array.init 5 (fun _ -> Rng.bool rng) in
+    let ext = Array.init steps (fun _ -> Rng.bool rng) in
+    (* reference: iterate the step netlist *)
+    let state = ref init in
+    for s = 0 to steps - 1 do
+      let outs =
+        Circuits.Netlist.simulate seq.Circuits.Sequential.step
+          (Array.append !state [| ext.(s) |])
+      in
+      state := Array.sub outs 0 5
+    done;
+    let inputs = Array.append init ext in
+    let out = Circuits.Netlist.simulate unrolled inputs in
+    let final = Array.sub out (Array.length out - 5) 5 in
+    Alcotest.(check (array bool)) "final state agrees" !state final
+  done
+
+let test_sequential_validation () =
+  let b = B.create "bad" in
+  let _ = B.input b in
+  let seq_attempt () =
+    ignore
+      (Circuits.Sequential.create ~name:"bad" ~state_width:2 ~input_width:1
+         (B.finish b))
+  in
+  Alcotest.(check bool) "arity mismatch rejected" true
+    (try
+       seq_attempt ();
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+let test_lfsr_shifts () =
+  let seq = Circuits.Generators.lfsr ~name:"l" ~width:8 ~taps:[ 0; 3; 7 ] in
+  let state = Array.init 8 (fun i -> i mod 2 = 0) in
+  let outs =
+    Circuits.Netlist.simulate seq.Circuits.Sequential.step
+      (Array.append state [| false |])
+  in
+  (* bit i of next state = bit (i-1) of previous, for i >= 1 *)
+  for i = 1 to 7 do
+    Alcotest.(check bool) (Printf.sprintf "shift bit %d" i) state.(i - 1) outs.(i)
+  done;
+  (* feedback = parity of taps *)
+  let fb = state.(0) <> state.(3) <> state.(7) in
+  Alcotest.(check bool) "feedback" fb outs.(0)
+
+let test_squaring_equivalence_solutions () =
+  (* bits=4, x² ≡ 1 (mod 8) ⇔ x odd (x ∈ {1,3,5,...,15}) *)
+  let nl = Circuits.Generators.squaring_equivalence ~bits:4 ~residue:1 ~modulus_bits:3 in
+  let matching = ref 0 in
+  for x = 0 to 15 do
+    let out = Circuits.Netlist.simulate nl (Circuits.Arith.of_int ~width:4 x) in
+    if out.(0) then incr matching;
+    Alcotest.(check bool)
+      (Printf.sprintf "x=%d" x)
+      (x * x mod 8 = 1)
+      out.(0)
+  done;
+  Alcotest.(check int) "8 odd values" 8 !matching
+
+let test_multiplier_equivalence_count () =
+  (* witnesses = (x, y, z=x·y): exactly 2^(2·bits) *)
+  let nl = Circuits.Generators.multiplier_equivalence ~bits:2 in
+  let enc = Circuits.Tseitin.encode nl in
+  Alcotest.(check int) "16 witnesses" 16
+    (Counting.Exact_counter.count enc.Circuits.Tseitin.formula)
+
+let test_sketch_solutions_match_spec () =
+  let rng = Rng.create 11 in
+  let nl =
+    Circuits.Generators.sketch ~rng ~name:"sk" ~control_bits:6 ~data_bits:4
+      ~num_tests:2
+  in
+  Alcotest.(check int) "controls are the inputs" 6 nl.Circuits.Netlist.num_inputs;
+  (* the output must be monotone in "more tests pass": just check that
+     SOME control assignment satisfies the sketch and the encoded
+     formula agrees with simulation on a few vectors *)
+  let enc = Circuits.Tseitin.encode ~assert_outputs:false nl in
+  let f = enc.Circuits.Tseitin.formula in
+  for mask = 0 to 63 do
+    let inputs = Array.init 6 (fun i -> mask land (1 lsl i) <> 0) in
+    let sim = (Circuits.Netlist.simulate nl inputs).(0) in
+    let units =
+      Array.to_list enc.Circuits.Tseitin.input_vars
+      |> List.mapi (fun i v -> Cnf.Clause.of_list [ Cnf.Lit.make v inputs.(i) ])
+    in
+    let g =
+      Cnf.Formula.add_clauses f
+        (Cnf.Clause.of_list [ Cnf.Lit.pos enc.Circuits.Tseitin.output_vars.(0) ]
+        :: units)
+    in
+    let solver = Sat.Solver.create g in
+    let sat = Sat.Solver.solve solver = Sat.Solver.Sat in
+    Alcotest.(check bool) (Printf.sprintf "mask %d" mask) sim sat
+  done
+
+let test_case_formula_satisfiable_and_projected () =
+  let rng = Rng.create 5 in
+  let f = Circuits.Generators.case_formula ~rng ~num_inputs:8 ~num_gates:30 in
+  let s = Array.length (Cnf.Formula.sampling_vars f) in
+  Alcotest.(check int) "sampling = inputs" 8 s
+
+let () =
+  Alcotest.run "circuits"
+    [
+      ( "netlist",
+        [
+          Alcotest.test_case "gates" `Quick test_simple_gates;
+          Alcotest.test_case "mux" `Quick test_mux;
+          Alcotest.test_case "consts and lists" `Quick test_const_and_lists;
+          Alcotest.test_case "dangling" `Quick test_builder_rejects_dangling;
+          Alcotest.test_case "input arity" `Quick test_wrong_input_arity;
+          Alcotest.test_case "gate count" `Quick test_num_gates;
+        ] );
+      ( "arith",
+        [
+          Alcotest.test_case "adder" `Quick test_adder;
+          Alcotest.test_case "multiplier" `Quick test_multiplier;
+          Alcotest.test_case "squarer" `Quick test_squarer;
+          Alcotest.test_case "comparators" `Quick test_comparators;
+          Alcotest.test_case "int roundtrip" `Quick test_int_roundtrip;
+        ] );
+      ( "tseitin",
+        [
+          Alcotest.test_case "gate mix" `Quick test_tseitin_gate_mix;
+          Alcotest.test_case "arithmetic" `Quick test_tseitin_arith;
+          Alcotest.test_case "constants" `Quick test_tseitin_constants;
+          Alcotest.test_case "sampling set" `Quick test_tseitin_sampling_set_is_inputs;
+          Alcotest.test_case "asserted outputs" `Quick test_tseitin_assert_outputs_counts;
+          Alcotest.test_case "independent support" `Quick
+            test_tseitin_inputs_are_independent_support;
+        ] );
+      ( "sequential",
+        [
+          Alcotest.test_case "unroll semantics" `Quick test_unroll_semantics;
+          Alcotest.test_case "observe all" `Quick test_unroll_observe_all;
+          Alcotest.test_case "unroll vs iteration" `Quick test_unroll_matches_step_simulation;
+          Alcotest.test_case "validation" `Quick test_sequential_validation;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "lfsr" `Quick test_lfsr_shifts;
+          Alcotest.test_case "squaring equivalence" `Quick
+            test_squaring_equivalence_solutions;
+          Alcotest.test_case "multiplier equivalence" `Quick
+            test_multiplier_equivalence_count;
+          Alcotest.test_case "sketch" `Quick test_sketch_solutions_match_spec;
+          Alcotest.test_case "case formula" `Quick test_case_formula_satisfiable_and_projected;
+        ] );
+    ]

@@ -1,0 +1,252 @@
+(* Tests for the exact counter and ApproxMC, cross-checked against the
+   brute-force counter. *)
+
+let clause = Cnf.Clause.of_dimacs
+
+(* ------------------------------------------------------------------ *)
+(* Exact counter *)
+
+let test_exact_free_vars () =
+  let f = Cnf.Formula.create ~num_vars:10 [] in
+  Alcotest.(check int) "2^10" 1024 (Counting.Exact_counter.count f)
+
+let test_exact_simple () =
+  let f = Cnf.Formula.create ~num_vars:3 [ clause [ 1; 2 ] ] in
+  (* (v1 ∨ v2) over 3 vars: 3/4 * 8 = 6 *)
+  Alcotest.(check int) "count" 6 (Counting.Exact_counter.count f)
+
+let test_exact_unsat () =
+  let f = Cnf.Formula.create ~num_vars:2 [ clause [ 1 ]; clause [ -1 ] ] in
+  Alcotest.(check int) "zero" 0 (Counting.Exact_counter.count f)
+
+let test_exact_unit_chain () =
+  let chain = List.init 9 (fun i -> clause [ -(i + 1); i + 2 ]) in
+  let f = Cnf.Formula.create ~num_vars:10 (clause [ 1 ] :: chain) in
+  Alcotest.(check int) "unique model" 1 (Counting.Exact_counter.count f)
+
+let test_exact_components_multiply () =
+  (* (v1 ∨ v2) and (v3 ∨ v4) are disjoint: 3 * 3 = 9 *)
+  let f = Cnf.Formula.create ~num_vars:4 [ clause [ 1; 2 ]; clause [ 3; 4 ] ] in
+  Alcotest.(check int) "9" 9 (Counting.Exact_counter.count f)
+
+let test_exact_with_xors () =
+  (* one xor over 4 variables halves the space *)
+  let f =
+    Cnf.Formula.create_with_xors ~num_vars:4 []
+      [ Cnf.Xor_clause.make [ 1; 2; 3; 4 ] true ]
+  in
+  Alcotest.(check int) "8" 8 (Counting.Exact_counter.count f)
+
+let test_exact_restricted () =
+  let f = Cnf.Formula.create ~num_vars:3 [ clause [ 1; 2 ] ] in
+  Alcotest.(check int) "v1=T" 4
+    (Counting.Exact_counter.count_restricted f [ Cnf.Lit.pos 1 ]);
+  Alcotest.(check int) "v1=F" 2
+    (Counting.Exact_counter.count_restricted f [ Cnf.Lit.neg 1 ])
+
+let test_exact_budget () =
+  (* ten disjoint ternary clauses force at least one branching step per
+     component, so a budget of 2 must be exhausted *)
+  let clauses =
+    List.init 10 (fun i ->
+        let base = 3 * i in
+        clause [ base + 1; base + 2; base + 3 ])
+  in
+  let f = Cnf.Formula.create ~num_vars:30 clauses in
+  Alcotest.(check bool) "budget exhausts" true
+    (try
+       ignore (Counting.Exact_counter.count ~max_decisions:2 f);
+       false
+     with Failure _ -> true)
+
+let prop_exact_matches_brute =
+  QCheck2.Test.make ~count:300 ~name:"exact counter = brute count"
+    Test_util.Gen.formula_spec
+    (fun spec ->
+      let f = Test_util.Gen.build_spec spec in
+      Counting.Exact_counter.count f = Sat.Brute.count f)
+
+(* ------------------------------------------------------------------ *)
+(* Projected counting *)
+
+let test_projected_exact () =
+  (* v3 = v1: projecting onto {1,2} halves nothing, onto {2,3} nothing,
+     onto {2} gives 2 *)
+  let f = Cnf.Formula.create ~num_vars:3 [ clause [ -1; 3 ]; clause [ 1; -3 ] ] in
+  Alcotest.(check bool) "onto {1,2}" true
+    (Counting.Projected.count f [| 1; 2 |] = Counting.Projected.Exact 4);
+  Alcotest.(check bool) "onto {2}" true
+    (Counting.Projected.count f [| 2 |] = Counting.Projected.Exact 2)
+
+let test_projected_limit () =
+  let f = Cnf.Formula.create ~num_vars:12 [] in
+  match Counting.Projected.count ~limit:100 f [| 1; 2; 3; 4; 5; 6; 7; 8 |] with
+  | Counting.Projected.At_least n -> Alcotest.(check int) "hit limit" 100 n
+  | Counting.Projected.Exact _ -> Alcotest.fail "2^8 > 100: limit must hit"
+
+let test_projected_sampling_set () =
+  let f =
+    Cnf.Formula.create ~sampling_set:[ 1; 2 ] ~num_vars:4 [ clause [ 1; 2 ] ]
+  in
+  Alcotest.(check bool) "3 projections" true
+    (Counting.Projected.count_on_sampling_set f = Counting.Projected.Exact 3)
+
+let prop_projected_matches_brute =
+  QCheck2.Test.make ~count:150 ~name:"projected count = brute projected count"
+    QCheck2.Gen.(pair Test_util.Gen.formula_spec (int_bound 100000))
+    (fun (spec, pseed) ->
+      let f = Test_util.Gen.build_spec spec in
+      let nv = f.Cnf.Formula.num_vars in
+      let rng = Rng.create pseed in
+      let proj =
+        List.filter (fun _ -> Rng.bool rng) (List.init nv (fun i -> i + 1))
+      in
+      let proj = Array.of_list (if proj = [] then [ 1 ] else proj) in
+      Counting.Projected.count f proj
+      = Counting.Projected.Exact (Sat.Brute.count_projected f proj))
+
+(* ------------------------------------------------------------------ *)
+(* ApproxMC parameters *)
+
+let test_pivot_formula () =
+  (* pivot(0.8) = ⌈2 e^1.5 (1 + 1/0.8)²⌉ = ⌈45.38⌉ = 46 *)
+  Alcotest.(check int) "pivot(0.8)" 46 (Counting.Approxmc.pivot_of_epsilon 0.8)
+
+let test_iterations_formula () =
+  (* t(0.2) = ⌈35 log2 15⌉ = 137 *)
+  Alcotest.(check int) "t(0.2)" 137 (Counting.Approxmc.iterations_of_delta 0.2)
+
+let test_params_invalid () =
+  Alcotest.(check bool) "bad epsilon" true
+    (try
+       ignore (Counting.Approxmc.pivot_of_epsilon 0.0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad delta" true
+    (try
+       ignore (Counting.Approxmc.iterations_of_delta 1.5);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* ApproxMC behaviour *)
+
+let approx ?iterations f =
+  let rng = Rng.create 1234 in
+  Counting.Approxmc.count ?iterations ~rng ~epsilon:0.8 ~delta:0.8 f
+
+let test_approx_unsat () =
+  let f = Cnf.Formula.create ~num_vars:2 [ clause [ 1 ]; clause [ -1 ] ] in
+  match approx f with
+  | Error Counting.Approxmc.Unsat -> ()
+  | _ -> Alcotest.fail "expected Unsat"
+
+let test_approx_exact_below_pivot () =
+  let f = Cnf.Formula.create ~num_vars:5 [ clause [ 1 ] ] in
+  (* 16 witnesses < pivot 46: must be exact *)
+  match approx f with
+  | Ok r ->
+      Alcotest.(check bool) "exact" true r.Counting.Approxmc.exact;
+      Alcotest.(check (float 0.01)) "16" 16.0 r.Counting.Approxmc.estimate
+  | Error _ -> Alcotest.fail "unexpected error"
+
+let test_approx_within_tolerance () =
+  (* 2^10 witnesses; the (0.8, 0.8) estimate should fall within a
+     factor 1.8 of 1024 with good probability; with 9 iterations and a
+     fixed seed this is deterministic *)
+  let f = Cnf.Formula.create ~num_vars:10 [] in
+  match approx ~iterations:9 f with
+  | Ok r ->
+      let e = r.Counting.Approxmc.estimate in
+      Alcotest.(check bool)
+        (Printf.sprintf "estimate %.0f within [569, 1844]" e)
+        true
+        (e >= 1024.0 /. 1.8 && e <= 1024.0 *. 1.8)
+  | Error _ -> Alcotest.fail "unexpected error"
+
+let test_approx_respects_sampling_set () =
+  (* v2..v5 duplicate v1: projected on {1}, count = 2 *)
+  let eq a b = [ clause [ -a; b ]; clause [ a; -b ] ] in
+  let f =
+    Cnf.Formula.create ~sampling_set:[ 1 ] ~num_vars:5
+      (List.concat_map (fun v -> eq 1 v) [ 2; 3; 4; 5 ])
+  in
+  match approx f with
+  | Ok r -> Alcotest.(check (float 0.01)) "2 cells" 2.0 r.Counting.Approxmc.estimate
+  | Error _ -> Alcotest.fail "unexpected error"
+
+let test_approx_leapfrog_matches () =
+  let f = Cnf.Formula.create ~num_vars:9 [ clause [ 1; 2; 3 ] ] in
+  let rng = Rng.create 77 in
+  match
+    Counting.Approxmc.count ~leapfrog:true ~iterations:9 ~rng ~epsilon:0.8
+      ~delta:0.8 f
+  with
+  | Ok r ->
+      let truth = float_of_int (Sat.Brute.count f) in
+      let e = r.Counting.Approxmc.estimate in
+      Alcotest.(check bool) "leapfrog estimate sane" true
+        (e >= truth /. 1.8 && e <= truth *. 1.8)
+  | Error _ -> Alcotest.fail "unexpected error"
+
+let prop_approx_envelope =
+  (* Statistical envelope check: the estimate should usually fall
+     within the tolerance; we allow a conservative error margin since
+     delta = 0.8 only promises 20%... but the median construction does
+     much better in practice. We tolerate up to 15% envelope misses. *)
+  QCheck2.Test.make ~count:40 ~name:"approxmc envelope (statistical)"
+    QCheck2.Gen.(pair (int_bound 100000) (int_range 7 11))
+    (fun (seed, nv) ->
+      let rng = Rng.create seed in
+      let f =
+        Test_util.Gen.random_cnf rng ~num_vars:nv ~num_clauses:(nv / 2) ~width:3
+      in
+      let truth = Sat.Brute.count f in
+      match
+        Counting.Approxmc.count ~iterations:9 ~rng ~epsilon:0.8 ~delta:0.8 f
+      with
+      | Error Counting.Approxmc.Unsat -> truth = 0
+      | Error Counting.Approxmc.Timed_out -> false
+      | Ok r ->
+          let e = r.Counting.Approxmc.estimate in
+          let t = float_of_int truth in
+          (* generous envelope: factor 4 covers the randomness of a
+             9-iteration median at these sizes *)
+          e >= t /. 4.0 && e <= t *. 4.0)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_exact_matches_brute; prop_approx_envelope ]
+
+let () =
+  Alcotest.run "counting"
+    [
+      ( "exact",
+        [
+          Alcotest.test_case "free vars" `Quick test_exact_free_vars;
+          Alcotest.test_case "simple" `Quick test_exact_simple;
+          Alcotest.test_case "unsat" `Quick test_exact_unsat;
+          Alcotest.test_case "unit chain" `Quick test_exact_unit_chain;
+          Alcotest.test_case "components multiply" `Quick test_exact_components_multiply;
+          Alcotest.test_case "with xors" `Quick test_exact_with_xors;
+          Alcotest.test_case "restricted" `Quick test_exact_restricted;
+          Alcotest.test_case "budget" `Quick test_exact_budget;
+        ] );
+      ( "projected",
+        [
+          Alcotest.test_case "exact" `Quick test_projected_exact;
+          Alcotest.test_case "limit" `Quick test_projected_limit;
+          Alcotest.test_case "sampling set" `Quick test_projected_sampling_set;
+        ] );
+      ( "approxmc",
+        [
+          Alcotest.test_case "pivot formula" `Quick test_pivot_formula;
+          Alcotest.test_case "iterations formula" `Quick test_iterations_formula;
+          Alcotest.test_case "invalid params" `Quick test_params_invalid;
+          Alcotest.test_case "unsat" `Quick test_approx_unsat;
+          Alcotest.test_case "exact below pivot" `Quick test_approx_exact_below_pivot;
+          Alcotest.test_case "within tolerance" `Quick test_approx_within_tolerance;
+          Alcotest.test_case "sampling set" `Quick test_approx_respects_sampling_set;
+          Alcotest.test_case "leapfrog" `Quick test_approx_leapfrog_matches;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,311 @@
+(* Tests for the constrained-random-verification front end. *)
+
+module C = Crv.Constraint_spec
+
+(* enumerate all stimuli satisfying the compiled spec, by brute force
+   over the stimulus bits *)
+let all_stimuli compiled =
+  let f = C.formula compiled in
+  let out = Sat.Bsat.enumerate ~limit:100_000 f in
+  if not out.Sat.Bsat.exhausted then failwith "too many stimuli";
+  List.map (C.decode compiled) out.Sat.Bsat.models
+
+let test_single_field_range () =
+  let spec = C.create "range" in
+  let x = C.field spec ~name:"x" ~width:4 in
+  C.constrain spec (C.ult (C.var x) (C.const ~width:4 5));
+  let compiled = C.compile spec in
+  let stimuli = all_stimuli compiled in
+  Alcotest.(check int) "5 legal values" 5 (List.length stimuli);
+  List.iter
+    (fun s -> Alcotest.(check bool) "x < 5" true (List.assoc "x" s < 5))
+    stimuli
+
+let test_arith_constraint () =
+  let spec = C.create "sum" in
+  let a = C.field spec ~name:"a" ~width:3 in
+  let b = C.field spec ~name:"b" ~width:3 in
+  (* a + b = 5 (mod 8) *)
+  C.constrain spec (C.eq (C.add (C.var a) (C.var b)) (C.const ~width:3 5));
+  let compiled = C.compile spec in
+  let stimuli = all_stimuli compiled in
+  Alcotest.(check int) "8 solutions" 8 (List.length stimuli);
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "sum" 5 ((List.assoc "a" s + List.assoc "b" s) mod 8))
+    stimuli
+
+let test_bitwise_and_predicates () =
+  let spec = C.create "bits" in
+  let v = C.field spec ~name:"v" ~width:4 in
+  (* bit 0 set, parity odd, v != 1: v ∈ {x odd with odd popcount} \ {1} *)
+  C.constrain spec (C.bit (C.var v) 0);
+  C.constrain spec (C.parity_odd (C.var v));
+  C.constrain spec (C.ne (C.var v) (C.const ~width:4 1));
+  let compiled = C.compile spec in
+  let values = List.map (fun s -> List.assoc "v" s) (all_stimuli compiled) in
+  let expected =
+    List.filter
+      (fun v ->
+        v land 1 = 1
+        && (let rec pop v = if v = 0 then 0 else (v land 1) + pop (v lsr 1) in
+            pop v mod 2 = 1)
+        && v <> 1)
+      (List.init 16 Fun.id)
+  in
+  Alcotest.(check (list int)) "values" expected (List.sort compare values)
+
+let test_implication_and_bool_ops () =
+  let spec = C.create "impl" in
+  let op = C.field spec ~name:"op" ~width:2 in
+  let len = C.field spec ~name:"len" ~width:2 in
+  (* op = 3 -> len >= 2 *)
+  C.constrain spec
+    (C.implies
+       (C.eq (C.var op) (C.const ~width:2 3))
+       (C.ule (C.const ~width:2 2) (C.var len)));
+  let compiled = C.compile spec in
+  let stimuli = all_stimuli compiled in
+  (* 3 free ops x 4 lens + op=3 x 2 lens = 14 *)
+  Alcotest.(check int) "14 solutions" 14 (List.length stimuli);
+  List.iter
+    (fun s ->
+      if List.assoc "op" s = 3 then
+        Alcotest.(check bool) "len >= 2" true (List.assoc "len" s >= 2))
+    stimuli
+
+let test_bv_ops_semantics () =
+  let spec = C.create "ops" in
+  let a = C.field spec ~name:"a" ~width:3 in
+  let b = C.field spec ~name:"b" ~width:3 in
+  (* (a AND b) = 0, (a OR b) = 7, i.e. b = NOT a: 8 solutions *)
+  C.constrain spec (C.eq (C.band (C.var a) (C.var b)) (C.const ~width:3 0));
+  C.constrain spec (C.eq (C.bor (C.var a) (C.var b)) (C.const ~width:3 7));
+  let compiled = C.compile spec in
+  let stimuli = all_stimuli compiled in
+  Alcotest.(check int) "8 complements" 8 (List.length stimuli);
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "b = ~a" (7 - List.assoc "a" s) (List.assoc "b" s))
+    stimuli
+
+let test_xor_and_not () =
+  let spec = C.create "xor" in
+  let a = C.field spec ~name:"a" ~width:4 in
+  C.constrain spec
+    (C.eq (C.bxor (C.var a) (C.bnot (C.var a))) (C.const ~width:4 15));
+  let compiled = C.compile spec in
+  (* tautology: all 16 values *)
+  Alcotest.(check int) "16" 16 (List.length (all_stimuli compiled))
+
+let test_zero_extend () =
+  let spec = C.create "zext" in
+  let a = C.field spec ~name:"a" ~width:2 in
+  C.constrain spec
+    (C.eq (C.zero_extend (C.var a) ~width:4) (C.const ~width:4 2));
+  let compiled = C.compile spec in
+  let stimuli = all_stimuli compiled in
+  Alcotest.(check int) "unique" 1 (List.length stimuli);
+  Alcotest.(check int) "a = 2" 2 (List.assoc "a" (List.hd stimuli))
+
+let test_validation () =
+  let spec = C.create "bad" in
+  let a = C.field spec ~name:"a" ~width:3 in
+  Alcotest.(check bool) "duplicate name" true
+    (try
+       ignore (C.field spec ~name:"a" ~width:2);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "width mismatch" true
+    (try
+       ignore (C.eq (C.var a) (C.const ~width:4 0));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "const too wide" true
+    (try
+       ignore (C.const ~width:2 4);
+       false
+     with Invalid_argument _ -> true);
+  ignore (C.compile spec);
+  Alcotest.(check bool) "sealed" true
+    (try
+       ignore (C.field spec ~name:"b" ~width:2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sampling_set_is_stimulus () =
+  let spec = C.create "ss" in
+  let _ = C.field spec ~name:"a" ~width:5 in
+  let _ = C.field spec ~name:"b" ~width:3 in
+  C.constrain spec C.ptrue;
+  let compiled = C.compile spec in
+  Alcotest.(check int) "8 stimulus bits" 8 (C.stimulus_bits compiled);
+  Alcotest.(check int) "sampling set = stimulus" 8
+    (Array.length (Cnf.Formula.sampling_vars (C.formula compiled)))
+
+(* ------------------------------------------------------------------ *)
+(* Testbench *)
+
+let test_testbench_stimuli_satisfy_constraints () =
+  let spec = C.create "tb" in
+  let op = C.field spec ~name:"op" ~width:4 in
+  let addr = C.field spec ~name:"addr" ~width:6 in
+  C.constrain spec (C.ult (C.var op) (C.const ~width:4 10));
+  C.constrain spec (C.ne (C.var addr) (C.const ~width:6 0));
+  let compiled = C.compile spec in
+  match Crv.Testbench.create ~seed:5 ~count_iterations:5 compiled with
+  | Error _ -> Alcotest.fail "testbench creation failed"
+  | Ok tb ->
+      Alcotest.(check bool) "space estimate sensible" true
+        (Crv.Testbench.estimated_stimulus_space tb > 100.0);
+      for _ = 1 to 25 do
+        match Crv.Testbench.next tb with
+        | None -> Alcotest.fail "stimulus generation failed"
+        | Some s ->
+            Alcotest.(check bool) "op < 10" true (List.assoc "op" s < 10);
+            Alcotest.(check bool) "addr != 0" true (List.assoc "addr" s <> 0)
+      done
+
+let test_testbench_unsat () =
+  let spec = C.create "unsat" in
+  let a = C.field spec ~name:"a" ~width:2 in
+  C.constrain spec (C.ult (C.var a) (C.const ~width:2 0));
+  let compiled = C.compile spec in
+  match Crv.Testbench.create compiled with
+  | Error Crv.Testbench.Unsatisfiable_constraints -> ()
+  | _ -> Alcotest.fail "expected Unsatisfiable_constraints"
+
+let test_testbench_spreads_stimuli () =
+  let spec = C.create "spread" in
+  let v = C.field spec ~name:"v" ~width:6 in
+  C.constrain spec (C.parity_odd (C.var v));
+  let compiled = C.compile spec in
+  match Crv.Testbench.create ~seed:6 ~count_iterations:5 compiled with
+  | Error _ -> Alcotest.fail "testbench creation failed"
+  | Ok tb ->
+      let seen = Hashtbl.create 32 in
+      for _ = 1 to 200 do
+        match Crv.Testbench.next tb with
+        | Some s -> Hashtbl.replace seen (List.assoc "v" s) ()
+        | None -> ()
+      done;
+      (* 32 legal values; uniform sampling should reach most of them *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%d/32 values seen" (Hashtbl.length seen))
+        true
+        (Hashtbl.length seen >= 25)
+
+(* ------------------------------------------------------------------ *)
+(* Coverage *)
+
+let test_coverage_basic () =
+  let cov = Crv.Coverage.create () in
+  Crv.Coverage.coverpoint cov ~field:"op"
+    [
+      { Crv.Coverage.label = "low"; lo = 0; hi = 3 };
+      { Crv.Coverage.label = "high"; lo = 4; hi = 7 };
+    ];
+  Crv.Coverage.record cov [ ("op", 2) ];
+  Crv.Coverage.record cov [ ("op", 3) ];
+  Alcotest.(check (list (pair string int)))
+    "hits" [ ("low", 2); ("high", 0) ]
+    (Crv.Coverage.hits cov ~field:"op");
+  Alcotest.(check (float 1e-9)) "half covered" 0.5 (Crv.Coverage.coverage cov);
+  Alcotest.(check (list string)) "unhit" [ "op.high" ] (Crv.Coverage.unhit cov);
+  Crv.Coverage.record cov [ ("op", 7) ];
+  Alcotest.(check (float 1e-9)) "full" 1.0 (Crv.Coverage.coverage cov);
+  Alcotest.(check int) "recorded" 3 (Crv.Coverage.stimuli_recorded cov)
+
+let test_coverage_auto_bins () =
+  let bins = Crv.Coverage.auto_bins ~count:4 ~width:4 () in
+  Alcotest.(check int) "4 bins" 4 (List.length bins);
+  let covers v = List.exists (fun b -> v >= b.Crv.Coverage.lo && v <= b.Crv.Coverage.hi) bins in
+  for v = 0 to 15 do
+    Alcotest.(check bool) (Printf.sprintf "v%d covered" v) true (covers v)
+  done
+
+let test_coverage_validation () =
+  let cov = Crv.Coverage.create () in
+  Alcotest.(check bool) "overlap rejected" true
+    (try
+       Crv.Coverage.coverpoint cov ~field:"f"
+         [
+           { Crv.Coverage.label = "a"; lo = 0; hi = 5 };
+           { Crv.Coverage.label = "b"; lo = 5; hi = 9 };
+         ];
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "cross needs points" true
+    (try
+       Crv.Coverage.cross cov "x" "y";
+       false
+     with Invalid_argument _ -> true)
+
+let test_coverage_cross () =
+  let cov = Crv.Coverage.create () in
+  let two field =
+    Crv.Coverage.coverpoint cov ~field
+      [
+        { Crv.Coverage.label = "0"; lo = 0; hi = 0 };
+        { Crv.Coverage.label = "1"; lo = 1; hi = 1 };
+      ]
+  in
+  two "a";
+  two "b";
+  Crv.Coverage.cross cov "a" "b";
+  Crv.Coverage.record cov [ ("a", 0); ("b", 1) ];
+  Crv.Coverage.record cov [ ("a", 1); ("b", 1) ];
+  (* point bins: 3/4 hit (a.0, a.1, b.1); cross bins: 2/4 *)
+  Alcotest.(check (float 1e-9)) "coverage" (5.0 /. 8.0) (Crv.Coverage.coverage cov);
+  let missing = Crv.Coverage.unhit cov in
+  Alcotest.(check int) "3 unhit" 3 (List.length missing)
+
+let test_coverage_with_testbench () =
+  let spec = C.create "cov_tb" in
+  let v = C.field spec ~name:"v" ~width:5 in
+  C.constrain spec (C.parity_odd (C.var v));
+  let compiled = C.compile spec in
+  match Crv.Testbench.create ~seed:8 ~count_iterations:5 compiled with
+  | Error _ -> Alcotest.fail "testbench failed"
+  | Ok tb ->
+      let cov = Crv.Coverage.create () in
+      Crv.Coverage.coverpoint cov ~field:"v" (Crv.Coverage.auto_bins ~count:8 ~width:5 ());
+      let budget = ref 300 in
+      while Crv.Coverage.coverage cov < 1.0 && !budget > 0 do
+        decr budget;
+        match Crv.Testbench.next tb with
+        | Some s -> Crv.Coverage.record cov s
+        | None -> ()
+      done;
+      Alcotest.(check (float 1e-9)) "closure reached" 1.0 (Crv.Coverage.coverage cov)
+
+let () =
+  Alcotest.run "crv"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "range" `Quick test_single_field_range;
+          Alcotest.test_case "arith" `Quick test_arith_constraint;
+          Alcotest.test_case "bitwise + predicates" `Quick test_bitwise_and_predicates;
+          Alcotest.test_case "implication" `Quick test_implication_and_bool_ops;
+          Alcotest.test_case "bv ops" `Quick test_bv_ops_semantics;
+          Alcotest.test_case "xor/not" `Quick test_xor_and_not;
+          Alcotest.test_case "zero extend" `Quick test_zero_extend;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "sampling set" `Quick test_sampling_set_is_stimulus;
+        ] );
+      ( "testbench",
+        [
+          Alcotest.test_case "constraints hold" `Slow test_testbench_stimuli_satisfy_constraints;
+          Alcotest.test_case "unsat" `Quick test_testbench_unsat;
+          Alcotest.test_case "spreads" `Slow test_testbench_spreads_stimuli;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "basic" `Quick test_coverage_basic;
+          Alcotest.test_case "auto bins" `Quick test_coverage_auto_bins;
+          Alcotest.test_case "validation" `Quick test_coverage_validation;
+          Alcotest.test_case "cross" `Quick test_coverage_cross;
+          Alcotest.test_case "closure with testbench" `Slow test_coverage_with_testbench;
+        ] );
+    ]

@@ -1,0 +1,247 @@
+(* Tests for the EDA interchange formats: BLIF and AIGER. Round-trips
+   are checked by exhaustive simulation equivalence. *)
+
+module B = Circuits.Netlist.Builder
+
+let simulate_all nl =
+  let n = nl.Circuits.Netlist.num_inputs in
+  List.init (1 lsl n) (fun mask ->
+      let inputs = Array.init n (fun i -> mask land (1 lsl i) <> 0) in
+      Circuits.Netlist.simulate nl inputs)
+
+let check_equivalent name a b =
+  Alcotest.(check int)
+    (name ^ ": same input count")
+    a.Circuits.Netlist.num_inputs b.Circuits.Netlist.num_inputs;
+  List.iter2
+    (fun oa ob -> Alcotest.(check (array bool)) (name ^ ": outputs") oa ob)
+    (simulate_all a) (simulate_all b)
+
+let sample_netlists () =
+  let gates () =
+    let b = B.create "gates" in
+    let x = B.input b and y = B.input b and z = B.input b in
+    B.output b (B.and_ b x y);
+    B.output b (B.xor_ b (B.or_ b x z) (B.not_ b y));
+    B.output b (B.mux b ~sel:x y z);
+    B.finish b
+  in
+  let consts () =
+    let b = B.create "consts" in
+    let x = B.input b in
+    B.output b (B.and_ b x (B.const b true));
+    B.output b (B.const b false);
+    B.finish b
+  in
+  let adder () =
+    let b = B.create "adder" in
+    let xs = Circuits.Arith.input_word b ~width:3 in
+    let ys = Circuits.Arith.input_word b ~width:3 in
+    List.iter (B.output b) (Circuits.Arith.ripple_adder b xs ys);
+    B.finish b
+  in
+  [ ("gates", gates ()); ("consts", consts ()); ("adder", adder ()) ]
+
+(* ------------------------------------------------------------------ *)
+(* BLIF *)
+
+let test_blif_roundtrip () =
+  List.iter
+    (fun (name, nl) ->
+      let parsed = Circuits.Blif.of_string (Circuits.Blif.to_string nl) in
+      check_equivalent ("blif " ^ name) nl parsed)
+    (sample_netlists ())
+
+let test_blif_parse_handwritten () =
+  let text =
+    ".model xor2\n.inputs a b\n.outputs y\n.names a b y\n10 1\n01 1\n.end\n"
+  in
+  let nl = Circuits.Blif.of_string text in
+  Alcotest.(check int) "2 inputs" 2 nl.Circuits.Netlist.num_inputs;
+  let run a b = (Circuits.Netlist.simulate nl [| a; b |]).(0) in
+  Alcotest.(check bool) "1^0" true (run true false);
+  Alcotest.(check bool) "1^1" false (run true true)
+
+let test_blif_zero_cover () =
+  (* 0-cover: output is 0 exactly on listed rows *)
+  let text = ".model nand2\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n" in
+  let nl = Circuits.Blif.of_string text in
+  let run a b = (Circuits.Netlist.simulate nl [| a; b |]).(0) in
+  Alcotest.(check bool) "nand 11" false (run true true);
+  Alcotest.(check bool) "nand 10" true (run true false)
+
+let test_blif_dont_care () =
+  let text = ".model or3\n.inputs a b c\n.outputs y\n.names a b c y\n1-- 1\n-1- 1\n--1 1\n.end\n" in
+  let nl = Circuits.Blif.of_string text in
+  let run a b c = (Circuits.Netlist.simulate nl [| a; b; c |]).(0) in
+  Alcotest.(check bool) "or 000" false (run false false false);
+  Alcotest.(check bool) "or 010" true (run false true false)
+
+let test_blif_out_of_order_names () =
+  (* g defined after the output that uses it *)
+  let text =
+    ".model ooo\n.inputs a\n.outputs y\n.names g y\n1 1\n.names a g\n0 1\n.end\n"
+  in
+  let nl = Circuits.Blif.of_string text in
+  Alcotest.(check bool) "y = not a" true
+    ((Circuits.Netlist.simulate nl [| false |]).(0))
+
+let test_blif_continuation_and_comments () =
+  let text =
+    ".model c # trailing comment\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n"
+  in
+  let nl = Circuits.Blif.of_string text in
+  Alcotest.(check int) "2 inputs" 2 nl.Circuits.Netlist.num_inputs
+
+let test_blif_errors () =
+  let expect text =
+    try
+      ignore (Circuits.Blif.of_string text);
+      Alcotest.failf "expected Parse_error on %S" text
+    with Circuits.Blif.Parse_error _ -> ()
+  in
+  expect ".inputs a\n.outputs y\n.end\n";
+  (* no .model *)
+  expect ".model m\n.inputs a\n.outputs y\n.latch a y\n.end\n";
+  expect ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.names a y\n0 1\n.end\n";
+  (* y defined twice *)
+  expect ".model m\n.inputs a\n.outputs y\n.names a y\n11 1\n.end\n"
+(* cover width mismatch *)
+
+let test_blif_file_io () =
+  let _, nl = List.hd (sample_netlists ()) in
+  let path = Filename.temp_file "unigen" ".blif" in
+  Circuits.Blif.write_file path nl;
+  let parsed = Circuits.Blif.parse_file path in
+  Sys.remove path;
+  check_equivalent "file io" nl parsed
+
+(* ------------------------------------------------------------------ *)
+(* AIGER *)
+
+let test_aiger_roundtrip () =
+  List.iter
+    (fun (name, nl) ->
+      let parsed = Circuits.Aiger.of_string (Circuits.Aiger.to_string nl) in
+      check_equivalent ("aiger " ^ name) nl parsed)
+    (sample_netlists ())
+
+let test_aiger_handwritten () =
+  (* y = a AND NOT b:  aag, vars: 1=a 2=b 3=and *)
+  let text = "aag 3 2 0 1 1\n2\n4\n6\n6 2 5\n" in
+  let nl = Circuits.Aiger.of_string text in
+  let run a b = (Circuits.Netlist.simulate nl [| a; b |]).(0) in
+  Alcotest.(check bool) "10" true (run true false);
+  Alcotest.(check bool) "11" false (run true true);
+  Alcotest.(check bool) "00" false (run false false)
+
+let test_aiger_constants () =
+  (* output literal 1 = constant true *)
+  let text = "aag 1 1 0 2 0\n2\n1\n0\n" in
+  let nl = Circuits.Aiger.of_string text in
+  let out = Circuits.Netlist.simulate nl [| false |] in
+  Alcotest.(check (array bool)) "consts" [| true; false |] out
+
+let test_aiger_negated_output () =
+  let text = "aag 1 1 0 1 0\n2\n3\n" in
+  let nl = Circuits.Aiger.of_string text in
+  Alcotest.(check bool) "not a" true ((Circuits.Netlist.simulate nl [| false |]).(0))
+
+let test_aiger_errors () =
+  let expect text =
+    try
+      ignore (Circuits.Aiger.of_string text);
+      Alcotest.failf "expected Parse_error on %S" text
+    with Circuits.Aiger.Parse_error _ -> ()
+  in
+  expect "aag 1 1 1 0 0\n2\n2 2 1\n";
+  (* latches unsupported *)
+  expect "aig 1 1 0 1 0\n";
+  (* binary format *)
+  expect "aag 1 1 0 1 0\n2\n";
+  (* truncated *)
+  expect "aag 2 1 0 1 1\n2\n4\n5 2 3\n"
+(* odd and lhs *)
+
+let test_aiger_structural_hashing () =
+  (* the writer deduplicates identical AND gates *)
+  let b = B.create "dup" in
+  let x = B.input b and y = B.input b in
+  let a1 = B.and_ b x y in
+  let a2 = B.and_ b x y in
+  B.output b a1;
+  B.output b a2;
+  let nl = B.finish b in
+  let text = Circuits.Aiger.to_string nl in
+  (* header: aag M I L O A — with hashing A can be 2 (two distinct
+     records would be pessimal but still correct); check semantics *)
+  let parsed = Circuits.Aiger.of_string text in
+  check_equivalent "dedup" nl parsed
+
+let test_aiger_file_io () =
+  let _, nl = List.hd (sample_netlists ()) in
+  let path = Filename.temp_file "unigen" ".aag" in
+  Circuits.Aiger.write_file path nl;
+  let parsed = Circuits.Aiger.parse_file path in
+  Sys.remove path;
+  check_equivalent "file io" nl parsed
+
+(* ------------------------------------------------------------------ *)
+(* Cross-format: BLIF -> netlist -> AIGER -> netlist -> CNF pipeline *)
+
+let test_cross_format_pipeline () =
+  let blif =
+    ".model maj\n.inputs a b c\n.outputs y\n.names a b c y\n11- 1\n1-1 1\n-11 1\n.end\n"
+  in
+  let nl = Circuits.Blif.of_string blif in
+  let nl2 = Circuits.Aiger.of_string (Circuits.Aiger.to_string nl) in
+  check_equivalent "blif->aiger" nl nl2;
+  (* and all the way to witness counting: majority has 4 models *)
+  let enc = Circuits.Tseitin.encode nl2 in
+  Alcotest.(check int) "4 witnesses" 4
+    (Counting.Exact_counter.count enc.Circuits.Tseitin.formula)
+
+let prop_random_dag_roundtrips =
+  QCheck2.Test.make ~count:60 ~name:"random netlists round-trip both formats"
+    QCheck2.Gen.(pair (int_bound 100000) (int_range 1 6))
+    (fun (seed, inputs) ->
+      let rng = Rng.create seed in
+      let nl =
+        Circuits.Generators.random_dag ~rng ~name:"r" ~num_inputs:inputs
+          ~num_gates:(5 + Rng.int rng 20) ~num_outputs:(1 + Rng.int rng 3)
+      in
+      let via_blif = Circuits.Blif.of_string (Circuits.Blif.to_string nl) in
+      let via_aig = Circuits.Aiger.of_string (Circuits.Aiger.to_string nl) in
+      simulate_all nl = simulate_all via_blif
+      && simulate_all nl = simulate_all via_aig)
+
+let () =
+  Alcotest.run "formats"
+    [
+      ( "blif",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_blif_roundtrip;
+          Alcotest.test_case "handwritten" `Quick test_blif_parse_handwritten;
+          Alcotest.test_case "zero cover" `Quick test_blif_zero_cover;
+          Alcotest.test_case "dont care" `Quick test_blif_dont_care;
+          Alcotest.test_case "out of order" `Quick test_blif_out_of_order_names;
+          Alcotest.test_case "continuations" `Quick test_blif_continuation_and_comments;
+          Alcotest.test_case "errors" `Quick test_blif_errors;
+          Alcotest.test_case "file io" `Quick test_blif_file_io;
+        ] );
+      ( "aiger",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_aiger_roundtrip;
+          Alcotest.test_case "handwritten" `Quick test_aiger_handwritten;
+          Alcotest.test_case "constants" `Quick test_aiger_constants;
+          Alcotest.test_case "negated output" `Quick test_aiger_negated_output;
+          Alcotest.test_case "errors" `Quick test_aiger_errors;
+          Alcotest.test_case "structural hashing" `Quick test_aiger_structural_hashing;
+          Alcotest.test_case "file io" `Quick test_aiger_file_io;
+        ] );
+      ( "cross",
+        [
+          Alcotest.test_case "pipeline" `Quick test_cross_format_pipeline;
+          QCheck_alcotest.to_alcotest prop_random_dag_roundtrips;
+        ] );
+    ]

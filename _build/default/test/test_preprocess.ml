@@ -1,0 +1,250 @@
+(* Tests for the sampling-safe preprocessor: every transformation must
+   preserve the witness-set projection on the sampling set. *)
+
+let clause = Cnf.Clause.of_dimacs
+
+let projected_keys (f : Cnf.Formula.t) vars =
+  (* set of projected witnesses, via brute force *)
+  let keys = Hashtbl.create 64 in
+  let n = f.Cnf.Formula.num_vars in
+  for mask = 0 to (1 lsl n) - 1 do
+    let value v = mask land (1 lsl (v - 1)) <> 0 in
+    if Cnf.Formula.eval f value then begin
+      let m = Cnf.Model.restrict (Cnf.Model.make n value) vars in
+      Hashtbl.replace keys (Cnf.Model.key m) ()
+    end
+  done;
+  keys
+
+let same_projection f g vars =
+  let a = projected_keys f vars and b = projected_keys g vars in
+  Hashtbl.length a = Hashtbl.length b
+  && Hashtbl.fold (fun k () acc -> acc && Hashtbl.mem b k) a true
+
+let run ?eliminate f =
+  match Preprocess.Simplify.run ?eliminate f with
+  | Ok r -> r
+  | Error `Unsat -> Alcotest.fail "unexpected Unsat"
+
+(* ------------------------------------------------------------------ *)
+
+let test_unit_propagation () =
+  let f =
+    Cnf.Formula.create ~num_vars:3
+      [ clause [ 1 ]; clause [ -1; 2 ]; clause [ -2; -3 ] ]
+  in
+  let r = run f in
+  Alcotest.(check (list (pair int bool)))
+    "all three forced"
+    [ (1, true); (2, true); (3, false) ]
+    (List.sort compare r.Preprocess.Simplify.forced)
+
+let test_unsat_detection () =
+  let f = Cnf.Formula.create ~num_vars:2 [ clause [ 1 ]; clause [ -1 ] ] in
+  Alcotest.(check bool) "unsat" true (Preprocess.Simplify.run f = Error `Unsat)
+
+let test_unsat_via_xor () =
+  let f =
+    Cnf.Formula.create_with_xors ~num_vars:2 [ clause [ 1 ]; clause [ 2 ] ]
+      [ Cnf.Xor_clause.make [ 1; 2 ] true ]
+  in
+  Alcotest.(check bool) "xor unsat" true (Preprocess.Simplify.run f = Error `Unsat)
+
+let test_subsumption () =
+  let f =
+    Cnf.Formula.create ~num_vars:3 [ clause [ 1; 2 ]; clause [ 1; 2; 3 ] ]
+  in
+  let r = run f in
+  Alcotest.(check int) "subsumed away" 1 r.Preprocess.Simplify.clauses_after
+
+let test_self_subsumption () =
+  (* (1 ∨ 2) and (1 ∨ ¬2 ∨ 3) strengthen to (1 ∨ 3) *)
+  let f =
+    Cnf.Formula.create ~num_vars:3 [ clause [ 1; 2 ]; clause [ 1; -2; 3 ] ]
+  in
+  let r = run f in
+  let has_strengthened =
+    Array.exists
+      (fun c -> List.sort compare (Cnf.Clause.to_dimacs c) = [ 1; 3 ])
+      r.Preprocess.Simplify.simplified.Cnf.Formula.clauses
+  in
+  Alcotest.(check bool) "strengthened clause present" true has_strengthened
+
+let test_projection_preserved_with_bve () =
+  (* v3 is a Tseitin-style定 AND output; sampling set {1,2} *)
+  let f =
+    Cnf.Formula.create ~sampling_set:[ 1; 2 ] ~num_vars:3
+      [ clause [ -3; 1 ]; clause [ -3; 2 ]; clause [ 3; -1; -2 ]; clause [ 3 ] ]
+  in
+  let r = run f in
+  Alcotest.(check bool) "projection preserved" true
+    (same_projection f r.Preprocess.Simplify.simplified [| 1; 2 |])
+
+let test_bve_respects_sampling_set () =
+  let f =
+    Cnf.Formula.create ~sampling_set:[ 1; 2 ] ~num_vars:4
+      [ clause [ -3; 1 ]; clause [ 3; -1 ]; clause [ 4; 2 ]; clause [ -4; 1; 2 ] ]
+  in
+  let r = run f in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sampling var %d kept" v)
+        false
+        (List.mem v r.Preprocess.Simplify.eliminated))
+    [ 1; 2 ]
+
+let test_no_elimination_without_sampling_set () =
+  let f = Cnf.Formula.create ~num_vars:3 [ clause [ 1; 2; 3 ] ] in
+  let r = run f in
+  Alcotest.(check (list int)) "nothing eliminated" [] r.Preprocess.Simplify.eliminated
+
+let test_eliminate_flag_off () =
+  let f =
+    Cnf.Formula.create ~sampling_set:[ 1 ] ~num_vars:2
+      [ clause [ -2; 1 ]; clause [ 2; -1 ] ]
+  in
+  let r = run ~eliminate:false f in
+  Alcotest.(check (list int)) "bve disabled" [] r.Preprocess.Simplify.eliminated
+
+let test_xor_variables_protected () =
+  let f =
+    Cnf.Formula.create_with_xors ~sampling_set:[ 1 ] ~num_vars:3
+      [ clause [ 1; 2; 3 ] ]
+      [ Cnf.Xor_clause.make [ 2; 3 ] true ]
+  in
+  let r = run f in
+  Alcotest.(check (list int)) "xor vars kept" [] r.Preprocess.Simplify.eliminated
+
+let test_extend_recovers_witness () =
+  let f =
+    Cnf.Formula.create ~sampling_set:[ 1; 2 ] ~num_vars:4
+      [
+        clause [ -3; 1 ]; clause [ -3; 2 ]; clause [ 3; -1; -2 ];
+        (* v4 = ¬v1 *)
+        clause [ 4; 1 ]; clause [ -4; -1 ];
+        (* constraint touching only S *)
+        clause [ 1; 2 ];
+      ]
+  in
+  let r = run f in
+  (* find any witness of the simplified formula by brute force and
+     extend it *)
+  let n = r.Preprocess.Simplify.simplified.Cnf.Formula.num_vars in
+  let found = ref false in
+  for mask = 0 to (1 lsl n) - 1 do
+    if not !found then begin
+      let value v = mask land (1 lsl (v - 1)) <> 0 in
+      if Cnf.Formula.eval r.Preprocess.Simplify.simplified value then begin
+        found := true;
+        let m = Cnf.Model.make n value in
+        let extended = Preprocess.Simplify.extend r m in
+        Alcotest.(check bool) "extended satisfies original" true
+          (Cnf.Model.satisfies f extended)
+      end
+    end
+  done;
+  Alcotest.(check bool) "a witness exists" true !found
+
+let test_extend_rejects_non_witness () =
+  let f =
+    Cnf.Formula.create ~sampling_set:[ 1 ] ~num_vars:2
+      [ clause [ 1 ]; clause [ -2; 1 ] ]
+  in
+  let r = run f in
+  let bad = Cnf.Model.make 2 (fun _ -> false) in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Preprocess.Simplify.extend r bad);
+       false
+     with Failure _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_projection_preserved =
+  QCheck2.Test.make ~count:300 ~name:"simplify preserves projected witnesses"
+    QCheck2.Gen.(pair Test_util.Gen.formula_spec (int_bound 1000000))
+    (fun (spec, sseed) ->
+      let f = Test_util.Gen.build_spec spec in
+      let nv = f.Cnf.Formula.num_vars in
+      let rng = Rng.create sseed in
+      (* random non-empty sampling set *)
+      let s =
+        List.filter (fun _ -> Rng.bool rng) (List.init nv (fun i -> i + 1))
+      in
+      let s = if s = [] then [ 1 ] else s in
+      let f = Cnf.Formula.with_sampling_set f s in
+      match Preprocess.Simplify.run f with
+      | Error `Unsat -> not (Sat.Brute.is_sat f)
+      | Ok r ->
+          same_projection f r.Preprocess.Simplify.simplified (Array.of_list s))
+
+let prop_extended_witnesses_satisfy_original =
+  QCheck2.Test.make ~count:150 ~name:"extend lifts every simplified witness"
+    QCheck2.Gen.(pair Test_util.Gen.formula_spec (int_bound 1000000))
+    (fun (spec, sseed) ->
+      let f = Test_util.Gen.build_spec spec in
+      let nv = f.Cnf.Formula.num_vars in
+      let rng = Rng.create sseed in
+      let s =
+        List.filter (fun _ -> Rng.bool rng) (List.init nv (fun i -> i + 1))
+      in
+      let s = if s = [] then [ 1 ] else s in
+      let f = Cnf.Formula.with_sampling_set f s in
+      match Preprocess.Simplify.run f with
+      | Error `Unsat -> true
+      | Ok r ->
+          let ok = ref true in
+          let n = r.Preprocess.Simplify.simplified.Cnf.Formula.num_vars in
+          for mask = 0 to (1 lsl n) - 1 do
+            let value v = mask land (1 lsl (v - 1)) <> 0 in
+            if Cnf.Formula.eval r.Preprocess.Simplify.simplified value then begin
+              let extended =
+                Preprocess.Simplify.extend r (Cnf.Model.make n value)
+              in
+              if not (Cnf.Model.satisfies f extended) then ok := false
+            end
+          done;
+          !ok)
+
+let prop_clause_count_never_grows =
+  QCheck2.Test.make ~count:200 ~name:"simplify never grows the clause count"
+    Test_util.Gen.formula_spec
+    (fun spec ->
+      let f = Test_util.Gen.build_spec spec in
+      match Preprocess.Simplify.run f with
+      | Error `Unsat -> true
+      | Ok r ->
+          r.Preprocess.Simplify.clauses_after
+          <= r.Preprocess.Simplify.clauses_before
+             + List.length r.Preprocess.Simplify.forced)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_projection_preserved;
+      prop_extended_witnesses_satisfy_original;
+      prop_clause_count_never_grows;
+    ]
+
+let () =
+  Alcotest.run "preprocess"
+    [
+      ( "simplify",
+        [
+          Alcotest.test_case "unit propagation" `Quick test_unit_propagation;
+          Alcotest.test_case "unsat" `Quick test_unsat_detection;
+          Alcotest.test_case "unsat via xor" `Quick test_unsat_via_xor;
+          Alcotest.test_case "subsumption" `Quick test_subsumption;
+          Alcotest.test_case "self subsumption" `Quick test_self_subsumption;
+          Alcotest.test_case "bve projection" `Quick test_projection_preserved_with_bve;
+          Alcotest.test_case "bve respects S" `Quick test_bve_respects_sampling_set;
+          Alcotest.test_case "no S no bve" `Quick test_no_elimination_without_sampling_set;
+          Alcotest.test_case "eliminate off" `Quick test_eliminate_flag_off;
+          Alcotest.test_case "xor protected" `Quick test_xor_variables_protected;
+          Alcotest.test_case "extend" `Quick test_extend_recovers_witness;
+          Alcotest.test_case "extend rejects" `Quick test_extend_rejects_non_witness;
+        ] );
+      ("properties", qcheck_cases);
+    ]

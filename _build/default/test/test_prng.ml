@@ -1,0 +1,174 @@
+(* Tests for the xoshiro256** PRNG substrate. *)
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Rng.bits64 a) (Rng.bits64 b)) then differs := true
+  done;
+  Alcotest.(check bool) "nearby seeds diverge" true !differs
+
+let test_self_test () =
+  Alcotest.(check bool) "self test" true (Rng.self_test ())
+
+let test_int_bounds () =
+  let rng = Rng.create 7 in
+  for bound = 1 to 50 do
+    for _ = 1 to 200 do
+      let v = Rng.int rng bound in
+      if v < 0 || v >= bound then
+        Alcotest.failf "Rng.int %d returned %d" bound v
+    done
+  done
+
+let test_int_invalid () =
+  let rng = Rng.create 0 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_covers_range () =
+  let rng = Rng.create 3 in
+  let bound = 8 in
+  let seen = Array.make bound false in
+  for _ = 1 to 2000 do
+    seen.(Rng.int rng bound) <- true
+  done;
+  Alcotest.(check bool) "all values reachable" true (Array.for_all Fun.id seen)
+
+let test_int_roughly_uniform () =
+  let rng = Rng.create 11 in
+  let bound = 10 and trials = 50_000 in
+  let counts = Array.make bound 0 in
+  for _ = 1 to trials do
+    let v = Rng.int rng bound in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expected = float_of_int trials /. float_of_int bound in
+  Array.iteri
+    (fun i c ->
+      let dev = Float.abs (float_of_int c -. expected) /. expected in
+      if dev > 0.1 then Alcotest.failf "bucket %d deviates by %.2f" i dev)
+    counts
+
+let test_bool_balance () =
+  let rng = Rng.create 13 in
+  let trues = ref 0 in
+  let trials = 50_000 in
+  for _ = 1 to trials do
+    if Rng.bool rng then incr trues
+  done;
+  let ratio = float_of_int !trues /. float_of_int trials in
+  Alcotest.(check bool) "balanced" true (ratio > 0.48 && ratio < 0.52)
+
+let test_float_bounds () =
+  let rng = Rng.create 17 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 1.0 in
+    if v < 0.0 || v >= 1.0 then Alcotest.failf "float out of range: %f" v
+  done
+
+let test_split_independence () =
+  let parent = Rng.create 23 in
+  let child = Rng.split parent in
+  (* child and parent streams should not coincide *)
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.bits64 parent) (Rng.bits64 child) then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_copy () =
+  let a = Rng.create 29 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "copy replays" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create 31 in
+  for n = 0 to 20 do
+    let a = Array.init n (fun i -> i) in
+    Rng.shuffle rng a;
+    let sorted = Array.copy a in
+    Array.sort Int.compare sorted;
+    Alcotest.(check (array int)) "permutation" (Array.init n Fun.id) sorted
+  done
+
+let test_shuffle_moves_elements () =
+  let rng = Rng.create 37 in
+  let a = Array.init 100 (fun i -> i) in
+  Rng.shuffle rng a;
+  Alcotest.(check bool) "not identity" true (a <> Array.init 100 (fun i -> i))
+
+let test_choose () =
+  let rng = Rng.create 41 in
+  let a = [| "x"; "y"; "z" |] in
+  let seen = Hashtbl.create 3 in
+  for _ = 1 to 200 do
+    Hashtbl.replace seen (Rng.choose rng a) ()
+  done;
+  Alcotest.(check int) "all elements chosen" 3 (Hashtbl.length seen)
+
+let test_choose_empty () =
+  let rng = Rng.create 43 in
+  Alcotest.check_raises "empty array" (Invalid_argument "Rng.choose: empty array")
+    (fun () -> ignore (Rng.choose rng [||]))
+
+let test_choose_list () =
+  let rng = Rng.create 47 in
+  let l = [ 1; 2; 3; 4 ] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "member" true (List.mem (Rng.choose_list rng l) l)
+  done
+
+let test_bernoulli_extremes () =
+  let rng = Rng.create 53 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Rng.bernoulli rng 0.0)
+  done;
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1 always" true (Rng.bernoulli rng 1.0)
+  done
+
+let test_bernoulli_rate () =
+  let rng = Rng.create 59 in
+  let hits = ref 0 in
+  let trials = 50_000 in
+  for _ = 1 to trials do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int trials in
+  Alcotest.(check bool) "rate near 0.3" true (rate > 0.28 && rate < 0.32)
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "self test" `Quick test_self_test;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_int_invalid;
+          Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+          Alcotest.test_case "int roughly uniform" `Quick test_int_roughly_uniform;
+          Alcotest.test_case "bool balance" `Quick test_bool_balance;
+          Alcotest.test_case "float bounds" `Quick test_float_bounds;
+          Alcotest.test_case "split independence" `Quick test_split_independence;
+          Alcotest.test_case "copy" `Quick test_copy;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "shuffle moves" `Quick test_shuffle_moves_elements;
+          Alcotest.test_case "choose" `Quick test_choose;
+          Alcotest.test_case "choose empty" `Quick test_choose_empty;
+          Alcotest.test_case "choose list" `Quick test_choose_list;
+          Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+          Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+        ] );
+    ]

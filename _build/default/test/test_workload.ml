@@ -1,0 +1,145 @@
+(* Tests for the benchmark suite and the experiment harness. *)
+
+let test_table1_is_subset_of_table2 () =
+  List.iter
+    (fun (i : Workload.Suite.instance) ->
+      Alcotest.(check bool) i.Workload.Suite.name true
+        (List.exists
+           (fun (j : Workload.Suite.instance) -> j.Workload.Suite.name = i.Workload.Suite.name)
+           Workload.Suite.table2))
+    Workload.Suite.table1
+
+let test_table1_has_twelve_rows () =
+  Alcotest.(check int) "12 rows" 12 (List.length Workload.Suite.table1)
+
+let test_names_unique () =
+  let names = List.map (fun i -> i.Workload.Suite.name) Workload.Suite.table2 in
+  Alcotest.(check int) "unique" (List.length names)
+    (List.length (List.sort_uniq String.compare names))
+
+let test_by_name () =
+  Alcotest.(check bool) "found" true (Workload.Suite.by_name "squaring_6" <> None);
+  Alcotest.(check bool) "missing" true (Workload.Suite.by_name "nope" = None);
+  Alcotest.(check bool) "uniformity case" true
+    (Workload.Suite.by_name "case_uniformity" <> None)
+
+(* every quick instance must be satisfiable with a declared sampling
+   set that is a strict subset of the variables *)
+let test_quick_instances_well_formed () =
+  List.iter
+    (fun (i : Workload.Suite.instance) ->
+      let f = Lazy.force i.Workload.Suite.formula in
+      let s = Array.length (Cnf.Formula.sampling_vars f) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: |S|=%d < |X|=%d" i.Workload.Suite.name s
+           f.Cnf.Formula.num_vars)
+        true
+        (s < f.Cnf.Formula.num_vars);
+      let solver = Sat.Solver.create f in
+      Alcotest.(check bool)
+        (i.Workload.Suite.name ^ " sat")
+        true
+        (Sat.Solver.solve solver = Sat.Solver.Sat))
+    Workload.Suite.quick
+
+let test_quick_sampling_sets_are_independent () =
+  List.iter
+    (fun (i : Workload.Suite.instance) ->
+      let f = Lazy.force i.Workload.Suite.formula in
+      let s = Array.to_list (Cnf.Formula.sampling_vars f) in
+      match Sat.Indsupport.check ~conflict_limit:2_000_000 f s with
+      | Sat.Indsupport.Independent -> ()
+      | Sat.Indsupport.Dependent ->
+          Alcotest.failf "%s: sampling set not independent" i.Workload.Suite.name
+      | Sat.Indsupport.Unknown ->
+          Alcotest.failf "%s: independence check exhausted budget" i.Workload.Suite.name)
+    Workload.Suite.quick
+
+let test_uniformity_case_enumerable () =
+  let f = Lazy.force Workload.Suite.uniformity_case.Workload.Suite.formula in
+  let us = Sampling.Us.create f in
+  let n = Sampling.Us.size us in
+  Alcotest.(check bool) (Printf.sprintf "|R_F| = %d in range" n) true
+    (n >= 128 && n <= 65536)
+
+let test_run_row_smoke () =
+  match Workload.Suite.by_name "case_s1" with
+  | None -> Alcotest.fail "case_s1 missing"
+  | Some i ->
+      let row =
+        Workload.Experiment.run_row ~unigen_samples:5 ~uniwit_samples:1
+          ~per_call_timeout:10.0 ~overall_timeout:30.0 ~count_iterations:5
+          ~rng:(Rng.create 21) i
+      in
+      Alcotest.(check bool) "unigen produced" false row.Workload.Experiment.unigen_failed;
+      Alcotest.(check bool) "xor len sensible" true
+        (row.Workload.Experiment.unigen_avg_xor_len
+         <= float_of_int row.Workload.Experiment.sampling_size);
+      Alcotest.(check bool) "success in [0,1]" true
+        (row.Workload.Experiment.unigen_success >= 0.0
+        && row.Workload.Experiment.unigen_success <= 1.0)
+
+let test_run_uniformity_smoke () =
+  let f = Cnf.Formula.create ~num_vars:7 [ Cnf.Clause.of_dimacs [ 1; 2 ] ] in
+  let r =
+    Workload.Experiment.run_uniformity ~samples:3000 ~count_iterations:5
+      ~rng:(Rng.create 22) f
+  in
+  Alcotest.(check int) "witness count" 96 r.Workload.Experiment.witness_count;
+  Alcotest.(check int) "samples" 3000 r.Workload.Experiment.samples;
+  (* both series should distribute 3000 samples over 96 witnesses *)
+  let mass series = List.fold_left (fun acc (c, w) -> acc + (c * w)) 0 series in
+  Alcotest.(check int) "unigen mass" 3000 (mass r.Workload.Experiment.unigen_series);
+  Alcotest.(check int) "us mass" 3000 (mass r.Workload.Experiment.us_series);
+  (* the ideal sampler must never fail its own uniformity test badly *)
+  Alcotest.(check bool)
+    (Printf.sprintf "us p=%.4f" r.Workload.Experiment.us_pvalue)
+    true
+    (r.Workload.Experiment.us_pvalue > 1e-4);
+  Alcotest.(check bool)
+    (Printf.sprintf "unigen p=%.4f" r.Workload.Experiment.unigen_pvalue)
+    true
+    (r.Workload.Experiment.unigen_pvalue > 1e-6)
+
+let test_pp_table_renders () =
+  match Workload.Suite.by_name "case_s1" with
+  | None -> Alcotest.fail "case_s1 missing"
+  | Some i ->
+      let row =
+        Workload.Experiment.run_row ~unigen_samples:2 ~uniwit_samples:1
+          ~per_call_timeout:10.0 ~overall_timeout:20.0 ~count_iterations:5
+          ~rng:(Rng.create 23) i
+      in
+      let buf = Buffer.create 256 in
+      let fmt = Format.formatter_of_buffer buf in
+      Workload.Experiment.pp_table fmt [ row ];
+      Format.pp_print_flush fmt ();
+      let s = Buffer.contents buf in
+      let contains needle haystack =
+        let n = String.length needle and h = String.length haystack in
+        let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "mentions the instance" true (contains "case_s1" s)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "suite",
+        [
+          Alcotest.test_case "table1 subset" `Quick test_table1_is_subset_of_table2;
+          Alcotest.test_case "table1 size" `Quick test_table1_has_twelve_rows;
+          Alcotest.test_case "names unique" `Quick test_names_unique;
+          Alcotest.test_case "by name" `Quick test_by_name;
+          Alcotest.test_case "quick well-formed" `Slow test_quick_instances_well_formed;
+          Alcotest.test_case "independent sampling sets" `Slow
+            test_quick_sampling_sets_are_independent;
+          Alcotest.test_case "uniformity enumerable" `Slow test_uniformity_case_enumerable;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "run_row" `Slow test_run_row_smoke;
+          Alcotest.test_case "run_uniformity" `Slow test_run_uniformity_smoke;
+          Alcotest.test_case "pp_table" `Slow test_pp_table_renders;
+        ] );
+    ]

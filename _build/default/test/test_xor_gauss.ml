@@ -1,0 +1,140 @@
+(* Tests for GF(2) Gaussian elimination over XOR systems. *)
+
+let xc vars rhs = Cnf.Xor_clause.make vars rhs
+
+let ok = function
+  | Ok r -> r
+  | Error `Unsat -> Alcotest.fail "unexpected Unsat"
+
+let test_empty_system () =
+  let r = ok (Cnf.Xor_gauss.eliminate []) in
+  Alcotest.(check int) "rank 0" 0 r.Cnf.Xor_gauss.rank;
+  Alcotest.(check (list (pair int bool))) "no units" [] r.Cnf.Xor_gauss.units
+
+let test_single_unit () =
+  let r = ok (Cnf.Xor_gauss.eliminate [ xc [ 3 ] true ]) in
+  Alcotest.(check (list (pair int bool))) "unit" [ (3, true) ] r.Cnf.Xor_gauss.units
+
+let test_inconsistent_triangle () =
+  (* 1⊕2=1, 2⊕3=1, 1⊕3=1 sums to 0=1 *)
+  Alcotest.(check bool) "unsat" true
+    (Cnf.Xor_gauss.eliminate
+       [ xc [ 1; 2 ] true; xc [ 2; 3 ] true; xc [ 1; 3 ] true ]
+    = Error `Unsat)
+
+let test_consistent_triangle_rank () =
+  let r =
+    ok
+      (Cnf.Xor_gauss.eliminate
+         [ xc [ 1; 2 ] true; xc [ 2; 3 ] true; xc [ 1; 3 ] false ])
+  in
+  (* third row is the sum of the first two: rank 2 *)
+  Alcotest.(check int) "rank 2" 2 r.Cnf.Xor_gauss.rank
+
+let test_derives_units () =
+  (* x1=1 and x1⊕x2=1 imply x2=0 after reduction *)
+  let r = ok (Cnf.Xor_gauss.eliminate [ xc [ 1 ] true; xc [ 1; 2 ] true ]) in
+  Alcotest.(check (list (pair int bool)))
+    "both units"
+    [ (1, true); (2, false) ]
+    (List.sort compare r.Cnf.Xor_gauss.units)
+
+let test_equivalences () =
+  let r =
+    ok (Cnf.Xor_gauss.eliminate [ xc [ 1; 2 ] false; xc [ 3; 4 ] true ])
+  in
+  Alcotest.(check int) "two equivalences" 2
+    (List.length r.Cnf.Xor_gauss.equivalences)
+
+let test_duplicates_collapse () =
+  let r =
+    ok (Cnf.Xor_gauss.eliminate [ xc [ 1; 2; 3 ] true; xc [ 1; 2; 3 ] true ])
+  in
+  Alcotest.(check int) "rank 1" 1 r.Cnf.Xor_gauss.rank
+
+let test_solutions_log2 () =
+  (* 2 independent rows over 5 vars: 2^3 solutions *)
+  let s =
+    Cnf.Xor_gauss.solutions_log2 ~num_vars:5
+      [ xc [ 1; 2 ] true; xc [ 3; 4; 5 ] false ]
+  in
+  Alcotest.(check (option (float 1e-9))) "2^3" (Some 3.0) s;
+  Alcotest.(check (option (float 1e-9))) "unsat none" None
+    (Cnf.Xor_gauss.solutions_log2 ~num_vars:3
+       [ xc [ 1 ] true; xc [ 1 ] false ])
+
+let test_implies () =
+  let system = [ xc [ 1; 2 ] true; xc [ 2; 3 ] false ] in
+  Alcotest.(check bool) "sum implied" true
+    (Cnf.Xor_gauss.implies system (xc [ 1; 3 ] true));
+  Alcotest.(check bool) "independent not implied" false
+    (Cnf.Xor_gauss.implies system (xc [ 1; 4 ] true));
+  Alcotest.(check bool) "wrong rhs not implied" false
+    (Cnf.Xor_gauss.implies system (xc [ 1; 3 ] false))
+
+(* Cross-check against brute force: the reduced system must have
+   exactly the same solutions as the input system. *)
+let prop_elimination_preserves_solutions =
+  QCheck2.Test.make ~count:300 ~name:"gauss preserves xor solutions"
+    QCheck2.Gen.(triple (int_bound 100000) (int_range 1 8) (int_range 0 6))
+    (fun (seed, nv, nx) ->
+      let rng = Rng.create seed in
+      let xors = List.init nx (fun _ -> Test_util.Gen.random_xor rng ~num_vars:nv) in
+      let satisfies_all value xs = List.for_all (Cnf.Xor_clause.eval value) xs in
+      match Cnf.Xor_gauss.eliminate xors with
+      | Error `Unsat ->
+          (* no assignment satisfies the input *)
+          let any = ref false in
+          for mask = 0 to (1 lsl nv) - 1 do
+            let value v = mask land (1 lsl (v - 1)) <> 0 in
+            if satisfies_all value xors then any := true
+          done;
+          not !any
+      | Ok r ->
+          let same = ref true in
+          for mask = 0 to (1 lsl nv) - 1 do
+            let value v = mask land (1 lsl (v - 1)) <> 0 in
+            if
+              not
+                (Bool.equal (satisfies_all value xors)
+                   (satisfies_all value r.Cnf.Xor_gauss.rows))
+            then same := false
+          done;
+          !same)
+
+let prop_rank_counts_solutions =
+  QCheck2.Test.make ~count:200 ~name:"2^(n-rank) solutions"
+    QCheck2.Gen.(triple (int_bound 100000) (int_range 1 8) (int_range 0 6))
+    (fun (seed, nv, nx) ->
+      let rng = Rng.create seed in
+      let xors = List.init nx (fun _ -> Test_util.Gen.random_xor rng ~num_vars:nv) in
+      let count = ref 0 in
+      for mask = 0 to (1 lsl nv) - 1 do
+        let value v = mask land (1 lsl (v - 1)) <> 0 in
+        if List.for_all (Cnf.Xor_clause.eval value) xors then incr count
+      done;
+      match Cnf.Xor_gauss.solutions_log2 ~num_vars:nv xors with
+      | None -> !count = 0
+      | Some log2 -> !count = int_of_float (2.0 ** log2))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_elimination_preserves_solutions; prop_rank_counts_solutions ]
+
+let () =
+  Alcotest.run "xor_gauss"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "empty" `Quick test_empty_system;
+          Alcotest.test_case "single unit" `Quick test_single_unit;
+          Alcotest.test_case "inconsistent" `Quick test_inconsistent_triangle;
+          Alcotest.test_case "rank" `Quick test_consistent_triangle_rank;
+          Alcotest.test_case "derives units" `Quick test_derives_units;
+          Alcotest.test_case "equivalences" `Quick test_equivalences;
+          Alcotest.test_case "duplicates" `Quick test_duplicates_collapse;
+          Alcotest.test_case "solutions log2" `Quick test_solutions_log2;
+          Alcotest.test_case "implies" `Quick test_implies;
+        ] );
+      ("properties", qcheck_cases);
+    ]

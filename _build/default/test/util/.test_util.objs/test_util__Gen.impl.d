@@ -1,0 +1,1 @@
+test/util/gen.ml: Cnf List QCheck2 Rng

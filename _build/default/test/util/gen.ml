@@ -1,0 +1,36 @@
+(* Random-formula generators shared by the test suites. *)
+
+let random_clause rng ~num_vars ~width =
+  let k = 1 + Rng.int rng width in
+  List.init k (fun _ -> Cnf.Lit.make (1 + Rng.int rng num_vars) (Rng.bool rng))
+  |> Cnf.Clause.of_list
+
+let random_cnf rng ~num_vars ~num_clauses ~width =
+  let clauses =
+    List.init num_clauses (fun _ -> random_clause rng ~num_vars ~width)
+  in
+  Cnf.Formula.create ~num_vars clauses
+
+let random_xor rng ~num_vars =
+  let vars =
+    List.filter (fun _ -> Rng.bool rng) (List.init num_vars (fun i -> i + 1))
+  in
+  Cnf.Xor_clause.make vars (Rng.bool rng)
+
+let random_formula_with_xors rng ~num_vars ~num_clauses ~num_xors ~width =
+  let f = random_cnf rng ~num_vars ~num_clauses ~width in
+  let xors = List.init num_xors (fun _ -> random_xor rng ~num_vars) in
+  Cnf.Formula.add_xors f xors
+
+(* QCheck generator producing (seed, num_vars, num_clauses, num_xors):
+   the formula itself is rebuilt from the seed inside the property so
+   that shrinking stays meaningful. *)
+let formula_spec =
+  QCheck2.Gen.(
+    map
+      (fun (seed, nv, nc, nx) -> (seed, 1 + nv, nc, nx))
+      (tup4 (int_bound 1_000_000) (int_bound 11) (int_bound 30) (int_bound 4)))
+
+let build_spec (seed, num_vars, num_clauses, num_xors) =
+  let rng = Rng.create seed in
+  random_formula_with_xors rng ~num_vars ~num_clauses ~num_xors ~width:3
