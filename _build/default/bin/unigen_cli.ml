@@ -19,48 +19,82 @@ let print_witness m sampling =
 (* unigen sample *)
 
 let sample_cmd =
-  let run file num epsilon seed timeout project_only =
-    match read_formula file with
-    | Error msg ->
-        Printf.eprintf "error: %s\n" msg;
-        1
-    | Ok f ->
-        let rng = Rng.create seed in
-        let deadline = Unix.gettimeofday () +. timeout in
-        (match Sampling.Unigen.prepare ~deadline ~rng ~epsilon f with
-        | Error Sampling.Unigen.Unsat_formula ->
-            print_endline "s UNSATISFIABLE";
-            2
-        | Error Sampling.Unigen.Prepare_timeout | Error Sampling.Unigen.Count_failed ->
-            Printf.eprintf "error: preparation timed out\n";
-            1
-        | Ok prepared ->
-            let sampling =
-              if project_only then Cnf.Formula.sampling_vars f
-              else Array.init f.Cnf.Formula.num_vars (fun i -> i + 1)
-            in
-            Printf.printf "c UniGen: epsilon=%.2f kappa=%.3f pivot=%d |S|=%d%s\n"
-              epsilon
-              (Sampling.Unigen.kappa prepared)
-              (Sampling.Unigen.pivot prepared)
-              (Array.length (Cnf.Formula.sampling_vars f))
-              (if Sampling.Unigen.is_easy prepared then " (easy case)" else "");
-            let produced = ref 0 in
-            let attempts = ref 0 in
-            while !produced < num && Unix.gettimeofday () < deadline do
-              incr attempts;
-              match Sampling.Unigen.sample ~deadline ~rng prepared with
-              | Ok m ->
-                  incr produced;
-                  print_witness m sampling
-              | Error _ -> ()
-            done;
-            let st = Sampling.Unigen.stats prepared in
-            Printf.printf "c produced %d/%d witnesses in %d attempts (avg %.4f s, avg xor len %.1f)\n"
-              !produced num !attempts
-              (Sampling.Sampler.average_seconds_per_sample st)
-              (Sampling.Sampler.average_xor_length st);
-            if !produced = num then 0 else 1)
+  let run file num epsilon seed timeout project_only jobs =
+    if jobs < 0 then begin
+      Printf.eprintf "error: --jobs must be >= 1\n";
+      1
+    end
+    else
+      match read_formula file with
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          1
+      | Ok f ->
+          let rng = Rng.create seed in
+          let deadline = Unix.gettimeofday () +. timeout in
+          let prep =
+            if jobs > 1 then
+              Parallel.Domain_pool.with_pool ~jobs (fun pool ->
+                  Sampling.Unigen.prepare ~deadline ~pool ~rng ~epsilon f)
+            else Sampling.Unigen.prepare ~deadline ~rng ~epsilon f
+          in
+          (match prep with
+          | Error Sampling.Unigen.Unsat_formula ->
+              print_endline "s UNSATISFIABLE";
+              2
+          | Error Sampling.Unigen.Prepare_timeout | Error Sampling.Unigen.Count_failed ->
+              Printf.eprintf "error: preparation timed out\n";
+              1
+          | Ok prepared ->
+              let sampling =
+                if project_only then Cnf.Formula.sampling_vars f
+                else Array.init f.Cnf.Formula.num_vars (fun i -> i + 1)
+              in
+              Printf.printf "c UniGen: epsilon=%.2f kappa=%.3f pivot=%d |S|=%d%s%s\n"
+                epsilon
+                (Sampling.Unigen.kappa prepared)
+                (Sampling.Unigen.pivot prepared)
+                (Array.length (Cnf.Formula.sampling_vars f))
+                (if Sampling.Unigen.is_easy prepared then " (easy case)" else "")
+                (if jobs >= 1 then Printf.sprintf " jobs=%d" jobs else "");
+              let produced = ref 0 in
+              let attempts = ref 0 in
+              if jobs >= 1 then begin
+                (* batch mode: sample i consumes stream (seed, i), so the
+                   printed witness list is bit-identical for every --jobs
+                   value (and across reruns with the same seed) *)
+                let outcomes =
+                  Sampling.Unigen.sample_batch ~deadline ~max_attempts:20 ~jobs
+                    ~seed prepared num
+                in
+                Array.iter
+                  (function
+                    | Ok m ->
+                        incr produced;
+                        print_witness m sampling
+                    | Error _ -> ())
+                  outcomes;
+                attempts :=
+                  (Sampling.Unigen.stats prepared).Sampling.Sampler.samples_requested
+              end
+              else
+                (* legacy streaming mode: one shared stream, draw until
+                   the target count or the deadline *)
+                while !produced < num && Unix.gettimeofday () < deadline do
+                  incr attempts;
+                  match Sampling.Unigen.sample ~deadline ~rng prepared with
+                  | Ok m ->
+                      incr produced;
+                      print_witness m sampling
+                  | Error _ -> ()
+                done;
+              let st = Sampling.Unigen.stats prepared in
+              Printf.printf
+                "c produced %d/%d witnesses in %d attempts (avg %.4f s, avg xor len %.1f)\n"
+                !produced num !attempts
+                (Sampling.Sampler.average_seconds_per_sample st)
+                (Sampling.Sampler.average_xor_length st);
+              if !produced = num then 0 else 1)
   in
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let num =
@@ -76,15 +110,23 @@ let sample_cmd =
   let project =
     Arg.(value & flag & info [ "project" ] ~doc:"Print only sampling-set variables.")
   in
+  let jobs =
+    Arg.(value & opt int 0
+         & info [ "j"; "jobs" ]
+             ~doc:"Parallel sampling workers. Any value >= 1 selects the \
+                   deterministic batch engine (witness i drawn from stream \
+                   (seed, i)); output is bit-identical for every worker \
+                   count. Omit for the legacy single-stream loop.")
+  in
   Cmd.v
     (Cmd.info "sample" ~doc:"Draw almost-uniform witnesses of a DIMACS CNF file")
-    Term.(const run $ file $ num $ epsilon $ seed $ timeout $ project)
+    Term.(const run $ file $ num $ epsilon $ seed $ timeout $ project $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* unigen count *)
 
 let count_cmd =
-  let run file epsilon delta seed timeout =
+  let run file epsilon delta seed timeout jobs =
     match read_formula file with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
@@ -92,7 +134,12 @@ let count_cmd =
     | Ok f ->
         let rng = Rng.create seed in
         let deadline = Unix.gettimeofday () +. timeout in
-        (match Counting.Approxmc.count ~deadline ~rng ~epsilon ~delta f with
+        let result =
+          if jobs >= 1 then
+            Counting.Approxmc.count ~deadline ~jobs ~rng ~epsilon ~delta f
+          else Counting.Approxmc.count ~deadline ~rng ~epsilon ~delta f
+        in
+        (match result with
         | Error Counting.Approxmc.Unsat ->
             print_endline "s UNSATISFIABLE";
             2
@@ -118,9 +165,17 @@ let count_cmd =
   let timeout =
     Arg.(value & opt float 600.0 & info [ "t"; "timeout" ] ~doc:"Timeout (s).")
   in
+  let jobs =
+    Arg.(value & opt int 0
+         & info [ "j"; "jobs" ]
+             ~doc:"Parallel counting iterations. Any value >= 1 selects the \
+                   deterministic stream-per-iteration engine (estimate \
+                   identical for every worker count). Omit for the legacy \
+                   serial loop.")
+  in
   Cmd.v
     (Cmd.info "count" ~doc:"Approximately count witnesses (ApproxMC)")
-    Term.(const run $ file $ epsilon $ delta $ seed $ timeout)
+    Term.(const run $ file $ epsilon $ delta $ seed $ timeout $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* unigen support *)

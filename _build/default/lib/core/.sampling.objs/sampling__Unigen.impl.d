@@ -1,1 +1,1 @@
-lib/core/unigen.ml: Array Cnf Counting Float Hashing Kappa_pivot Rng Sampler Sat Unix
+lib/core/unigen.ml: Array Cnf Counting Float Fun Hashing Kappa_pivot Parallel Rng Sampler Sat Unix

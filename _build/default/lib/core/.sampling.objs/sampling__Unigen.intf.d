@@ -1,1 +1,1 @@
-lib/core/unigen.mli: Cnf Result Rng Sampler
+lib/core/unigen.mli: Cnf Parallel Result Rng Sampler

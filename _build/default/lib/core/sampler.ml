@@ -35,6 +35,15 @@ let average_seconds_per_sample s =
   if s.samples_produced = 0 then Float.nan
   else s.wall_seconds /. float_of_int s.samples_produced
 
+let merge_into ~into s =
+  into.samples_requested <- into.samples_requested + s.samples_requested;
+  into.samples_produced <- into.samples_produced + s.samples_produced;
+  into.cell_failures <- into.cell_failures + s.cell_failures;
+  into.timeouts <- into.timeouts + s.timeouts;
+  into.xor_rows <- into.xor_rows + s.xor_rows;
+  into.xor_vars <- into.xor_vars + s.xor_vars;
+  into.wall_seconds <- into.wall_seconds +. s.wall_seconds
+
 let record_hash s h =
   s.xor_rows <- s.xor_rows + Hashing.Hxor.m h;
   s.xor_vars <- s.xor_vars + Hashing.Hxor.total_xor_length h

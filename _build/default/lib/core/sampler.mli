@@ -32,6 +32,14 @@ val average_xor_length : run_stats -> float
 
 val average_seconds_per_sample : run_stats -> float
 
+val merge_into : into:run_stats -> run_stats -> unit
+(** Add [s]'s counters into [into]. The parallel batch engine gives
+    every sample its own private stats record and folds them back in
+    index order once the batch completes, so shared stats are never
+    mutated from two domains at once. Note the merged [wall_seconds]
+    is the {e cumulative} per-sample time, which exceeds elapsed wall
+    clock when samples ran concurrently. *)
+
 val record_hash : run_stats -> Hashing.Hxor.t -> unit
 
 val pp : Format.formatter -> run_stats -> unit

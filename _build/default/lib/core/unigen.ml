@@ -20,7 +20,8 @@ type prepare_error = Unsat_formula | Prepare_timeout | Count_failed
 
 let log2 x = Float.log x /. Float.log 2.0
 
-let prepare ?deadline ?count_iterations ?(hash_density = 0.5) ~rng ~epsilon formula =
+let prepare ?deadline ?count_iterations ?(hash_density = 0.5) ?jobs ?pool ~rng
+    ~epsilon formula =
   let kappa, pivot = Kappa_pivot.compute epsilon in
   let hi = Kappa_pivot.hi_thresh ~kappa ~pivot in
   let lo = Kappa_pivot.lo_thresh ~kappa ~pivot in
@@ -41,8 +42,8 @@ let prepare ?deadline ?count_iterations ?(hash_density = 0.5) ~rng ~epsilon form
     else begin
       (* lines 9-10: approximate count, then q = ⌈log C + log 1.8 − log pivot⌉ *)
       match
-        Counting.Approxmc.count ?deadline ?iterations:count_iterations ~rng
-          ~epsilon:0.8 ~delta:0.8 formula
+        Counting.Approxmc.count ?deadline ?iterations:count_iterations ?jobs
+          ?pool ~rng ~epsilon:0.8 ~delta:0.8 formula
       with
       | Error Counting.Approxmc.Unsat -> Error Unsat_formula
       | Error Counting.Approxmc.Timed_out -> Error Count_failed
@@ -57,8 +58,9 @@ let prepare ?deadline ?count_iterations ?(hash_density = 0.5) ~rng ~epsilon form
 
 let timeout_retries = 3
 
-(* lines 12-22 *)
-let sample_once ?deadline ~rng t =
+(* lines 12-22. [stats] is passed explicitly so that parallel workers
+   can record into private accounting instead of racing on [t.stats]. *)
+let sample_once ?deadline ~rng ~stats t =
   match t.phase with
   | Easy models -> Ok (Rng.choose rng models)
   | Hashed { q; _ } ->
@@ -71,7 +73,7 @@ let sample_once ?deadline ~rng t =
           let h =
             Hashing.Hxor.sample ~density:t.hash_density rng ~vars:t.sampling ~m:i
           in
-          Sampler.record_hash t.stats h;
+          Sampler.record_hash stats h;
           let g = Cnf.Formula.add_xors t.formula (Hashing.Hxor.constraints h) in
           let out = Sat.Bsat.enumerate ?deadline ~limit:t.hi_limit g in
           if out.Sat.Bsat.timed_out then begin
@@ -96,19 +98,21 @@ let sample_once ?deadline ~rng t =
       in
       try_size (q - 3) timeout_retries
 
-let sample ?deadline ~rng t =
-  t.stats.Sampler.samples_requested <- t.stats.Sampler.samples_requested + 1;
+let sample_with_stats ?deadline ~rng ~stats t =
+  stats.Sampler.samples_requested <- stats.Sampler.samples_requested + 1;
   let start = Unix.gettimeofday () in
-  let result = sample_once ?deadline ~rng t in
-  t.stats.Sampler.wall_seconds <-
-    t.stats.Sampler.wall_seconds +. (Unix.gettimeofday () -. start);
+  let result = sample_once ?deadline ~rng ~stats t in
+  stats.Sampler.wall_seconds <-
+    stats.Sampler.wall_seconds +. (Unix.gettimeofday () -. start);
   (match result with
-  | Ok _ -> t.stats.Sampler.samples_produced <- t.stats.Sampler.samples_produced + 1
+  | Ok _ -> stats.Sampler.samples_produced <- stats.Sampler.samples_produced + 1
   | Error Sampler.Cell_failure ->
-      t.stats.Sampler.cell_failures <- t.stats.Sampler.cell_failures + 1
-  | Error Sampler.Timed_out -> t.stats.Sampler.timeouts <- t.stats.Sampler.timeouts + 1
+      stats.Sampler.cell_failures <- stats.Sampler.cell_failures + 1
+  | Error Sampler.Timed_out -> stats.Sampler.timeouts <- stats.Sampler.timeouts + 1
   | Error Sampler.Unsat -> ());
   result
+
+let sample ?deadline ~rng t = sample_with_stats ?deadline ~rng ~stats:t.stats t
 
 let sample_retrying ?deadline ?(max_attempts = 10) ~rng t =
   let rec go n =
@@ -117,6 +121,45 @@ let sample_retrying ?deadline ?(max_attempts = 10) ~rng t =
     | outcome -> outcome
   in
   go 1
+
+(* ------------------------------------------------------------------ *)
+(* Parallel leaf sampling. Sample [i] of a batch consumes the private
+   stream (seed, i) — see Rng.of_stream — so the witness drawn for a
+   given (seed, index) pair is a pure function of that pair: running
+   the batch on 1 worker or N produces bit-identical outcome arrays.
+   Theorem 1 is untouched because each sample re-runs lines 12-22
+   against an independently drawn hash, exactly as in serial operation;
+   parallelism only changes which OS core executes the draw. *)
+
+let sample_index ?deadline ?(max_attempts = 10) ~seed t index =
+  let rng = Rng.of_stream ~seed index in
+  let stats = Sampler.fresh_stats () in
+  let rec go n =
+    match sample_with_stats ?deadline ~rng ~stats t with
+    | Error Sampler.Cell_failure when n < max_attempts -> go (n + 1)
+    | outcome -> outcome
+  in
+  let outcome = go 1 in
+  (outcome, stats)
+
+let sample_batch ?deadline ?max_attempts ?pool ?(jobs = 1) ~seed t n =
+  if n < 0 then invalid_arg "Unigen.sample_batch: negative batch size";
+  if jobs < 1 then invalid_arg "Unigen.sample_batch: jobs must be >= 1";
+  let one index = sample_index ?deadline ?max_attempts ~seed t index in
+  let indices = Array.init n Fun.id in
+  let results =
+    match pool with
+    | Some p -> Parallel.Domain_pool.map p one indices
+    | None ->
+        if jobs = 1 then Array.map one indices
+        else
+          Parallel.Domain_pool.with_pool ~jobs (fun p ->
+              Parallel.Domain_pool.map p one indices)
+  in
+  (* fold the private per-sample stats back in index order, so the
+     shared accounting is identical whatever the worker count *)
+  Array.iter (fun (_, s) -> Sampler.merge_into ~into:t.stats s) results;
+  Array.map fst results
 
 let stats t = t.stats
 let kappa t = t.kappa

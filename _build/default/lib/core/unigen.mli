@@ -26,6 +26,8 @@ val prepare :
   ?deadline:float ->
   ?count_iterations:int ->
   ?hash_density:float ->
+  ?jobs:int ->
+  ?pool:Parallel.Domain_pool.t ->
   rng:Rng.t ->
   epsilon:float ->
   Cnf.Formula.t ->
@@ -40,6 +42,8 @@ val prepare :
     probability of the XOR rows; values below 0.5 give the sparse-XOR
     variant of Gomes et al. that voids Theorem 1 — it exists only for
     the ablation bench.
+    [jobs]/[pool] parallelise the ApproxMC counting iterations (each is
+    an independent XOR-hashed count); see {!Counting.Approxmc.count}.
     @raise Invalid_argument when [epsilon <= 1.71]. *)
 
 val sample : ?deadline:float -> rng:Rng.t -> prepared -> Sampler.outcome
@@ -53,6 +57,46 @@ val sample_retrying :
 (** Repeats {!sample} on [Cell_failure] (fresh randomness each time,
     up to [max_attempts], default 10). This is how a CRV testbench
     uses the generator. *)
+
+(** {2 Parallel batch sampling}
+
+    Leaf-level sampling is embarrassingly parallel: after {!prepare},
+    each sample only re-runs lines 12–22 against an independently drawn
+    hash, so drawing a batch across N domains weakens nothing in
+    Theorem 1. The seeding discipline makes batches reproducible:
+    sample [i] consumes the private stream [Rng.of_stream ~seed i],
+    a pure function of [(seed, i)], so the outcome array is
+    {e bit-identical} for every [jobs] value (only elapsed wall clock
+    changes). *)
+
+val sample_index :
+  ?deadline:float ->
+  ?max_attempts:int ->
+  seed:int ->
+  prepared ->
+  int ->
+  Sampler.outcome * Sampler.run_stats
+(** [sample_index ~seed t i] draws the [i]-th sample of the batch keyed
+    by [seed]: retries on [Cell_failure] up to [max_attempts] (default
+    10) within stream [(seed, i)], and returns the outcome together
+    with the private stats of this one sample (not yet merged into
+    [stats t]). Deterministic given [(seed, i)] and the preparation. *)
+
+val sample_batch :
+  ?deadline:float ->
+  ?max_attempts:int ->
+  ?pool:Parallel.Domain_pool.t ->
+  ?jobs:int ->
+  seed:int ->
+  prepared ->
+  int ->
+  Sampler.outcome array
+(** [sample_batch ~jobs ~seed t n] draws samples [0 .. n-1] via
+    {!sample_index}, distributing them over [jobs] workers (default 1;
+    pass [pool] instead to reuse a long-lived {!Parallel.Domain_pool}).
+    Result [i] is sample [i]'s outcome; per-sample stats are merged
+    into [stats t] in index order after the batch completes.
+    @raise Invalid_argument when [n < 0] or [jobs < 1]. *)
 
 val stats : prepared -> Sampler.run_stats
 (** Accounting across every sample drawn from this preparation. *)

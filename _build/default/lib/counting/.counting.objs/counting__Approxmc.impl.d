@@ -1,1 +1,1 @@
-lib/counting/approxmc.ml: Array Cnf Float Hashing List Sat Unix
+lib/counting/approxmc.ml: Array Cnf Float Fun Hashing Int64 List Parallel Rng Sat Unix

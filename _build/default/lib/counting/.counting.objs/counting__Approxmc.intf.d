@@ -1,1 +1,1 @@
-lib/counting/approxmc.mli: Cnf Result Rng
+lib/counting/approxmc.mli: Cnf Parallel Result Rng

@@ -50,7 +50,33 @@ let core ?deadline ~rng ~pivot ~start f =
   in
   try_size start
 
-let count ?deadline ?(leapfrog = false) ?iterations ~rng ~epsilon ~delta f =
+(* The t ApproxMCCore iterations are mutually independent XOR-hashed
+   counts, so they parallelise without changing the estimator: run
+   iteration [i] on the private stream (master, i) and take the median
+   over the index-ordered successes. The estimate is then a pure
+   function of the master seed — identical for every worker count. *)
+let iterate_parallel ?deadline ?jobs ?pool ~rng ~pivot ~t f =
+  let master = Int64.to_int (Rng.bits64 rng) land max_int in
+  let one index =
+    let rng = Rng.of_stream ~seed:master index in
+    match core ?deadline ~rng ~pivot ~start:1 f with
+    | Some e -> `Estimate e
+    | None -> `Failed
+    | exception Deadline -> `Deadline
+  in
+  let indices = Array.init t Fun.id in
+  match (pool, jobs) with
+  | Some p, _ -> Parallel.Domain_pool.map p one indices
+  | None, Some jobs when jobs > 1 ->
+      Parallel.Domain_pool.with_pool ~jobs (fun p ->
+          Parallel.Domain_pool.map p one indices)
+  | None, _ -> Array.map one indices
+
+let count ?deadline ?(leapfrog = false) ?iterations ?jobs ?pool ~rng ~epsilon
+    ~delta f =
+  (match jobs with
+  | Some j when j < 1 -> invalid_arg "Approxmc.count: jobs must be >= 1"
+  | _ -> ());
   let pivot = pivot_of_epsilon epsilon in
   let t = match iterations with Some t -> t | None -> iterations_of_delta delta in
   try
@@ -72,15 +98,29 @@ let count ?deadline ?(leapfrog = false) ?iterations ~rng ~epsilon ~delta f =
       else begin
         let estimates = ref [] in
         let failures = ref 0 in
-        let prev_i = ref 1 in
-        for _ = 1 to t do
-          let start = if leapfrog then max 1 (!prev_i - 1) else 1 in
-          match core ?deadline ~rng ~pivot ~start f with
-          | Some (e, i) ->
-              prev_i := i;
-              estimates := e :: !estimates
-          | None -> incr failures
-        done;
+        if (jobs <> None || pool <> None) && not leapfrog then begin
+          (* deterministic stream-per-iteration discipline; leapfrog is
+             inherently sequential (each start depends on the previous
+             iteration) and keeps the serial path below *)
+          let outcomes = iterate_parallel ?deadline ?jobs ?pool ~rng ~pivot ~t f in
+          Array.iter
+            (function
+              | `Estimate (e, _) -> estimates := e :: !estimates
+              | `Failed -> incr failures
+              | `Deadline -> raise Deadline)
+            outcomes
+        end
+        else begin
+          let prev_i = ref 1 in
+          for _ = 1 to t do
+            let start = if leapfrog then max 1 (!prev_i - 1) else 1 in
+            match core ?deadline ~rng ~pivot ~start f with
+            | Some (e, i) ->
+                prev_i := i;
+                estimates := e :: !estimates
+            | None -> incr failures
+          done
+        end;
         match !estimates with
         | [] -> Error Timed_out (* all iterations failed: no usable estimate *)
         | es ->

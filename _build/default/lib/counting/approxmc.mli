@@ -33,6 +33,8 @@ val count :
   ?deadline:float ->
   ?leapfrog:bool ->
   ?iterations:int ->
+  ?jobs:int ->
+  ?pool:Parallel.Domain_pool.t ->
   rng:Rng.t ->
   epsilon:float ->
   delta:float ->
@@ -43,4 +45,16 @@ val count :
     the CP 2013 heuristic that the UniGen paper explicitly disables
     because it voids the guarantees. It exists for the ablation bench.
     [iterations] overrides {!iterations_of_delta} (used by benches to
-    trade confidence for time; the default is the faithful value). *)
+    trade confidence for time; the default is the faithful value).
+
+    [jobs]/[pool] switch the median loop to the parallel discipline:
+    one master seed is drawn from [rng], iteration [i] runs on the
+    private stream [(master, i)] (see {!Rng.of_stream}), and the
+    iterations execute across the pool ([jobs] fresh workers, or a
+    caller-owned pool). Because each iteration is an independent
+    XOR-hashed count and the median is taken over index-ordered
+    results, the estimate is a pure function of [rng]'s state —
+    identical for [~jobs:1] and [~jobs:n]. Omitting both keeps the
+    legacy single-stream serial draw order. [leapfrog] forces the
+    serial path (each iteration's start depends on the previous one).
+    @raise Invalid_argument when [jobs < 1]. *)

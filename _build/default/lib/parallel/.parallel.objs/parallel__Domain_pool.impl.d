@@ -1,0 +1,1 @@
+lib/parallel/domain_pool.ml: Array Atomic Condition Domain Fun Mutex Printexc

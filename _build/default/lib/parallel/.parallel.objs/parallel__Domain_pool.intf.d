@@ -1,0 +1,1 @@
+lib/parallel/domain_pool.mli:

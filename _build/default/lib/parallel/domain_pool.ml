@@ -1,0 +1,171 @@
+(* A fixed pool of worker domains plus the submitting domain draining a
+   shared index queue. Synchronisation is one mutex/condition pair (for
+   batch publication and completion) plus two atomics per batch (the
+   next-index claim counter and the finished-item counter); items
+   communicate results only through their own slot of the results
+   array, so the hot path is lock-free once a batch is published. *)
+
+type batch = {
+  length : int;
+  next : int Atomic.t;  (* next unclaimed item index *)
+  finished : int Atomic.t;  (* items fully processed (run or skipped) *)
+  cancelled : bool Atomic.t;  (* set on first exception: skip the rest *)
+  run : int -> unit;  (* executes one item; must not raise *)
+}
+
+type t = {
+  jobs : int;
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable generation : int;  (* bumped at every batch publication *)
+  mutable batch : batch option;  (* the batch of the current generation *)
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+  mutable alive : bool;
+}
+
+let signal_all t =
+  Mutex.lock t.lock;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock
+
+(* Claim and process items of [b] until none are left. Shared by the
+   worker domains and the submitting domain. *)
+let drain t b =
+  let rec claim () =
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i < b.length then begin
+      if not (Atomic.get b.cancelled) then b.run i;
+      let done_now = 1 + Atomic.fetch_and_add b.finished 1 in
+      if done_now = b.length then signal_all t;
+      claim ()
+    end
+  in
+  claim ()
+
+let worker_loop t =
+  let last_gen = ref 0 in
+  let rec loop () =
+    Mutex.lock t.lock;
+    while t.generation = !last_gen && not t.stopping do
+      Condition.wait t.cond t.lock
+    done;
+    if t.generation <> !last_gen then begin
+      last_gen := t.generation;
+      let b = t.batch in
+      Mutex.unlock t.lock;
+      (match b with Some b -> drain t b | None -> ());
+      loop ()
+    end
+    else (* stopping with no new batch *)
+      Mutex.unlock t.lock
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Domain_pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      generation = 0;
+      batch = None;
+      stopping = false;
+      workers = [||];
+      alive = true;
+    }
+  in
+  t.workers <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.jobs
+
+let check_alive t =
+  if not t.alive then invalid_arg "Domain_pool: pool already shut down"
+
+exception Item_error of int * exn * Printexc.raw_backtrace
+
+let map_into t f items store =
+  check_alive t;
+  let n = Array.length items in
+  if n = 0 then ()
+  else begin
+    let error = ref None in
+    let error_lock = Mutex.create () in
+    let cancelled = Atomic.make false in
+    let run i =
+      match f i items.(i) with
+      | v -> store i v
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Atomic.set cancelled true;
+          Mutex.lock error_lock;
+          (match !error with
+          | Some (j, _, _) when j <= i -> ()
+          | _ -> error := Some (i, e, bt));
+          Mutex.unlock error_lock
+    in
+    let b =
+      {
+        length = n;
+        next = Atomic.make 0;
+        finished = Atomic.make 0;
+        cancelled;
+        run;
+      }
+    in
+    if t.jobs = 1 then drain t b
+    else begin
+      Mutex.lock t.lock;
+      t.batch <- Some b;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.lock;
+      (* the submitting domain is a full worker for this batch *)
+      drain t b;
+      (* wait for stragglers still running their last claimed item *)
+      Mutex.lock t.lock;
+      while Atomic.get b.finished < n do
+        Condition.wait t.cond t.lock
+      done;
+      t.batch <- None;
+      Mutex.unlock t.lock
+    end;
+    match !error with
+    | Some (i, e, bt) -> raise (Item_error (i, e, bt))
+    | None -> ()
+  end
+
+let map t f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    (try map_into t (fun _ x -> f x) items (fun i v -> results.(i) <- Some v)
+     with Item_error (_, e, bt) -> Printexc.raise_with_backtrace e bt);
+    Array.map
+      (function
+        | Some v -> v
+        | None -> invalid_arg "Domain_pool.map: item missing (batch failed?)")
+      results
+  end
+
+let iteri t f items =
+  try map_into t f items (fun _ () -> ())
+  with Item_error (_, e, bt) -> Printexc.raise_with_backtrace e bt
+
+let shutdown t =
+  if t.alive then begin
+    t.alive <- false;
+    Mutex.lock t.lock;
+    t.stopping <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.lock;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

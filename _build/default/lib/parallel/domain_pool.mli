@@ -1,0 +1,51 @@
+(** Fixed-size pool of OCaml 5 domains draining a shared work queue.
+
+    The pool underlies every parallel layer of this repository
+    (leaf-level UniGen sampling, ApproxMC counting iterations, the
+    bench harness). Design points:
+
+    - {b fixed pool}: [create ~jobs] spawns [jobs - 1] worker domains
+      once; the submitting domain itself acts as the remaining worker
+      while a batch is in flight, so [jobs] bounds total parallelism
+      and [jobs = 1] degenerates to inline execution with no domain
+      spawned at all.
+    - {b work queue}: batch items are queued individually; workers pull
+      the next index as they finish, so uneven item costs (SAT calls
+      vary wildly) load-balance automatically.
+    - {b graceful shutdown on exception}: if an item's function raises,
+      the remaining items of that batch are cancelled (never started),
+      in-flight items finish, and the lowest-index exception observed
+      is re-raised in the caller once the batch has fully drained. The
+      pool itself survives and can run further batches.
+
+    Determinism is the caller's contract: [map] returns results in item
+    order, and callers derive any randomness an item needs from the
+    item's index (see {!Rng.of_stream}), never from shared state — so
+    the output of a batch is independent of the worker count. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] builds a pool of [jobs] total workers ([jobs - 1]
+    spawned domains). @raise Invalid_argument when [jobs < 1]. *)
+
+val size : t -> int
+(** The [jobs] the pool was created with. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f items] applies [f] to every element, in parallel across
+    the pool, returning results in item order. If any application
+    raises, remaining unstarted items are cancelled and the
+    lowest-index exception observed is re-raised after the batch
+    drains. Nested [map] from inside an item is not supported. *)
+
+val iteri : t -> (int -> 'a -> unit) -> 'a array -> unit
+(** Indexed side-effecting variant of {!map}. *)
+
+val shutdown : t -> unit
+(** Join all worker domains. Idempotent; using the pool afterwards
+    raises [Invalid_argument]. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down
+    afterwards, whether [f] returns or raises. *)

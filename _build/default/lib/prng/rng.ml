@@ -37,6 +37,27 @@ let split t =
   let seed = Int64.to_int (bits64 t) land max_int in
   create seed
 
+(* Stream derivation: whiten the master seed through one splitmix64
+   step, then offset the whitened state by [index] times an odd 64-bit
+   constant (odd multipliers are injective mod 2^64, so distinct
+   indices give distinct splitmix states) and expand through four more
+   splitmix64 steps, exactly as [create] expands a raw seed.  Stream
+   [index] therefore depends only on [(seed, index)], never on how many
+   other streams were derived — the property the parallel sampling
+   engine relies on for jobs-count-invariant reproducibility. *)
+let of_stream ~seed index =
+  if index < 0 then invalid_arg "Rng.of_stream: negative stream index";
+  let state = ref (Int64.of_int seed) in
+  let whitened = splitmix64 state in
+  let state =
+    ref (Int64.add whitened (Int64.mul (Int64.of_int index) 0xD1B54A32D192ED03L))
+  in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
 let bool t = Int64.compare (bits64 t) 0L < 0

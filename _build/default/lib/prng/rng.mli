@@ -16,7 +16,23 @@ val create : int -> t
 
 val split : t -> t
 (** [split t] derives a new generator whose future output is
-    statistically independent of [t]'s, advancing [t]. *)
+    statistically independent of [t]'s, advancing [t]. Successive
+    splits from one parent yield pairwise-independent streams; use
+    this when the number of consumers is discovered dynamically. *)
+
+val of_stream : seed:int -> int -> t
+(** [of_stream ~seed index] is the [index]-th member of the stream
+    family keyed by [seed] (a pure function of the pair — unlike
+    {!split} it does not advance any parent state). The master seed is
+    whitened through splitmix64 and offset by [index] times an odd
+    constant before the usual four-word expansion, so streams with
+    nearby indices are as unrelated as generators from independent
+    seeds, and stream [index] is identical no matter how many sibling
+    streams exist or in what order they are created. This is the
+    seeding discipline of the parallel sampling engine: sample [i]
+    always consumes stream [(seed, i)], making batch output invariant
+    under the worker count.
+    @raise Invalid_argument when [index < 0]. *)
 
 val copy : t -> t
 (** Duplicate the current state (both copies then produce the same

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Cnf Counting List QCheck2 QCheck_alcotest Rng Sampling Sat Test_util

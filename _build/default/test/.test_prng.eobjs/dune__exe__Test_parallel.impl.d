@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Cnf Counting Fun Hashtbl List Parallel Printf Rng Sampling Sat String Unix

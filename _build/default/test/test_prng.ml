@@ -83,6 +83,97 @@ let test_split_independence () =
   done;
   Alcotest.(check bool) "streams differ" true (!same < 4)
 
+let test_of_stream_determinism () =
+  (* (seed, index) fully determines the stream: reconstructing the
+     generator replays it exactly. *)
+  let a = Rng.of_stream ~seed:42 17 and b = Rng.of_stream ~seed:42 17 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_of_stream_index_sensitivity () =
+  (* distinct indices from one seed yield pairwise distinct streams
+     (first word already differs) *)
+  let firsts =
+    Array.init 21 (fun i -> Rng.bits64 (Rng.of_stream ~seed:7 i))
+  in
+  Array.iteri
+    (fun i x ->
+      Array.iteri
+        (fun j y ->
+          if i < j && Int64.equal x y then
+            Alcotest.failf "streams %d and %d share their first word" i j)
+        firsts)
+    firsts
+
+let test_of_stream_negative_index () =
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Rng.of_stream: negative stream index") (fun () ->
+      ignore (Rng.of_stream ~seed:1 (-1)))
+
+let popcount64 x =
+  let c = ref 0 in
+  for i = 0 to 63 do
+    if Int64.(logand (shift_right_logical x i) 1L) = 1L then incr c
+  done;
+  !c
+
+let test_of_stream_avalanche () =
+  (* Adjacent stream indices should flip about half the 64 output bits
+     on average — the splitmix64 finalizer destroys the +1 structure of
+     the index. Mean Hamming distance over 100 adjacent pairs must sit
+     near 32. *)
+  let pairs = 100 in
+  let total = ref 0 in
+  for i = 0 to pairs - 1 do
+    let x = Rng.bits64 (Rng.of_stream ~seed:123 i)
+    and y = Rng.bits64 (Rng.of_stream ~seed:123 (i + 1)) in
+    total := !total + popcount64 (Int64.logxor x y)
+  done;
+  let mean = float_of_int !total /. float_of_int pairs in
+  if mean < 28.0 || mean > 36.0 then
+    Alcotest.failf "avalanche mean %.2f outside [28, 36]" mean
+
+let test_of_stream_equidistribution () =
+  (* A derived stream must pass the same marginal checks as a root
+     generator: 10-bucket frequencies within 10% and balanced bools. *)
+  let rng = Rng.of_stream ~seed:2024 5 in
+  let bound = 10 and trials = 50_000 in
+  let counts = Array.make bound 0 in
+  for _ = 1 to trials do
+    let v = Rng.int rng bound in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expected = float_of_int trials /. float_of_int bound in
+  Array.iteri
+    (fun i c ->
+      let dev = Float.abs (float_of_int c -. expected) /. expected in
+      if dev > 0.1 then Alcotest.failf "bucket %d deviates by %.2f" i dev)
+    counts;
+  let rng = Rng.of_stream ~seed:2024 6 in
+  let trues = ref 0 in
+  for _ = 1 to trials do
+    if Rng.bool rng then incr trues
+  done;
+  let ratio = float_of_int !trues /. float_of_int trials in
+  Alcotest.(check bool) "bool balance" true (ratio > 0.48 && ratio < 0.52)
+
+let test_split_equidistribution () =
+  (* A split child must also look marginally uniform. *)
+  let child = Rng.split (Rng.create 77) in
+  let bound = 10 and trials = 50_000 in
+  let counts = Array.make bound 0 in
+  for _ = 1 to trials do
+    let v = Rng.int child bound in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expected = float_of_int trials /. float_of_int bound in
+  Array.iteri
+    (fun i c ->
+      let dev = Float.abs (float_of_int c -. expected) /. expected in
+      if dev > 0.1 then Alcotest.failf "bucket %d deviates by %.2f" i dev)
+    counts
+
 let test_copy () =
   let a = Rng.create 29 in
   ignore (Rng.bits64 a);
@@ -162,6 +253,18 @@ let () =
           Alcotest.test_case "bool balance" `Quick test_bool_balance;
           Alcotest.test_case "float bounds" `Quick test_float_bounds;
           Alcotest.test_case "split independence" `Quick test_split_independence;
+          Alcotest.test_case "split equidistribution" `Quick
+            test_split_equidistribution;
+          Alcotest.test_case "of_stream determinism" `Quick
+            test_of_stream_determinism;
+          Alcotest.test_case "of_stream index sensitivity" `Quick
+            test_of_stream_index_sensitivity;
+          Alcotest.test_case "of_stream negative index" `Quick
+            test_of_stream_negative_index;
+          Alcotest.test_case "of_stream avalanche" `Quick
+            test_of_stream_avalanche;
+          Alcotest.test_case "of_stream equidistribution" `Quick
+            test_of_stream_equidistribution;
           Alcotest.test_case "copy" `Quick test_copy;
           Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
           Alcotest.test_case "shuffle moves" `Quick test_shuffle_moves_elements;

@@ -268,6 +268,37 @@ let test_xorsample_s_too_large_fails_often () =
   Alcotest.(check bool) (Printf.sprintf "%d/30 failures" !failures) true
     (!failures >= 20)
 
+let test_xorsample_statistical_distance () =
+  (* On a free formula the witnesses are exchangeable under the random
+     affine XOR family, so XORSample' is exactly uniform over the 2^6
+     models — the empirical distribution must be statistically close to
+     uniform (chi-square p-value well away from 0, small TV distance). *)
+  let f = Cnf.Formula.create ~num_vars:6 [] in
+  let rng = Rng.create 19 in
+  let target = 4_000 in
+  let keys = ref [] in
+  let accepted = ref 0 and attempts = ref 0 in
+  while !accepted < target && !attempts < target * 30 do
+    incr attempts;
+    match Sampling.Xorsample.sample ~rng ~s:3 f with
+    | Ok m ->
+        incr accepted;
+        keys := Cnf.Model.key m :: !keys
+    | Error _ -> ()
+  done;
+  Alcotest.(check int) "collected enough accepted samples" target !accepted;
+  let h = Sampling.Stats.histogram_of_keys !keys in
+  Alcotest.(check int) "all 64 witnesses reached" 64 (Hashtbl.length h);
+  let p =
+    Sampling.Stats.uniformity_pvalue ~num_outcomes:64 ~num_samples:target h
+  in
+  Alcotest.(check bool) (Printf.sprintf "p-value %.4f" p) true (p > 1e-4);
+  let tv =
+    Sampling.Stats.total_variation_from_uniform ~num_outcomes:64
+      ~num_samples:target h
+  in
+  Alcotest.(check bool) (Printf.sprintf "TV %.3f" tv) true (tv < 0.15)
+
 (* ------------------------------------------------------------------ *)
 (* MCMC baseline *)
 
@@ -583,6 +614,8 @@ let () =
         [
           Alcotest.test_case "valid models" `Quick test_xorsample_valid_models;
           Alcotest.test_case "s too large" `Quick test_xorsample_s_too_large_fails_often;
+          Alcotest.test_case "statistical distance" `Slow
+            test_xorsample_statistical_distance;
         ] );
       ( "mcmc",
         [
