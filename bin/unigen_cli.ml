@@ -19,7 +19,8 @@ let print_witness m sampling =
 (* unigen sample *)
 
 let sample_cmd =
-  let run file num epsilon seed timeout project_only jobs =
+  let run file num epsilon seed timeout project_only jobs show_stats
+      no_incremental =
     if jobs < 0 then begin
       Printf.eprintf "error: --jobs must be >= 1\n";
       1
@@ -31,12 +32,14 @@ let sample_cmd =
           1
       | Ok f ->
           let rng = Rng.create seed in
+          let incremental = not no_incremental in
           let deadline = Unix.gettimeofday () +. timeout in
           let prep =
             if jobs > 1 then
               Parallel.Domain_pool.with_pool ~jobs (fun pool ->
-                  Sampling.Unigen.prepare ~deadline ~pool ~rng ~epsilon f)
-            else Sampling.Unigen.prepare ~deadline ~rng ~epsilon f
+                  Sampling.Unigen.prepare ~deadline ~incremental ~pool ~rng
+                    ~epsilon f)
+            else Sampling.Unigen.prepare ~deadline ~incremental ~rng ~epsilon f
           in
           (match prep with
           | Error Sampling.Unigen.Unsat_formula ->
@@ -94,6 +97,10 @@ let sample_cmd =
                 !produced num !attempts
                 (Sampling.Sampler.average_seconds_per_sample st)
                 (Sampling.Sampler.average_xor_length st);
+              if show_stats then
+                Format.printf "c stats: %a@.c stats: incremental=%b@."
+                  Sampling.Sampler.pp st
+                  (Sampling.Unigen.is_incremental prepared);
               if !produced = num then 0 else 1)
   in
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -118,26 +125,44 @@ let sample_cmd =
                    (seed, i)); output is bit-identical for every worker \
                    count. Omit for the legacy single-stream loop.")
   in
+  let show_stats =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print cumulative solver statistics (conflicts, \
+                   propagations, learnt clauses, session reuse hits) as \
+                   comment lines.")
+  in
+  let no_incremental =
+    Arg.(value & flag
+         & info [ "no-incremental" ]
+             ~doc:"Rebuild a fresh CDCL solver for every BSAT call instead \
+                   of reusing warm solver sessions (the differential \
+                   reference path; witnesses are identical either way).")
+  in
   Cmd.v
     (Cmd.info "sample" ~doc:"Draw almost-uniform witnesses of a DIMACS CNF file")
-    Term.(const run $ file $ num $ epsilon $ seed $ timeout $ project $ jobs)
+    Term.(const run $ file $ num $ epsilon $ seed $ timeout $ project $ jobs
+          $ show_stats $ no_incremental)
 
 (* ------------------------------------------------------------------ *)
 (* unigen count *)
 
 let count_cmd =
-  let run file epsilon delta seed timeout jobs =
+  let run file epsilon delta seed timeout jobs show_stats no_incremental =
     match read_formula file with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
         1
     | Ok f ->
         let rng = Rng.create seed in
+        let incremental = not no_incremental in
         let deadline = Unix.gettimeofday () +. timeout in
         let result =
           if jobs >= 1 then
-            Counting.Approxmc.count ~deadline ~jobs ~rng ~epsilon ~delta f
-          else Counting.Approxmc.count ~deadline ~rng ~epsilon ~delta f
+            Counting.Approxmc.count ~deadline ~incremental ~jobs ~rng ~epsilon
+              ~delta f
+          else Counting.Approxmc.count ~deadline ~incremental ~rng ~epsilon
+              ~delta f
         in
         (match result with
         | Error Counting.Approxmc.Unsat ->
@@ -152,6 +177,15 @@ let count_cmd =
               r.Counting.Approxmc.log2_estimate
               (if r.Counting.Approxmc.exact then ", exact" else "")
               r.Counting.Approxmc.core_iterations r.Counting.Approxmc.failed_iterations;
+            if show_stats then begin
+              let st = r.Counting.Approxmc.solver_stats in
+              Printf.printf
+                "c stats: conflicts=%d decisions=%d propagations=%d \
+                 restarts=%d learnts=%d reuse_hits=%d incremental=%b\n"
+                st.Sat.Solver.conflicts st.Sat.Solver.decisions
+                st.Sat.Solver.propagations st.Sat.Solver.restarts
+                st.Sat.Solver.learnts r.Counting.Approxmc.reuse_hits incremental
+            end;
             0)
   in
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -173,9 +207,21 @@ let count_cmd =
                    identical for every worker count). Omit for the legacy \
                    serial loop.")
   in
+  let show_stats =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print aggregate solver statistics as a comment line.")
+  in
+  let no_incremental =
+    Arg.(value & flag
+         & info [ "no-incremental" ]
+             ~doc:"Fresh CDCL solver per BSAT call (differential reference \
+                   path; the estimate is identical either way).")
+  in
   Cmd.v
     (Cmd.info "count" ~doc:"Approximately count witnesses (ApproxMC)")
-    Term.(const run $ file $ epsilon $ delta $ seed $ timeout $ jobs)
+    Term.(const run $ file $ epsilon $ delta $ seed $ timeout $ jobs
+          $ show_stats $ no_incremental)
 
 (* ------------------------------------------------------------------ *)
 (* unigen support *)

@@ -9,6 +9,10 @@ type run_stats = {
   mutable timeouts : int;
   mutable xor_rows : int;
   mutable xor_vars : int;
+  mutable conflicts : int;
+  mutable propagations : int;
+  mutable learnts : int;
+  mutable reuse_hits : int;
   mutable wall_seconds : float;
 }
 
@@ -20,6 +24,10 @@ let fresh_stats () =
     timeouts = 0;
     xor_rows = 0;
     xor_vars = 0;
+    conflicts = 0;
+    propagations = 0;
+    learnts = 0;
+    reuse_hits = 0;
     wall_seconds = 0.0;
   }
 
@@ -42,15 +50,26 @@ let merge_into ~into s =
   into.timeouts <- into.timeouts + s.timeouts;
   into.xor_rows <- into.xor_rows + s.xor_rows;
   into.xor_vars <- into.xor_vars + s.xor_vars;
+  into.conflicts <- into.conflicts + s.conflicts;
+  into.propagations <- into.propagations + s.propagations;
+  into.learnts <- into.learnts + s.learnts;
+  into.reuse_hits <- into.reuse_hits + s.reuse_hits;
   into.wall_seconds <- into.wall_seconds +. s.wall_seconds
 
 let record_hash s h =
   s.xor_rows <- s.xor_rows + Hashing.Hxor.m h;
   s.xor_vars <- s.xor_vars + Hashing.Hxor.total_xor_length h
 
+let record_solve s (out : Sat.Bsat.outcome) =
+  s.conflicts <- s.conflicts + out.Sat.Bsat.stats.Sat.Solver.conflicts;
+  s.propagations <- s.propagations + out.Sat.Bsat.stats.Sat.Solver.propagations;
+  s.learnts <- s.learnts + out.Sat.Bsat.stats.Sat.Solver.learnts;
+  if out.Sat.Bsat.reused then s.reuse_hits <- s.reuse_hits + 1
+
 let pp fmt s =
   Format.fprintf fmt
-    "requested=%d produced=%d cell_failures=%d timeouts=%d avg_xor_len=%.1f avg_s=%.3f"
+    "requested=%d produced=%d cell_failures=%d timeouts=%d avg_xor_len=%.1f \
+     conflicts=%d propagations=%d learnts=%d reuse_hits=%d avg_s=%.3f"
     s.samples_requested s.samples_produced s.cell_failures s.timeouts
-    (average_xor_length s)
+    (average_xor_length s) s.conflicts s.propagations s.learnts s.reuse_hits
     (average_seconds_per_sample s)

@@ -19,6 +19,11 @@ type run_stats = {
   mutable timeouts : int;
   mutable xor_rows : int;  (** total XOR rows across all hash draws *)
   mutable xor_vars : int;  (** total variables across those rows *)
+  mutable conflicts : int;  (** CDCL conflicts across all BSAT calls *)
+  mutable propagations : int;
+  mutable learnts : int;  (** learnt clauses recorded *)
+  mutable reuse_hits : int;
+      (** BSAT calls answered by a warm solver session *)
   mutable wall_seconds : float;
 }
 
@@ -41,5 +46,9 @@ val merge_into : into:run_stats -> run_stats -> unit
     clock when samples ran concurrently. *)
 
 val record_hash : run_stats -> Hashing.Hxor.t -> unit
+
+val record_solve : run_stats -> Sat.Bsat.outcome -> unit
+(** Fold one BSAT outcome's solver-statistics delta (conflicts,
+    propagations, learnt clauses, session-reuse hit) into the run. *)
 
 val pp : Format.formatter -> run_stats -> unit

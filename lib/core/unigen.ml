@@ -13,6 +13,15 @@ type prepared = {
   hi_limit : int; (* BSAT enumeration limit: floor(hi) + 1 *)
   hash_density : float;
   phase : phase;
+  incremental : bool;
+  session_key : Sat.Bsat.Session.t Domain.DLS.key;
+      (* Each domain lazily materialises its own solver session, so
+         the Domain_pool parallel path needs no locking and every
+         worker warms its solver across the draws it executes. The
+         sampled witnesses are bit-identical either way: Bsat outcomes
+         are canonically ordered, hence independent of each session's
+         private history whenever a cell is accepted (accepted cells
+         are exhaustively enumerated, so they are equal as sets). *)
   stats : Sampler.run_stats;
 }
 
@@ -20,16 +29,30 @@ type prepare_error = Unsat_formula | Prepare_timeout | Count_failed
 
 let log2 x = Float.log x /. Float.log 2.0
 
-let prepare ?deadline ?count_iterations ?(hash_density = 0.5) ?jobs ?pool ~rng
-    ~epsilon formula =
+let prepare ?deadline ?count_iterations ?(hash_density = 0.5)
+    ?(incremental = true) ?jobs ?pool ~rng ~epsilon formula =
   let kappa, pivot = Kappa_pivot.compute epsilon in
   let hi = Kappa_pivot.hi_thresh ~kappa ~pivot in
   let lo = Kappa_pivot.lo_thresh ~kappa ~pivot in
   let hi_limit = int_of_float (Float.floor hi) + 1 in
   let sampling = Cnf.Formula.sampling_vars formula in
   let make phase =
-    { formula; sampling; kappa; pivot; hi; lo; hi_limit; hash_density; phase;
-      stats = Sampler.fresh_stats () }
+    {
+      formula;
+      sampling;
+      kappa;
+      pivot;
+      hi;
+      lo;
+      hi_limit;
+      hash_density;
+      phase;
+      incremental;
+      session_key =
+        Domain.DLS.new_key (fun () ->
+            Sat.Bsat.Session.create ~blocking_vars:sampling formula);
+      stats = Sampler.fresh_stats ();
+    }
   in
   (* lines 4-7: the easy case *)
   let out = Sat.Bsat.enumerate ?deadline ~limit:hi_limit formula in
@@ -42,8 +65,8 @@ let prepare ?deadline ?count_iterations ?(hash_density = 0.5) ?jobs ?pool ~rng
     else begin
       (* lines 9-10: approximate count, then q = ⌈log C + log 1.8 − log pivot⌉ *)
       match
-        Counting.Approxmc.count ?deadline ?iterations:count_iterations ?jobs
-          ?pool ~rng ~epsilon:0.8 ~delta:0.8 formula
+        Counting.Approxmc.count ?deadline ?iterations:count_iterations
+          ~incremental ?jobs ?pool ~rng ~epsilon:0.8 ~delta:0.8 formula
       with
       | Error Counting.Approxmc.Unsat -> Error Unsat_formula
       | Error Counting.Approxmc.Timed_out -> Error Count_failed
@@ -74,8 +97,21 @@ let sample_once ?deadline ~rng ~stats t =
             Hashing.Hxor.sample ~density:t.hash_density rng ~vars:t.sampling ~m:i
           in
           Sampler.record_hash stats h;
-          let g = Cnf.Formula.add_xors t.formula (Hashing.Hxor.constraints h) in
-          let out = Sat.Bsat.enumerate ?deadline ~limit:t.hi_limit g in
+          let out =
+            if t.incremental then
+              (* warm per-domain session: the hash layer is pushed as a
+                 retractable group and popped after the call, leaving
+                 base-formula learnt clauses for the next draw *)
+              Sat.Bsat.Session.enumerate ?deadline
+                ~xors:(Hashing.Hxor.constraints h) ~limit:t.hi_limit
+                (Domain.DLS.get t.session_key)
+            else
+              let g =
+                Cnf.Formula.add_xors t.formula (Hashing.Hxor.constraints h)
+              in
+              Sat.Bsat.enumerate ?deadline ~limit:t.hi_limit g
+          in
+          Sampler.record_solve stats out;
           if out.Sat.Bsat.timed_out then begin
             (* the paper repeats lines 14-16 on a BSAT timeout without
                incrementing i *)
@@ -171,6 +207,7 @@ let q_range t =
   match t.phase with Easy _ -> None | Hashed { q; _ } -> Some (q - 3, q)
 
 let is_easy t = match t.phase with Easy _ -> true | Hashed _ -> false
+let is_incremental t = t.incremental
 
 let count_estimate t =
   match t.phase with

@@ -26,6 +26,7 @@ val prepare :
   ?deadline:float ->
   ?count_iterations:int ->
   ?hash_density:float ->
+  ?incremental:bool ->
   ?jobs:int ->
   ?pool:Parallel.Domain_pool.t ->
   rng:Rng.t ->
@@ -42,6 +43,14 @@ val prepare :
     probability of the XOR rows; values below 0.5 give the sparse-XOR
     variant of Gomes et al. that voids Theorem 1 — it exists only for
     the ablation bench.
+    [incremental] (default [true]) backs every BSAT call — here in the
+    ApproxMC count and later in each {!sample} — by a persistent
+    solver session instead of a fresh solver: one session per domain,
+    reused across draws, with the XOR hash layer swapped in and out as
+    a retractable constraint group. The sampled distribution and every
+    returned witness are identical to the fresh path
+    ([~incremental:false], kept as the differential reference); only
+    the work to re-learn base-formula clauses disappears.
     [jobs]/[pool] parallelise the ApproxMC counting iterations (each is
     an independent XOR-hashed count); see {!Counting.Approxmc.count}.
     @raise Invalid_argument when [epsilon <= 1.71]. *)
@@ -113,5 +122,6 @@ val q_range : prepared -> (int * int) option
     (|R_F| ≤ hiThresh, where witnesses are enumerated outright). *)
 
 val is_easy : prepared -> bool
+val is_incremental : prepared -> bool
 val count_estimate : prepared -> float
 (** ApproxMC's estimate of |R_F| (exact in the easy case). *)

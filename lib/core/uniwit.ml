@@ -2,7 +2,8 @@ let default_pivot = 20
 
 let all_vars (f : Cnf.Formula.t) = Array.init f.num_vars (fun i -> i + 1)
 
-let sample ?deadline ?(pivot = default_pivot) ?stats ~rng (f : Cnf.Formula.t) =
+let sample ?deadline ?(pivot = default_pivot) ?(incremental = true) ?stats ~rng
+    (f : Cnf.Formula.t) =
   let stats = match stats with Some s -> s | None -> Sampler.fresh_stats () in
   stats.Sampler.samples_requested <- stats.Sampler.samples_requested + 1;
   let start = Unix.gettimeofday () in
@@ -18,11 +19,26 @@ let sample ?deadline ?(pivot = default_pivot) ?stats ~rng (f : Cnf.Formula.t) =
     | Error Sampler.Unsat -> ());
     outcome
   in
-  (* blocking over the full variable set: UniWit has no sampling set *)
-  let enumerate g =
-    Sat.Bsat.enumerate ?deadline ~blocking_vars:vars ~limit:(pivot + 1) g
+  (* blocking over the full variable set: UniWit has no sampling set.
+     One session serves the whole sequential search over hash sizes —
+     UniWit re-solves the same base formula at every size, which is
+     exactly the pattern sessions amortise. *)
+  let session =
+    if incremental then Some (Sat.Bsat.Session.create ~blocking_vars:vars f)
+    else None
   in
-  let out = enumerate f in
+  let enumerate xors =
+    let out =
+      match session with
+      | Some s -> Sat.Bsat.Session.enumerate ?deadline ~xors ~limit:(pivot + 1) s
+      | None ->
+          let g = Cnf.Formula.add_xors f xors in
+          Sat.Bsat.enumerate ?deadline ~blocking_vars:vars ~limit:(pivot + 1) g
+    in
+    Sampler.record_solve stats out;
+    out
+  in
+  let out = enumerate [] in
   if out.Sat.Bsat.timed_out then finish (Error Sampler.Timed_out)
   else begin
     let models = Array.of_list out.Sat.Bsat.models in
@@ -36,8 +52,7 @@ let sample ?deadline ?(pivot = default_pivot) ?stats ~rng (f : Cnf.Formula.t) =
         else begin
           let h = Hashing.Hxor.sample rng ~vars ~m in
           Sampler.record_hash stats h;
-          let g = Cnf.Formula.add_xors f (Hashing.Hxor.constraints h) in
-          let out = enumerate g in
+          let out = enumerate (Hashing.Hxor.constraints h) in
           if out.Sat.Bsat.timed_out then finish (Error Sampler.Timed_out)
           else begin
             let cell = Array.of_list out.Sat.Bsat.models in

@@ -4,6 +4,8 @@ type result = {
   exact : bool;
   core_iterations : int;
   failed_iterations : int;
+  solver_stats : Sat.Solver.stats;
+  reuse_hits : int;
 }
 
 type error = Unsat | Timed_out
@@ -30,17 +32,45 @@ let check_deadline deadline =
   | Some d when Unix.gettimeofday () > d -> raise Deadline
   | _ -> ()
 
-(* One ApproxMCCore run: returns Some count-estimate or None (failure). *)
-let core ?deadline ~rng ~pivot ~start f =
+type core_out = {
+  co_res : (float * int) option; (* (estimate, hash size) or failure *)
+  co_stats : Sat.Solver.stats;
+  co_reuse : int;
+}
+
+(* One ApproxMCCore run. With [incremental] (the default) a single
+   solver session serves every hash size [i] of the try_size loop:
+   only the XOR layer is swapped between sizes, so clauses learnt
+   about the base formula at size i speed up size i+1. The fresh and
+   session paths agree on every (count, exhausted) decision — the
+   hash draws are identical and complete cells are history-independent
+   — so the returned estimate is the same. *)
+let core ?deadline ?(incremental = true) ~rng ~pivot ~start f =
   let sampling = Cnf.Formula.sampling_vars f in
   let n = Array.length sampling in
+  let session = if incremental then Some (Sat.Bsat.Session.create f) else None in
+  let stats = ref Sat.Solver.stats_zero in
+  let reuse = ref 0 in
+  let run_bsat i =
+    let h = Hashing.Hxor.sample rng ~vars:sampling ~m:i in
+    let out =
+      match session with
+      | Some s ->
+          Sat.Bsat.Session.enumerate ?deadline
+            ~xors:(Hashing.Hxor.constraints h) ~limit:(pivot + 1) s
+      | None ->
+          let g = Cnf.Formula.add_xors f (Hashing.Hxor.constraints h) in
+          Sat.Bsat.enumerate ?deadline ~limit:(pivot + 1) g
+    in
+    stats := Sat.Solver.stats_add !stats out.Sat.Bsat.stats;
+    if out.Sat.Bsat.reused then incr reuse;
+    out
+  in
   let rec try_size i =
     check_deadline deadline;
     if i > n then None
     else begin
-      let h = Hashing.Hxor.sample rng ~vars:sampling ~m:i in
-      let g = Cnf.Formula.add_xors f (Hashing.Hxor.constraints h) in
-      let out = Sat.Bsat.enumerate ?deadline ~limit:(pivot + 1) g in
+      let out = run_bsat i in
       if out.Sat.Bsat.timed_out then raise Deadline;
       let count = List.length out.Sat.Bsat.models in
       if count >= 1 && count <= pivot && out.Sat.Bsat.exhausted then
@@ -48,20 +78,21 @@ let core ?deadline ~rng ~pivot ~start f =
       else try_size (i + 1)
     end
   in
-  try_size start
+  let res = try_size start in
+  { co_res = res; co_stats = !stats; co_reuse = !reuse }
 
 (* The t ApproxMCCore iterations are mutually independent XOR-hashed
    counts, so they parallelise without changing the estimator: run
    iteration [i] on the private stream (master, i) and take the median
    over the index-ordered successes. The estimate is then a pure
    function of the master seed — identical for every worker count. *)
-let iterate_parallel ?deadline ?jobs ?pool ~rng ~pivot ~t f =
+let iterate_parallel ?deadline ?jobs ?pool ~incremental ~rng ~pivot ~t f =
   let master = Int64.to_int (Rng.bits64 rng) land max_int in
   let one index =
     let rng = Rng.of_stream ~seed:master index in
-    match core ?deadline ~rng ~pivot ~start:1 f with
-    | Some e -> `Estimate e
-    | None -> `Failed
+    match core ?deadline ~incremental ~rng ~pivot ~start:1 f with
+    | { co_res = Some e; co_stats; co_reuse } -> `Estimate (e, co_stats, co_reuse)
+    | { co_res = None; co_stats; co_reuse } -> `Failed (co_stats, co_reuse)
     | exception Deadline -> `Deadline
   in
   let indices = Array.init t Fun.id in
@@ -72,8 +103,8 @@ let iterate_parallel ?deadline ?jobs ?pool ~rng ~pivot ~t f =
           Parallel.Domain_pool.map p one indices)
   | None, _ -> Array.map one indices
 
-let count ?deadline ?(leapfrog = false) ?iterations ?jobs ?pool ~rng ~epsilon
-    ~delta f =
+let count ?deadline ?(leapfrog = false) ?(incremental = true) ?iterations ?jobs
+    ?pool ~rng ~epsilon ~delta f =
   (match jobs with
   | Some j when j < 1 -> invalid_arg "Approxmc.count: jobs must be >= 1"
   | _ -> ());
@@ -94,19 +125,33 @@ let count ?deadline ?(leapfrog = false) ?iterations ?jobs ?pool ~rng ~epsilon
             exact = true;
             core_iterations = 0;
             failed_iterations = 0;
+            solver_stats = out.Sat.Bsat.stats;
+            reuse_hits = 0;
           }
       else begin
         let estimates = ref [] in
         let failures = ref 0 in
+        let agg_stats = ref out.Sat.Bsat.stats in
+        let reuse_hits = ref 0 in
+        let fold st ru =
+          agg_stats := Sat.Solver.stats_add !agg_stats st;
+          reuse_hits := !reuse_hits + ru
+        in
         if (jobs <> None || pool <> None) && not leapfrog then begin
           (* deterministic stream-per-iteration discipline; leapfrog is
              inherently sequential (each start depends on the previous
              iteration) and keeps the serial path below *)
-          let outcomes = iterate_parallel ?deadline ?jobs ?pool ~rng ~pivot ~t f in
+          let outcomes =
+            iterate_parallel ?deadline ?jobs ?pool ~incremental ~rng ~pivot ~t f
+          in
           Array.iter
             (function
-              | `Estimate (e, _) -> estimates := e :: !estimates
-              | `Failed -> incr failures
+              | `Estimate ((e, _), st, ru) ->
+                  fold st ru;
+                  estimates := e :: !estimates
+              | `Failed (st, ru) ->
+                  fold st ru;
+                  incr failures
               | `Deadline -> raise Deadline)
             outcomes
         end
@@ -114,7 +159,9 @@ let count ?deadline ?(leapfrog = false) ?iterations ?jobs ?pool ~rng ~epsilon
           let prev_i = ref 1 in
           for _ = 1 to t do
             let start = if leapfrog then max 1 (!prev_i - 1) else 1 in
-            match core ?deadline ~rng ~pivot ~start f with
+            let co = core ?deadline ~incremental ~rng ~pivot ~start f in
+            fold co.co_stats co.co_reuse;
+            match co.co_res with
             | Some (e, i) ->
                 prev_i := i;
                 estimates := e :: !estimates
@@ -132,6 +179,8 @@ let count ?deadline ?(leapfrog = false) ?iterations ?jobs ?pool ~rng ~epsilon
                 exact = false;
                 core_iterations = List.length es;
                 failed_iterations = !failures;
+                solver_stats = !agg_stats;
+                reuse_hits = !reuse_hits;
               }
       end
     end

@@ -18,6 +18,11 @@ type result = {
           exact (enumeration finished below the pivot). *)
   core_iterations : int;  (** successful ApproxMCCore runs *)
   failed_iterations : int;
+  solver_stats : Sat.Solver.stats;
+      (** aggregate CDCL statistics over every BSAT call of the count *)
+  reuse_hits : int;
+      (** BSAT calls served by a warm solver session (0 on the fresh
+          path and in the exact easy case) *)
 }
 
 type error = Unsat | Timed_out
@@ -32,6 +37,7 @@ val iterations_of_delta : float -> int
 val count :
   ?deadline:float ->
   ?leapfrog:bool ->
+  ?incremental:bool ->
   ?iterations:int ->
   ?jobs:int ->
   ?pool:Parallel.Domain_pool.t ->
@@ -40,7 +46,15 @@ val count :
   delta:float ->
   Cnf.Formula.t ->
   (result, error) Result.t
-(** [leapfrog] (default [false]) starts each core iteration's search
+(** [incremental] (default [true]) runs each ApproxMCCore iteration on
+    a persistent solver session: one solver per iteration, reused
+    across all hash sizes [i] with only the XOR layer swapped. The
+    estimate is identical to the fresh-solver path ([~incremental:
+    false], the differential reference) — hash draws and cell-size
+    decisions are unchanged — but base-formula clauses are learnt once
+    per iteration instead of once per hash size.
+
+    [leapfrog] (default [false]) starts each core iteration's search
     for the hash size near the previous success instead of from 1 —
     the CP 2013 heuristic that the UniGen paper explicitly disables
     because it voids the guarantees. It exists for the ablation bench.

@@ -3,7 +3,24 @@ type outcome = {
   exhausted : bool;
   timed_out : bool;
   conflicts : int;
+  stats : Solver.stats;
+  reused : bool;
 }
+
+(* Models are returned in canonical (key) order, not discovery order:
+   a session-backed enumeration discovers witnesses in an order that
+   depends on the solver's accumulated learnt clauses and activities,
+   i.e. on the session's history. Complete cells are history-
+   independent as SETS, so sorting makes the outcome — and everything
+   downstream that indexes into it, like UniGen's uniform pick — a
+   pure function of the formula, restoring bit-identity between the
+   fresh and session paths and across parallel schedules. *)
+let sort_models ms =
+  List.sort (fun a b -> compare (Cnf.Model.key a) (Cnf.Model.key b)) ms
+
+let empty_outcome ~reused ~stats =
+  { models = []; exhausted = true; timed_out = false; conflicts = 0;
+    stats; reused }
 
 (* Row-reduce the XOR system before loading the solver: RREF preserves
    the solution set exactly and typically shortens dense hash rows a
@@ -20,6 +37,40 @@ let reduce_xors (f : Cnf.Formula.t) =
         `Reduced
           { f with Cnf.Formula.xors = Array.of_list r.Cnf.Xor_gauss.rows }
 
+(* The blocking-clause enumeration loop, shared by the one-shot and
+   session paths. [add_block] persists a blocking clause; [verify] is
+   the formula the witnesses must satisfy. *)
+let enum_loop ?deadline ~limit ~blocking ~verify ~add_block ~truncate solver =
+  let rec loop acc found =
+    if found >= limit then (List.rev acc, `Cut)
+    else
+      match Solver.solve ?deadline solver with
+      | Solver.Unsat -> (List.rev acc, `Exhausted)
+      | Solver.Unknown -> (List.rev acc, `Timeout)
+      | Solver.Sat ->
+          let m = truncate (Solver.model solver) in
+          if not (Cnf.Model.satisfies verify m) then
+            failwith "Bsat.enumerate: solver returned a non-model (internal bug)";
+          (* block this witness on the projection *)
+          let block =
+            Array.to_list blocking
+            |> List.map (fun v -> Cnf.Lit.make v (not (Cnf.Model.value m v)))
+          in
+          add_block block;
+          loop (m :: acc) (found + 1)
+  in
+  loop [] 0
+
+let outcome_of ~reused ~stats (models, status) =
+  {
+    models = sort_models models;
+    exhausted = status = `Exhausted;
+    timed_out = status = `Timeout;
+    conflicts = stats.Solver.conflicts;
+    stats;
+    reused;
+  }
+
 let enumerate ?deadline ?blocking_vars ~limit (f : Cnf.Formula.t) =
   let blocking =
     match blocking_vars with
@@ -27,35 +78,99 @@ let enumerate ?deadline ?blocking_vars ~limit (f : Cnf.Formula.t) =
     | None -> Cnf.Formula.sampling_vars f
   in
   match reduce_xors f with
-  | `Unsat ->
-      { models = []; exhausted = true; timed_out = false; conflicts = 0 }
+  | `Unsat -> empty_outcome ~reused:false ~stats:Solver.stats_zero
   | `Reduced reduced ->
-  let solver = Solver.create reduced in
-  let rec loop acc found =
-    if found >= limit then
-      { models = List.rev acc; exhausted = false; timed_out = false;
-        conflicts = Solver.conflicts solver }
-    else
-      match Solver.solve ?deadline solver with
-      | Solver.Unsat ->
-          { models = List.rev acc; exhausted = true; timed_out = false;
-            conflicts = Solver.conflicts solver }
-      | Solver.Unknown ->
-          { models = List.rev acc; exhausted = false; timed_out = true;
-            conflicts = Solver.conflicts solver }
-      | Solver.Sat ->
-          let m = Solver.model solver in
-          if not (Cnf.Model.satisfies f m) then
-            failwith "Bsat.enumerate: solver returned a non-model (internal bug)";
-          (* block this witness on the projection *)
-          let block =
-            Array.to_list blocking
-            |> List.map (fun v -> Cnf.Lit.make v (not (Cnf.Model.value m v)))
-          in
-          Solver.add_clause solver block;
-          loop (m :: acc) (found + 1)
-  in
-  loop [] 0
+      let solver = Solver.create reduced in
+      let res =
+        enum_loop ?deadline ~limit ~blocking ~verify:f
+          ~add_block:(Solver.add_clause solver)
+          ~truncate:(fun m -> m)
+          solver
+      in
+      outcome_of ~reused:false ~stats:(Solver.stats solver) res
 
 let count_upto ?deadline ~limit f =
   List.length (enumerate ?deadline ~limit f).models
+
+module Session = struct
+  type t = {
+    formula : Cnf.Formula.t; (* original (pre-RREF), for verification *)
+    blocking : int array;
+    solver : Solver.t option; (* None: base XOR system inconsistent *)
+    base_vars : int; (* formula width, before activation variables *)
+    mutable calls : int;
+  }
+
+  let create ?blocking_vars (f : Cnf.Formula.t) =
+    let blocking =
+      match blocking_vars with
+      | Some vs -> vs
+      | None -> Cnf.Formula.sampling_vars f
+    in
+    let solver =
+      match reduce_xors f with
+      | `Unsat -> None
+      | `Reduced reduced -> Some (Solver.create reduced)
+    in
+    { formula = f; blocking; solver; base_vars = f.Cnf.Formula.num_vars;
+      calls = 0 }
+
+  let calls s = s.calls
+  let formula s = s.formula
+  let blocking_vars s = s.blocking
+
+  let stats s =
+    match s.solver with
+    | None -> Solver.stats_zero
+    | Some solver -> Solver.stats solver
+
+  (* Reduce a hash layer on its own. The one-shot path row-reduces the
+     base and the layer as one system; reducing them separately spans
+     the same solution set, so the two paths agree on every outcome
+     even though their CDCL traces differ. *)
+  let reduce_layer xors =
+    match xors with
+    | [] | [ _ ] -> `Rows xors
+    | _ -> (
+        match Cnf.Xor_gauss.eliminate xors with
+        | Error `Unsat -> `Unsat
+        | Ok r -> `Rows r.Cnf.Xor_gauss.rows)
+
+  let enumerate ?deadline ?(xors = []) ?(persist_blocking = false) ~limit s =
+    let reused = s.calls > 0 in
+    s.calls <- s.calls + 1;
+    match s.solver with
+    | None -> empty_outcome ~reused ~stats:Solver.stats_zero
+    | Some solver -> (
+        let before = Solver.stats solver in
+        match reduce_layer xors with
+        | `Unsat ->
+            empty_outcome ~reused
+              ~stats:(Solver.stats_diff (Solver.stats solver) before)
+        | `Rows rows ->
+            let verify = Cnf.Formula.add_xors s.formula xors in
+            let truncate m =
+              if Cnf.Model.num_vars m = s.base_vars then m
+              else Cnf.Model.make s.base_vars (fun v -> Cnf.Model.value m v)
+            in
+            (* Everything this call adds — the XOR layer and, unless
+               persisted, the blocking clauses — lives in one group
+               popped on the way out, leaving only learnt clauses
+               about the base formula behind. *)
+            Solver.push_group solver;
+            let add_block block =
+              if persist_blocking then Solver.add_clause solver block
+              else Solver.add_group_clause solver block
+            in
+            let res =
+              Fun.protect
+                ~finally:(fun () -> Solver.pop_group solver)
+                (fun () ->
+                  List.iter (Solver.add_group_xor solver) rows;
+                  enum_loop ?deadline ~limit ~blocking:s.blocking ~verify
+                    ~add_block ~truncate solver)
+            in
+            outcome_of ~reused
+              ~stats:(Solver.stats_diff (Solver.stats solver) before)
+              res)
+end

@@ -6,13 +6,29 @@
     sampling set. When the sampling set is an independent support this
     is exactly the paper's optimization of "blocking clauses restricted
     to variables in S": the enumerated witnesses are still pairwise
-    distinct as full assignments, but the blocking clauses are short. *)
+    distinct as full assignments, but the blocking clauses are short.
+
+    Two entry points share the semantics: the one-shot {!enumerate}
+    builds a fresh solver per call, while a {!Session.t} keeps one
+    solver alive across calls, swapping XOR hash layers in and out via
+    retractable constraint groups so that learnt clauses about the
+    base formula are paid for once. The two paths return equal
+    outcomes (models as sets, counts, exhaustion) on the same
+    enumeration problem. *)
 
 type outcome = {
-  models : Cnf.Model.t list;  (** in discovery order *)
+  models : Cnf.Model.t list;
+      (** in canonical (model-key) order — deliberately {e not}
+          discovery order, so that the outcome is independent of
+          solver history (fresh vs. warm session, serial vs.
+          parallel schedule) whenever the witness set itself is *)
   exhausted : bool;  (** [true] iff no further witness exists *)
   timed_out : bool;  (** [true] iff the deadline interrupted the search *)
   conflicts : int;  (** solver conflicts spent on this enumeration *)
+  stats : Solver.stats;  (** full solver-statistics delta for the call *)
+  reused : bool;
+      (** [true] when served by a session that had already run at
+          least one enumeration (a warm-start hit) *)
 }
 
 val enumerate :
@@ -27,3 +43,40 @@ val enumerate :
 val count_upto : ?deadline:float -> limit:int -> Cnf.Formula.t -> int
 (** [count_upto ~limit f] is [min (number of distinct projected
     witnesses) limit]; convenience wrapper over {!enumerate}. *)
+
+(** Persistent enumeration sessions: one CDCL solver reused across
+    many [BSAT(F ∧ h, N)] calls that share the base formula [F] and
+    vary only the XOR hash layer [h]. *)
+module Session : sig
+  type t
+
+  val create : ?blocking_vars:int array -> Cnf.Formula.t -> t
+  (** Load the base formula once (XORs row-reduced as in the one-shot
+      path). [blocking_vars] defaults to the formula's sampling set
+      and is fixed for the session's lifetime. *)
+
+  val enumerate :
+    ?deadline:float ->
+    ?xors:Cnf.Xor_clause.t list ->
+    ?persist_blocking:bool ->
+    limit:int ->
+    t ->
+    outcome
+  (** Enumerate up to [limit] witnesses of [base ∧ xors]. The XOR
+      layer and the blocking clauses are pushed as one retractable
+      group and popped before returning, so successive calls see the
+      unmodified base formula plus whatever the solver learnt about
+      it. With [persist_blocking] (default [false]) the blocking
+      clauses are added to the base formula instead and keep excluding
+      the returned witnesses from every later call — the incremental
+      form of UniGen's loop-free sampling within one leaf. *)
+
+  val calls : t -> int
+  (** Number of [enumerate] calls served so far. *)
+
+  val stats : t -> Solver.stats
+  (** Cumulative statistics of the underlying solver. *)
+
+  val formula : t -> Cnf.Formula.t
+  val blocking_vars : t -> int array
+end

@@ -1,10 +1,22 @@
 (* Literals are raw ints throughout the solver: the positive literal of
    variable v is 2v, the negative one 2v + 1 (the Cnf.Lit encoding).
-   Variable truth values are coded 1 (true), -1 (false), 0 (unassigned). *)
+   Variable truth values are coded 1 (true), -1 (false), 0 (unassigned).
+
+   Incremental interface: constraints are tagged with a *group*.
+   Group 0 is the base formula; [push_group] opens a new group (a fresh
+   activation variable guards its clauses, XORs are attached
+   physically) and [pop_group] detaches everything the group
+   contributed — its clauses and XORs, every learnt clause whose
+   derivation used them, and every level-0 fact that depends on them.
+   The dependency tracking is the [assign_group] array: a level-0
+   assignment carries the maximum group over its reason constraint and
+   the assignments it consumed, so "derived from group >= g" is a
+   single integer comparison. *)
 
 type clause = {
   lits : int array; (* positions 0 and 1 are the watched literals *)
   learnt : bool;
+  group : int;
   mutable activity : float;
   mutable deleted : bool;
 }
@@ -12,6 +24,8 @@ type clause = {
 type xor_constraint = {
   xvars : int array;
   xrhs : bool;
+  xgroup : int;
+  mutable xdeleted : bool;
   mutable wa : int; (* watched position in xvars *)
   mutable wb : int;
 }
@@ -22,27 +36,69 @@ type conflict = C_clause of clause | C_xor of xor_constraint
 
 type result = Sat | Unsat | Unknown
 
-let dummy_clause = { lits = [||]; learnt = false; activity = 0.; deleted = true }
-let dummy_xor = { xvars = [||]; xrhs = false; wa = 0; wb = 0 }
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnts : int;
+}
+
+let stats_zero =
+  { conflicts = 0; decisions = 0; propagations = 0; restarts = 0; learnts = 0 }
+
+let stats_add a b =
+  {
+    conflicts = a.conflicts + b.conflicts;
+    decisions = a.decisions + b.decisions;
+    propagations = a.propagations + b.propagations;
+    restarts = a.restarts + b.restarts;
+    learnts = a.learnts + b.learnts;
+  }
+
+let stats_diff a b =
+  {
+    conflicts = a.conflicts - b.conflicts;
+    decisions = a.decisions - b.decisions;
+    propagations = a.propagations - b.propagations;
+    restarts = a.restarts - b.restarts;
+    learnts = a.learnts - b.learnts;
+  }
+
+let dummy_clause =
+  { lits = [||]; learnt = false; group = 0; activity = 0.; deleted = true }
+
+let dummy_xor =
+  { xvars = [||]; xrhs = false; xgroup = 0; xdeleted = true; wa = 0; wb = 0 }
 
 type t = {
-  nvars : int;
-  assigns : int array; (* var -> 1 / -1 / 0 *)
-  level : int array; (* var -> decision level of its assignment *)
-  reason : reason array; (* var -> why it was assigned *)
-  polarity : bool array; (* var -> saved phase *)
-  activity : float array; (* var -> VSIDS score *)
-  seen : bool array; (* scratch for conflict analysis *)
-  watches : clause Vec.t array; (* lit -> clauses watching it *)
-  xwatches : xor_constraint Vec.t array; (* var -> xors watching it *)
+  mutable nvars : int;
+  mutable assigns : int array; (* var -> 1 / -1 / 0 *)
+  mutable level : int array; (* var -> decision level of its assignment *)
+  mutable reason : reason array; (* var -> why it was assigned *)
+  mutable assign_group : int array; (* var -> group a level-0 fact depends on *)
+  mutable polarity : bool array; (* var -> saved phase *)
+  mutable activity : float array; (* var -> VSIDS score *)
+  mutable seen : bool array; (* scratch for conflict analysis *)
+  mutable watches : clause Vec.t array; (* lit -> clauses watching it *)
+  mutable xwatches : xor_constraint Vec.t array; (* var -> xors watching it *)
   clauses : clause Vec.t;
   learnts : clause Vec.t;
   xors : xor_constraint Vec.t;
   trail : int Vec.t; (* assigned literals, chronological *)
   trail_lim : int Vec.t; (* trail position at each decision *)
-  order : Order_heap.t;
+  mutable order : Order_heap.t;
   mutable qhead : int;
   mutable ok : bool;
+  mutable broken_by : int;
+      (* when [not ok]: smallest group whose removal could restore
+         satisfiability of the store; 0 = base formula is unsat. *)
+  mutable groups : int list; (* activation variables, innermost first *)
+  mutable free_act_vars : int list; (* recycled activation variables *)
+  mutable lost_units : (int * int) list;
+      (* (group, lit) unit facts currently shadowed by a conflicting
+         higher-group assignment; re-asserted when that group pops *)
+  mutable failed : int list; (* failed assumptions of the last solve *)
   mutable var_inc : float;
   mutable cla_inc : float;
   mutable model_valid : bool;
@@ -51,6 +107,7 @@ type t = {
   mutable n_decisions : int;
   mutable n_propagations : int;
   mutable n_restarts : int;
+  mutable n_learnt_total : int;
   mutable max_learnts : float;
   mutable proof : Drat.step list option; (* reversed; None = disabled *)
 }
@@ -85,10 +142,17 @@ let lit_neg l = l lxor 1
 let lit_is_pos l = l land 1 = 0
 let lit_of_var v positive = (v lsl 1) lor (if positive then 0 else 1)
 
-let value_var t v = t.assigns.(v)
 let value_lit t l =
   let a = t.assigns.(l lsr 1) in
   if l land 1 = 0 then a else -a
+
+(* Truth value of [l] ignoring level-0 assignments that depend on a
+   group above [g] — the view a group-[g] constraint must be
+   normalized against, since higher groups can pop out from under it.
+   Only meaningful at decision level 0. *)
+let value_lit_upto t g l =
+  let v = l lsr 1 in
+  if t.assigns.(v) = 0 || t.assign_group.(v) > g then 0 else value_lit t l
 
 let decision_level t = Vec.size t.trail_lim
 
@@ -100,6 +164,7 @@ let create_empty nvars =
       assigns = Array.make (nvars + 1) 0;
       level = Array.make (nvars + 1) 0;
       reason = Array.make (nvars + 1) No_reason;
+      assign_group = Array.make (nvars + 1) 0;
       polarity = Array.make (nvars + 1) false;
       activity;
       seen = Array.make (nvars + 1) false;
@@ -113,6 +178,11 @@ let create_empty nvars =
       order = Order_heap.create nvars activity;
       qhead = 0;
       ok = true;
+      broken_by = 0;
+      groups = [];
+      free_act_vars = [];
+      lost_units = [];
+      failed = [];
       var_inc = 1.0;
       cla_inc = 1.0;
       model_valid = false;
@@ -121,6 +191,7 @@ let create_empty nvars =
       n_decisions = 0;
       n_propagations = 0;
       n_restarts = 0;
+      n_learnt_total = 0;
       max_learnts = 0.;
       proof = None;
     }
@@ -138,6 +209,64 @@ let propagations t = t.n_propagations
 let restarts t = t.n_restarts
 let num_clauses t = Vec.size t.clauses
 let num_learnts t = Vec.size t.learnts
+let num_groups t = List.length t.groups
+
+let stats t =
+  {
+    conflicts = t.n_conflicts;
+    decisions = t.n_decisions;
+    propagations = t.n_propagations;
+    restarts = t.n_restarts;
+    learnts = t.n_learnt_total;
+  }
+
+let failed_assumptions t = List.rev_map Cnf.Lit.of_index t.failed
+
+(* ------------------------------------------------------------------ *)
+(* Variable growth (activation variables)                              *)
+
+let grow t newcap =
+  let old = Array.length t.assigns - 1 in
+  if newcap > old then begin
+    let cap = max newcap (2 * old) in
+    let copy_int a = let b = Array.make (cap + 1) 0 in Array.blit a 0 b 0 (old + 1); b in
+    t.assigns <- copy_int t.assigns;
+    t.level <- copy_int t.level;
+    t.assign_group <- copy_int t.assign_group;
+    let reason = Array.make (cap + 1) No_reason in
+    Array.blit t.reason 0 reason 0 (old + 1);
+    t.reason <- reason;
+    let polarity = Array.make (cap + 1) false in
+    Array.blit t.polarity 0 polarity 0 (old + 1);
+    t.polarity <- polarity;
+    let seen = Array.make (cap + 1) false in
+    Array.blit t.seen 0 seen 0 (old + 1);
+    t.seen <- seen;
+    let activity = Array.make (cap + 1) 0. in
+    Array.blit t.activity 0 activity 0 (old + 1);
+    t.activity <- activity;
+    t.watches <-
+      Array.init ((2 * cap) + 2) (fun i ->
+          if i < Array.length t.watches then t.watches.(i)
+          else Vec.create ~dummy:dummy_clause ());
+    t.xwatches <-
+      Array.init (cap + 1) (fun i ->
+          if i < Array.length t.xwatches then t.xwatches.(i)
+          else Vec.create ~dummy:dummy_xor ());
+    (* the heap holds a reference to the activity array: rebuild it *)
+    let order = Order_heap.create cap t.activity in
+    for v = 1 to t.nvars do
+      if t.assigns.(v) = 0 then Order_heap.insert order v
+    done;
+    t.order <- order
+  end
+
+let new_var t =
+  let v = t.nvars + 1 in
+  grow t v;
+  t.nvars <- v;
+  Order_heap.insert t.order v;
+  v
 
 (* ------------------------------------------------------------------ *)
 (* Activity                                                            *)
@@ -166,7 +295,7 @@ let clause_decay_all t = t.cla_inc <- t.cla_inc *. clause_decay
 (* ------------------------------------------------------------------ *)
 (* Assignment management                                               *)
 
-let enqueue t l reason =
+let enqueue ?(agroup = 0) t l reason =
   match value_lit t l with
   | 1 -> true
   | -1 -> false
@@ -175,6 +304,23 @@ let enqueue t l reason =
       t.assigns.(v) <- (if lit_is_pos l then 1 else -1);
       t.level.(v) <- decision_level t;
       t.reason.(v) <- reason;
+      if decision_level t = 0 then begin
+        let g =
+          match reason with
+          | No_reason -> agroup
+          | R_clause c ->
+              Array.fold_left
+                (fun acc q ->
+                  let u = lit_var q in
+                  if u = v then acc else max acc t.assign_group.(u))
+                c.group c.lits
+          | R_xor x ->
+              Array.fold_left
+                (fun acc u -> if u = v then acc else max acc t.assign_group.(u))
+                x.xgroup x.xvars
+        in
+        t.assign_group.(v) <- g
+      end;
       Vec.push t.trail l;
       true
 
@@ -285,41 +431,44 @@ let propagate_xors t p =
      while !i < n do
        let x = Vec.get ws !i in
        incr i;
-       let pos = if x.xvars.(x.wa) = v0 then x.wa else x.wb in
-       let other_pos = if pos = x.wa then x.wb else x.wa in
-       (* search for an unassigned replacement variable *)
-       let len = Array.length x.xvars in
-       let repl = ref (-1) in
-       let k = ref 0 in
-       while !repl < 0 && !k < len do
-         if !k <> x.wa && !k <> x.wb && t.assigns.(x.xvars.(!k)) = 0 then repl := !k;
-         incr k
-       done;
-       if !repl >= 0 then begin
-         (* move this watch to the replacement *)
-         if pos = x.wa then x.wa <- !repl else x.wb <- !repl;
-         Vec.push t.xwatches.(x.xvars.(!repl)) x
-       end
+       if x.xdeleted then () (* drop lazily, like deleted clauses *)
        else begin
-         (* every variable except possibly [other] is assigned *)
-         Vec.set ws !j x;
-         incr j;
-         let other = x.xvars.(other_pos) in
-         if t.assigns.(other) = 0 then begin
-           let parity_rest = xor_parity_assigned t x ~except:other_pos in
-           let implied = if x.xrhs then not parity_rest else parity_rest in
-           ignore (enqueue t (lit_of_var other implied) (R_xor x))
+         let pos = if x.xvars.(x.wa) = v0 then x.wa else x.wb in
+         let other_pos = if pos = x.wa then x.wb else x.wa in
+         (* search for an unassigned replacement variable *)
+         let len = Array.length x.xvars in
+         let repl = ref (-1) in
+         let k = ref 0 in
+         while !repl < 0 && !k < len do
+           if !k <> x.wa && !k <> x.wb && t.assigns.(x.xvars.(!k)) = 0 then repl := !k;
+           incr k
+         done;
+         if !repl >= 0 then begin
+           (* move this watch to the replacement *)
+           if pos = x.wa then x.wa <- !repl else x.wb <- !repl;
+           Vec.push t.xwatches.(x.xvars.(!repl)) x
          end
          else begin
-           let parity = xor_parity_assigned t x ~except:(-1) in
-           if parity <> x.xrhs then begin
-             while !i < n do
-               Vec.set ws !j (Vec.get ws !i);
-               incr i;
-               incr j
-             done;
-             Vec.shrink ws !j;
-             raise (Found_conflict (C_xor x))
+           (* every variable except possibly [other] is assigned *)
+           Vec.set ws !j x;
+           incr j;
+           let other = x.xvars.(other_pos) in
+           if t.assigns.(other) = 0 then begin
+             let parity_rest = xor_parity_assigned t x ~except:other_pos in
+             let implied = if x.xrhs then not parity_rest else parity_rest in
+             ignore (enqueue t (lit_of_var other implied) (R_xor x))
+           end
+           else begin
+             let parity = xor_parity_assigned t x ~except:(-1) in
+             if parity <> x.xrhs then begin
+               while !i < n do
+                 Vec.set ws !j (Vec.get ws !i);
+                 incr i;
+                 incr j
+               done;
+               Vec.shrink ws !j;
+               raise (Found_conflict (C_xor x))
+             end
            end
          end
        end
@@ -340,6 +489,34 @@ let propagate t =
   with Found_conflict c ->
     t.qhead <- Vec.size t.trail;
     Some c
+
+(* ------------------------------------------------------------------ *)
+(* Group accounting                                                    *)
+
+(* Smallest group whose removal dissolves a level-0 conflict: the
+   constraint's own group joined with the groups of the level-0 facts
+   that falsify it. Only valid when every variable of the conflicting
+   constraint is assigned at level 0. *)
+let conflict_group_of t = function
+  | C_clause c ->
+      Array.fold_left
+        (fun acc l -> max acc t.assign_group.(lit_var l))
+        c.group c.lits
+  | C_xor x ->
+      Array.fold_left (fun acc v -> max acc t.assign_group.(v)) x.xgroup x.xvars
+
+let mark_broken t g =
+  if t.ok then begin
+    t.ok <- false;
+    t.broken_by <- g
+  end
+  else t.broken_by <- min t.broken_by g;
+  if t.broken_by = 0 then log_proof_empty_once t
+
+let propagate_or_break t =
+  match propagate t with
+  | None -> ()
+  | Some confl -> mark_broken t (conflict_group_of t confl)
 
 (* ------------------------------------------------------------------ *)
 (* Reasons as literal arrays (for conflict analysis)                   *)
@@ -377,12 +554,24 @@ let reason_lits t v =
 (* ------------------------------------------------------------------ *)
 (* Conflict analysis (first UIP) with simple clause minimization       *)
 
+(* Returns (asserting lit, other kept lits, backtrack level, group):
+   [group] is the maximum group over every constraint and level-0 fact
+   consumed by the derivation — the group the learnt clause belongs
+   to, so that popping any contributing group purges it. *)
 let analyze t confl =
   let learnt = ref [] in
   let counter = ref 0 in
   let p = ref (-1) in
   let index = ref (Vec.size t.trail - 1) in
   let current = decision_level t in
+  let dgroup =
+    ref (match confl with C_clause c -> c.group | C_xor x -> x.xgroup)
+  in
+  let fold_reason_group = function
+    | No_reason -> ()
+    | R_clause c -> dgroup := max !dgroup c.group
+    | R_xor x -> dgroup := max !dgroup x.xgroup
+  in
   let bump_reason_clause = function
     | C_clause c when c.learnt -> clause_bump t c
     | _ -> ()
@@ -393,7 +582,11 @@ let analyze t confl =
     for k = start to len - 1 do
       let q = lits.(k) in
       let v = lit_var q in
-      if (not t.seen.(v)) && t.level.(v) > 0 then begin
+      if t.level.(v) = 0 then
+        (* resolved away against a level-0 fact: the derivation now
+           depends on that fact's group *)
+        dgroup := max !dgroup t.assign_group.(v)
+      else if not t.seen.(v) then begin
         t.seen.(v) <- true;
         var_bump t v;
         if t.level.(v) >= current then incr counter
@@ -421,6 +614,7 @@ let analyze t confl =
       (match t.reason.(v) with
       | R_clause c when c.learnt -> clause_bump t c
       | _ -> ());
+      fold_reason_group t.reason.(v);
       process_lits (reason_lits t v) 1
     end
   done;
@@ -433,37 +627,47 @@ let analyze t confl =
     let v = lit_var q in
     match t.reason.(v) with
     | No_reason -> false
-    | _ ->
+    | r ->
         let lits = reason_lits t v in
         let ok = ref true in
         Array.iteri
-          (fun k r ->
+          (fun k rl ->
             if k > 0 then begin
-              let u = lit_var r in
+              let u = lit_var rl in
               if t.level.(u) > 0 && not t.seen.(u) then ok := false
             end)
           lits;
+        if !ok then begin
+          (* the dropped literal's reason joins the derivation *)
+          fold_reason_group r;
+          Array.iteri
+            (fun k rl ->
+              if k > 0 then begin
+                let u = lit_var rl in
+                if t.level.(u) = 0 then dgroup := max !dgroup t.assign_group.(u)
+              end)
+            lits
+        end;
         !ok
   in
   let kept = List.filter (fun q -> not (redundant q)) learnt_list in
   List.iter (fun q -> t.seen.(lit_var q) <- false) learnt_list;
   (* backtrack level = max level among kept literals *)
   let blevel = List.fold_left (fun acc q -> max acc t.level.(lit_var q)) 0 kept in
-  (asserting, kept, blevel)
+  (asserting, kept, blevel, !dgroup)
 
 (* ------------------------------------------------------------------ *)
 (* Learnt clause recording                                             *)
 
-let record_learnt t asserting others blevel =
+let record_learnt t ~group asserting others blevel =
   log_proof t (asserting :: others);
+  t.n_learnt_total <- t.n_learnt_total + 1;
   cancel_until t blevel;
   match others with
   | [] ->
       (* unit learnt: asserting at level 0 *)
-      if not (enqueue t asserting No_reason) then begin
-        t.ok <- false;
-        log_proof t []
-      end
+      if not (enqueue ~agroup:group t asserting No_reason) then
+        mark_broken t (max group t.assign_group.(lit_var asserting))
   | _ ->
       (* place a literal of the backtrack level in watch position 1 *)
       let arr = Array.of_list (asserting :: others) in
@@ -474,7 +678,7 @@ let record_learnt t asserting others blevel =
       let tmp = arr.(1) in
       arr.(1) <- arr.(!best);
       arr.(!best) <- tmp;
-      let c = { lits = arr; learnt = true; activity = 0.; deleted = false } in
+      let c = { lits = arr; learnt = true; group; activity = 0.; deleted = false } in
       clause_bump t c;
       attach_clause t c;
       Vec.push t.learnts c;
@@ -513,82 +717,269 @@ let reduce_db t =
 (* ------------------------------------------------------------------ *)
 (* Adding constraints (decision level 0 only)                          *)
 
+(* Assert the unit fact [l] belonging to [group], against the full
+   current level-0 state. Unit facts have no clause object: the trail
+   entry (with its [assign_group] tag) IS the storage, so the cases
+   where the current state hides the fact need care. *)
+let assert_unit_core t ~group l =
+  match value_lit t l with
+  | 1 ->
+      (* already true — possibly via a higher group, in which case the
+         fact must be re-tagged or it would vanish with that group *)
+      let v = lit_var l in
+      if t.assign_group.(v) > group then begin
+        t.assign_group.(v) <- group;
+        t.reason.(v) <- No_reason
+      end
+  | -1 ->
+      (* falsified by a higher-group assignment (same-or-lower-group
+         falsity was substituted away by the caller): conflict, and the
+         fact itself must survive that group's pop *)
+      let fg = t.assign_group.(lit_var l) in
+      if fg > group then t.lost_units <- (group, l) :: t.lost_units;
+      mark_broken t (max group fg)
+  | _ ->
+      ignore (enqueue ~agroup:group t l No_reason);
+      if t.ok then propagate_or_break t
+
+(* Install a clause of >= 2 literals, none of which is satisfied or
+   falsified by assignments of groups <= c.group; higher-group level-0
+   assignments may still touch it, so repair the watch invariant
+   against the full state and propagate if it is unit. *)
+let install_clause t c =
+  let lits = c.lits in
+  let len = Array.length lits in
+  let nf = ref 0 in
+  (try
+     for k = 0 to len - 1 do
+       if value_lit t lits.(k) <> -1 then begin
+         let tmp = lits.(!nf) in
+         lits.(!nf) <- lits.(k);
+         lits.(k) <- tmp;
+         incr nf;
+         if !nf = 2 then raise Exit
+       end
+     done
+   with Exit -> ());
+  attach_clause t c;
+  Vec.push t.clauses c;
+  if !nf = 0 then
+    (* all literals false under the full state: conflict attributable
+       to the falsifying groups; the clause stays attached so that
+       re-propagation after a pop revives it *)
+    mark_broken t (conflict_group_of t (C_clause c))
+  else if !nf = 1 && value_lit t lits.(0) = 0 then begin
+    ignore (enqueue t lits.(0) (R_clause c));
+    if t.ok then propagate_or_break t
+  end
+
+let install_xor t x =
+  let len = Array.length x.xvars in
+  let u1 = ref (-1) and u2 = ref (-1) in
+  for k = 0 to len - 1 do
+    if t.assigns.(x.xvars.(k)) = 0 then
+      if !u1 < 0 then u1 := k else if !u2 < 0 then u2 := k
+  done;
+  if !u2 >= 0 then begin
+    x.wa <- !u1;
+    x.wb <- !u2;
+    attach_xor t x;
+    Vec.push t.xors x
+  end
+  else if !u1 >= 0 then begin
+    (* unit under the full state (the assigned vars belong to higher
+       groups — same-group ones were substituted by the caller) *)
+    x.wa <- !u1;
+    x.wb <- (if !u1 = 0 then 1 else 0);
+    attach_xor t x;
+    Vec.push t.xors x;
+    let parity_rest = xor_parity_assigned t x ~except:!u1 in
+    let implied = if x.xrhs then not parity_rest else parity_rest in
+    ignore (enqueue t (lit_of_var x.xvars.(!u1) implied) (R_xor x));
+    if t.ok then propagate_or_break t
+  end
+  else begin
+    x.wa <- 0;
+    x.wb <- (if len > 1 then 1 else 0);
+    attach_xor t x;
+    Vec.push t.xors x;
+    let parity = xor_parity_assigned t x ~except:(-1) in
+    if parity <> x.xrhs then mark_broken t (conflict_group_of t (C_xor x))
+  end
+
+(* Normalize raw int literals for insertion into [group]: sort, dedup,
+   detect tautologies, substitute level-0 facts of groups <= [group].
+   [None] = the clause is already satisfied (or tautological). *)
+let normalize_for_group t group raw =
+  let sorted = List.sort_uniq Int.compare raw in
+  let rec scan acc = function
+    | [] -> Some (List.rev acc)
+    | l :: rest ->
+        if List.mem (lit_neg l) rest then None
+        else begin
+          match value_lit_upto t group l with
+          | 1 -> None
+          | -1 -> scan acc rest
+          | _ -> scan (l :: acc) rest
+        end
+  in
+  scan [] sorted
+
 let add_clause t lits =
   assert (decision_level t = 0);
   if t.ok then begin
     let raw = List.map (fun l -> (Cnf.Lit.to_index l : int)) lits in
-    (* normalize: sort, dedup, detect tautology, drop false literals *)
-    let sorted = List.sort_uniq Int.compare raw in
-    let rec scan acc = function
-      | [] -> Some (List.rev acc)
-      | l :: rest ->
-          if List.mem (lit_neg l) rest then None
-          else
-            match value_lit t l with
-            | 1 -> None (* satisfied at level 0 *)
-            | -1 -> scan acc rest
-            | _ -> scan (l :: acc) rest
-    in
-    match scan [] sorted with
+    match normalize_for_group t 0 raw with
     | None -> ()
-    | Some [] ->
-        t.ok <- false;
-        log_proof t []
-    | Some [ l ] ->
-        if not (enqueue t l No_reason) then begin
-          t.ok <- false;
-          log_proof t []
-        end
-        else if propagate t <> None then begin
-          t.ok <- false;
-          log_proof t []
-        end
-    | Some (l0 :: l1 :: rest) ->
-        let c =
+    | Some [] -> mark_broken t 0
+    | Some [ l ] -> assert_unit_core t ~group:0 l
+    | Some (_ :: _ :: _ as ls) ->
+        install_clause t
           {
-            lits = Array.of_list (l0 :: l1 :: rest);
+            lits = Array.of_list ls;
             learnt = false;
+            group = 0;
             activity = 0.;
             deleted = false;
           }
-        in
-        attach_clause t c;
-        Vec.push t.clauses c
+  end
+
+let add_xor_general t ~group (x : Cnf.Xor_clause.t) =
+  if t.ok then begin
+    (* substitute level-0 facts of groups <= [group] *)
+    let rhs = ref x.rhs in
+    let vars =
+      Array.to_list x.vars
+      |> List.filter (fun v ->
+             if t.assigns.(v) <> 0 && t.assign_group.(v) <= group then begin
+               if t.assigns.(v) = 1 then rhs := not !rhs;
+               false
+             end
+             else true)
+    in
+    match vars with
+    | [] -> if !rhs then mark_broken t group
+    | [ v ] -> assert_unit_core t ~group (lit_of_var v !rhs)
+    | _ :: _ :: _ ->
+        install_xor t
+          {
+            xvars = Array.of_list vars;
+            xrhs = !rhs;
+            xgroup = group;
+            xdeleted = false;
+            wa = 0;
+            wb = 1;
+          }
   end
 
 let add_xor t (x : Cnf.Xor_clause.t) =
   assert (decision_level t = 0);
   if t.proof <> None then
     invalid_arg "Solver.add_xor: proof logging excludes XOR constraints";
-  if t.ok then begin
-    (* substitute level-0 assignments *)
-    let rhs = ref x.rhs in
-    let vars =
-      Array.to_list x.vars
-      |> List.filter (fun v ->
-             match value_var t v with
-             | 1 ->
-                 rhs := not !rhs;
-                 false
-             | -1 -> false
-             | _ -> true)
-    in
-    match vars with
-    | [] -> if !rhs then t.ok <- false
-    | [ v ] ->
-        if not (enqueue t (lit_of_var v !rhs) No_reason) then t.ok <- false
-        else if propagate t <> None then t.ok <- false
-    | _ :: _ :: _ ->
-        let xc = { xvars = Array.of_list vars; xrhs = !rhs; wa = 0; wb = 1 } in
-        attach_xor t xc;
-        Vec.push t.xors xc
-  end
+  add_xor_general t ~group:0 x
 
 let create (f : Cnf.Formula.t) =
   let t = create_empty f.num_vars in
   Array.iter (fun c -> add_clause t (Array.to_list c)) f.clauses;
   Array.iter (fun x -> add_xor t x) f.xors;
   t
+
+(* ------------------------------------------------------------------ *)
+(* Groups                                                              *)
+
+let push_group t =
+  assert (decision_level t = 0);
+  if t.proof <> None then
+    invalid_arg "Solver.push_group: proof logging excludes groups";
+  let a =
+    match t.free_act_vars with
+    | v :: rest ->
+        t.free_act_vars <- rest;
+        v
+    | [] -> new_var t
+  in
+  t.groups <- a :: t.groups
+
+let add_group_clause t lits =
+  assert (decision_level t = 0);
+  match t.groups with
+  | [] -> invalid_arg "Solver.add_group_clause: no group pushed"
+  | a :: _ ->
+      if t.ok then begin
+        let g = List.length t.groups in
+        let raw = List.map (fun l -> (Cnf.Lit.to_index l : int)) lits in
+        match normalize_for_group t g raw with
+        | None -> ()
+        | Some [] ->
+            (* the clause body is false given groups <= g: with the
+               guard appended, this is the unit fact (a) at group g —
+               solving under the activation assumption ¬a will report
+               Unsat through the failed-assumption path *)
+            assert_unit_core t ~group:g (lit_of_var a true)
+        | Some ls ->
+            install_clause t
+              {
+                lits = Array.of_list (ls @ [ lit_of_var a true ]);
+                learnt = false;
+                group = g;
+                activity = 0.;
+                deleted = false;
+              }
+      end
+
+let add_group_xor t (x : Cnf.Xor_clause.t) =
+  assert (decision_level t = 0);
+  match t.groups with
+  | [] -> invalid_arg "Solver.add_group_xor: no group pushed"
+  | _ :: _ -> add_xor_general t ~group:(List.length t.groups) x
+
+let pop_group t =
+  assert (decision_level t = 0);
+  match t.groups with
+  | [] -> invalid_arg "Solver.pop_group: no group pushed"
+  | a :: rest ->
+      let g = List.length t.groups in
+      t.groups <- rest;
+      (* detach the group's constraints and every learnt clause whose
+         derivation used them (group tags are monotone through
+         resolution, so a single comparison suffices) *)
+      Vec.iter (fun (c : clause) -> if c.group >= g then c.deleted <- true) t.clauses;
+      Vec.filter_in_place (fun (c : clause) -> not c.deleted) t.clauses;
+      Vec.iter (fun (c : clause) -> if c.group >= g then c.deleted <- true) t.learnts;
+      Vec.filter_in_place (fun (c : clause) -> not c.deleted) t.learnts;
+      Vec.iter (fun (x : xor_constraint) -> if x.xgroup >= g then x.xdeleted <- true) t.xors;
+      Vec.filter_in_place (fun (x : xor_constraint) -> not x.xdeleted) t.xors;
+      (* drop level-0 facts that depended on the group *)
+      Vec.filter_in_place
+        (fun l ->
+          let v = lit_var l in
+          if t.assign_group.(v) >= g then begin
+            t.polarity.(v) <- lit_is_pos l;
+            t.assigns.(v) <- 0;
+            t.reason.(v) <- No_reason;
+            Order_heap.insert t.order v;
+            false
+          end
+          else true)
+        t.trail;
+      t.qhead <- 0;
+      t.free_act_vars <- a :: t.free_act_vars;
+      if (not t.ok) && t.broken_by >= g then begin
+        t.ok <- true;
+        t.broken_by <- 0
+      end;
+      (* revive unit facts that were shadowed by the popped group *)
+      let revive, keep =
+        List.partition (fun (g0, _) -> g0 < g) t.lost_units
+      in
+      t.lost_units <- keep;
+      if t.ok then begin
+        List.iter (fun (g0, l) -> if t.ok then assert_unit_core t ~group:g0 l) revive;
+        if t.ok then propagate_or_break t
+      end
+      else
+        (* still broken by a lower group: keep the units pending *)
+        t.lost_units <- revive @ t.lost_units
 
 (* ------------------------------------------------------------------ *)
 (* Search                                                              *)
@@ -601,9 +992,42 @@ let pick_branch_var t =
   in
   go ()
 
-type search_outcome = S_sat | S_unsat | S_restart | S_timeout
+(* Collect the subset of assumptions responsible for forcing ¬p, by
+   walking the implication graph down from p's falsification. Called
+   before backtracking, with [p] an assumption whose value is false. *)
+let analyze_final t p =
+  t.failed <- [ p ];
+  let v0 = lit_var p in
+  if t.level.(v0) > 0 then begin
+    t.seen.(v0) <- true;
+    let bottom = Vec.get t.trail_lim 0 in
+    for i = Vec.size t.trail - 1 downto bottom do
+      let l = Vec.get t.trail i in
+      let v = lit_var l in
+      if t.seen.(v) then begin
+        t.seen.(v) <- false;
+        match t.reason.(v) with
+        | No_reason ->
+            (* a decision below the assumption levels is itself an
+               assumption: record it as assumed *)
+            t.failed <- l :: t.failed
+        | _ ->
+            let lits = reason_lits t v in
+            Array.iteri
+              (fun k q ->
+                if k > 0 then begin
+                  let u = lit_var q in
+                  if t.level.(u) > 0 then t.seen.(u) <- true
+                end)
+              lits
+      end
+    done;
+    t.seen.(v0) <- false
+  end
 
-let search t ~budget ~deadline =
+type search_outcome = S_sat | S_unsat | S_assump_failed | S_restart | S_timeout
+
+let search t ~assumps ~budget ~deadline =
   let local_conflicts = ref 0 in
   let outcome = ref None in
   while !outcome = None do
@@ -612,12 +1036,12 @@ let search t ~budget ~deadline =
         t.n_conflicts <- t.n_conflicts + 1;
         incr local_conflicts;
         if decision_level t = 0 then begin
-          log_proof t [];
+          mark_broken t (conflict_group_of t confl);
           outcome := Some S_unsat
         end
         else begin
-          let asserting, others, blevel = analyze t confl in
-          record_learnt t asserting others blevel;
+          let asserting, others, blevel, dgroup = analyze t confl in
+          record_learnt t ~group:dgroup asserting others blevel;
           if not t.ok then outcome := Some S_unsat
           else begin
             var_decay_all t;
@@ -639,27 +1063,51 @@ let search t ~budget ~deadline =
         end
         else begin
           if float_of_int (Vec.size t.learnts) > t.max_learnts then reduce_db t;
-          match pick_branch_var t with
-          | None -> outcome := Some S_sat
-          | Some v ->
-              t.n_decisions <- t.n_decisions + 1;
-              Vec.push t.trail_lim (Vec.size t.trail);
-              ignore (enqueue t (lit_of_var v t.polarity.(v)) No_reason)
+          let dl = decision_level t in
+          if dl < Array.length assumps then begin
+            (* establish the next assumption before branching *)
+            let p = assumps.(dl) in
+            match value_lit t p with
+            | 1 ->
+                (* already true: open a dummy level so the indexing
+                   assumption-level <-> decision-level stays aligned *)
+                Vec.push t.trail_lim (Vec.size t.trail)
+            | -1 ->
+                analyze_final t p;
+                outcome := Some S_assump_failed
+            | _ ->
+                t.n_decisions <- t.n_decisions + 1;
+                Vec.push t.trail_lim (Vec.size t.trail);
+                ignore (enqueue t p No_reason)
+          end
+          else
+            match pick_branch_var t with
+            | None -> outcome := Some S_sat
+            | Some v ->
+                t.n_decisions <- t.n_decisions + 1;
+                Vec.push t.trail_lim (Vec.size t.trail);
+                ignore (enqueue t (lit_of_var v t.polarity.(v)) No_reason)
         end
   done;
   match !outcome with Some o -> o | None -> assert false
 
-let solve ?(conflict_limit = max_int) ?deadline t =
+let solve ?(conflict_limit = max_int) ?deadline ?(assumptions = []) t =
+  assert (decision_level t = 0);
   t.model_valid <- false;
+  t.failed <- [];
   if not t.ok then begin
-    log_proof_empty_once t;
+    if t.broken_by = 0 then log_proof_empty_once t;
     Unsat
   end
   else begin
+    let assumps =
+      let acts = List.rev_map (fun a -> lit_of_var a false) t.groups in
+      let user = List.map (fun l -> (Cnf.Lit.to_index l : int)) assumptions in
+      Array.of_list (acts @ user)
+    in
     match propagate t with
-    | Some _ ->
-        t.ok <- false;
-        log_proof t [];
+    | Some confl ->
+        mark_broken t (conflict_group_of t confl);
         Unsat
     | None ->
         t.max_learnts <-
@@ -672,7 +1120,7 @@ let solve ?(conflict_limit = max_int) ?deadline t =
           end
           else begin
             let budget = Luby.budget ~base:restart_base i in
-            match search t ~budget ~deadline with
+            match search t ~assumps ~budget ~deadline with
             | S_sat ->
                 let m =
                   Cnf.Model.make t.nvars (fun v -> t.assigns.(v) = 1)
@@ -682,8 +1130,9 @@ let solve ?(conflict_limit = max_int) ?deadline t =
                 cancel_until t 0;
                 t.max_learnts <- t.max_learnts *. 1.1;
                 Sat
-            | S_unsat ->
-                t.ok <- false;
+            | S_unsat -> Unsat (* ok / broken_by already recorded *)
+            | S_assump_failed ->
+                cancel_until t 0;
                 Unsat
             | S_timeout -> Unknown
             | S_restart ->
@@ -702,6 +1151,8 @@ let model t =
 let enable_proof_logging t =
   if Vec.size t.xors > 0 then
     invalid_arg "Solver.enable_proof_logging: XOR constraints present";
+  if t.groups <> [] then
+    invalid_arg "Solver.enable_proof_logging: groups present";
   if t.proof = None then t.proof <- Some []
 
 let proof t = match t.proof with None -> [] | Some steps -> List.rev steps

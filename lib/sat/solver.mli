@@ -1,4 +1,5 @@
-(** CDCL SAT solver with native XOR-constraint propagation.
+(** CDCL SAT solver with native XOR-constraint propagation and an
+    incremental (assumption + constraint-group) interface.
 
     This is the CryptoMiniSAT stand-in the paper's implementation
     section calls for: a conflict-driven clause-learning solver
@@ -12,7 +13,19 @@
     Clauses and XORs may only be added at decision level 0 (the solver
     backtracks to the root on every [solve] return, so interleaving
     [solve] / [add_clause] — the blocking-clause loop of BSAT — is
-    always legal). *)
+    always legal).
+
+    {b Incremental solving.} [push_group] opens a retractable
+    constraint group: clauses added with [add_group_clause] are
+    guarded by a fresh activation literal (assumed false during
+    [solve], so the clauses are active), XOR constraints added with
+    [add_group_xor] are attached physically and tagged. [pop_group]
+    detaches the group's constraints, every learnt clause whose
+    derivation consumed them, and every root-level implication that
+    depended on them — the solver afterwards answers exactly as if the
+    group had never been pushed, while learnt clauses about the
+    remaining formula survive. This is the mechanism BSAT sessions use
+    to swap XOR hash layers without rebuilding the solver. *)
 
 type t
 
@@ -27,21 +40,69 @@ val create_empty : int -> t
     constraints yet. *)
 
 val okay : t -> bool
-(** [false] once the clause set is known unsatisfiable at level 0. *)
+(** [false] once the clause set is known unsatisfiable at level 0 —
+    including unsatisfiability caused by a pushed group, in which case
+    popping that group restores [true]. *)
 
 val num_vars : t -> int
+(** Grows when activation variables are allocated by {!push_group}. *)
+
+val new_var : t -> int
+(** Allocate a fresh variable (above every existing one) and return
+    it. Only legal at decision level 0. *)
 
 val add_clause : t -> Cnf.Lit.t list -> unit
-(** May set [okay t = false]. Tautologies are ignored. *)
+(** Add a clause to the base formula (group 0). May set
+    [okay t = false]. Tautologies are ignored. Legal while groups are
+    pushed: the clause persists across [pop_group]. *)
 
 val add_xor : t -> Cnf.Xor_clause.t -> unit
 
-val solve : ?conflict_limit:int -> ?deadline:float -> t -> result
-(** [deadline] is an absolute [Unix.gettimeofday] instant. *)
+val solve :
+  ?conflict_limit:int -> ?deadline:float -> ?assumptions:Cnf.Lit.t list ->
+  t -> result
+(** [deadline] is an absolute [Unix.gettimeofday] instant.
+    [assumptions] are temporarily enqueued as first decisions; when
+    they make the formula unsatisfiable, [solve] returns [Unsat]
+    without marking the solver broken and {!failed_assumptions}
+    reports a responsible subset. *)
+
+val failed_assumptions : t -> Cnf.Lit.t list
+(** After [solve ~assumptions] returned [Unsat] by assumption
+    conflict: a subset of the assumptions that is jointly
+    unsatisfiable with the formula (including the failing assumption
+    itself). Empty when the formula is unsatisfiable outright. May
+    include internal activation literals when groups are pushed. *)
 
 val model : t -> Cnf.Model.t
 (** The satisfying assignment found by the last [solve]; raises
     [Invalid_argument] if the last call did not return [Sat]. *)
+
+(** {2 Constraint groups} *)
+
+val push_group : t -> unit
+(** Open a new retractable constraint group (LIFO). Allocates (or
+    recycles) an activation variable; [num_vars] may grow.
+    @raise Invalid_argument if proof logging is active. *)
+
+val pop_group : t -> unit
+(** Retract the most recent group: its clauses and XORs are detached,
+    learnt clauses derived from them are purged, root-level
+    implications depending on them are un-assigned, and an UNSAT
+    verdict caused by them is rescinded. The solver then behaves
+    exactly as if the group had never been pushed.
+    @raise Invalid_argument if no group is pushed. *)
+
+val num_groups : t -> int
+
+val add_group_clause : t -> Cnf.Lit.t list -> unit
+(** Add a clause to the innermost group (guarded by its activation
+    literal). @raise Invalid_argument if no group is pushed. *)
+
+val add_group_xor : t -> Cnf.Xor_clause.t -> unit
+(** Add an XOR constraint to the innermost group (attached physically,
+    detached on pop — XOR parity semantics admit no guard literal).
+    @raise Invalid_argument if no group is pushed. *)
 
 (** {2 Proof logging} *)
 
@@ -49,15 +110,36 @@ val enable_proof_logging : t -> unit
 (** Start recording learnt clauses as DRAT/RUP steps; an UNSAT verdict
     then ends the log with the empty clause, checkable by
     {!Drat.refutes} against the original formula. Only meaningful for
-    one-shot solving of a pure-CNF formula: XOR constraints are
-    refused, and clauses added {e after} a [solve] (blocking-clause
-    loops) are new axioms the proof does not account for.
-    @raise Invalid_argument if the solver holds XOR constraints. *)
+    one-shot solving of a pure-CNF formula: XOR constraints and
+    constraint groups are refused, and clauses added {e after} a
+    [solve] (blocking-clause loops) are new axioms the proof does not
+    account for.
+    @raise Invalid_argument if the solver holds XOR constraints or
+    pushed groups. *)
 
 val proof : t -> Drat.step list
 (** Chronological proof log (empty when logging is disabled). *)
 
-(** Solver statistics, cumulative across [solve] calls. *)
+(** {2 Statistics} *)
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnts : int;  (** learnt clauses recorded, cumulative *)
+}
+
+val stats : t -> stats
+(** Cumulative across [solve] calls (monotone counters, so per-call
+    deltas are [stats_diff]-able). *)
+
+val stats_zero : stats
+val stats_add : stats -> stats -> stats
+val stats_diff : stats -> stats -> stats
+(** [stats_diff after before] — component-wise subtraction. *)
+
+(** Cumulative counters, individually (kept for existing callers). *)
 
 val conflicts : t -> int
 val decisions : t -> int
