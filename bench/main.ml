@@ -684,7 +684,9 @@ let run_incremental ~budget () =
           emit name "sample" (run_sample false) (run_sample true))
     instances;
   let oc = open_out "BENCH_incremental.json" in
-  Printf.fprintf oc "{\n  \"benchmarks\": [\n%s\n  ],\n  \"all_equal\": %b\n}\n"
+  Printf.fprintf oc
+    "{\n  \"host\": %s,\n  \"benchmarks\": [\n%s\n  ],\n  \"all_equal\": %b\n}\n"
+    (Obs.Report.json_of_fields (Obs.Report.host_fields ()))
     (String.concat ",\n" (List.rev !json_rows))
     !all_equal;
   close_out oc;
@@ -693,6 +695,108 @@ let run_incremental ~budget () =
      returned\nbit-identical estimates/witness streams)\n";
   if not !all_equal then begin
     prerr_endline "FAILURE: session path diverged from the fresh path";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Observability layer: instrumented ApproxMC+UniGen run. Asserts that
+   the sampled witness stream is bit-identical with tracing/metrics on
+   vs off (instrumentation must be behaviourally inert) and writes
+   BENCH_obs.json with the per-phase wall-time breakdown. *)
+
+let run_obs ~budget () =
+  section
+    "Observability: instrumented ApproxMC+UniGen run (differential check, \
+     writes BENCH_obs.json)";
+  let instance =
+    match Workload.Suite.by_name "case_m1" with
+    | Some i -> i
+    | None -> failwith "instance missing"
+  in
+  let f = Lazy.force instance.Workload.Suite.formula in
+  let samples = min budget.unigen_samples 40 in
+  (* One full workload: ApproxMC count followed by a parallel UniGen
+     batch (jobs=2 so worker-domain metric shards and their merge at
+     pool join are exercised even on a 1-core host). Returns the
+     wall time, the count estimate and the witness-stream digest. *)
+  let workload () =
+    let t0 = Unix.gettimeofday () in
+    let rng = Rng.create 11 in
+    let estimate =
+      match
+        Counting.Approxmc.count ?iterations:budget.count_iterations ~rng
+          ~epsilon:0.8 ~delta:0.8 f
+      with
+      | Ok r -> r.Counting.Approxmc.estimate
+      | Error _ -> Float.nan
+    in
+    let digest =
+      let rng = Rng.create 12 in
+      match
+        Sampling.Unigen.prepare ?count_iterations:budget.count_iterations ~rng
+          ~epsilon:6.0 f
+      with
+      | Error _ -> "<prepare fail>"
+      | Ok p ->
+          Sampling.Unigen.sample_batch ~max_attempts:20 ~jobs:2 ~seed:4242 p
+            samples
+          |> Array.to_list
+          |> List.map (function
+               | Ok m -> Cnf.Model.key m
+               | Error _ -> "<fail>")
+          |> String.concat ";" |> Digest.string |> Digest.to_hex
+    in
+    (Unix.gettimeofday () -. t0, estimate, digest)
+  in
+  (* reference: observability fully off *)
+  let off_s, off_estimate, off_digest = workload () in
+  Printf.printf "  uninstrumented: %.2fs (estimate %.0f)\n%!" off_s off_estimate;
+  (* instrumented: metrics + trace on *)
+  let trace_file = "BENCH_obs_trace.json" in
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
+  Obs.Trace.enable_file trace_file;
+  let on_s, on_estimate, on_digest = workload () in
+  Obs.Trace.close ();
+  Obs.Metrics.disable ();
+  let snapshot = Obs.Metrics.snapshot () in
+  Printf.printf "  instrumented:   %.2fs (estimate %.0f, trace in %s)\n%!" on_s
+    on_estimate trace_file;
+  let equal = off_digest = on_digest && off_estimate = on_estimate in
+  Printf.printf "  bit-identical witnesses on/off: %s\n%!"
+    (if equal then "yes" else "NO");
+  (* per-phase breakdown on stdout *)
+  let phases = Obs.Report.phase_fields snapshot in
+  Printf.printf "\n  %-28s %12s\n" "phase" "wall s";
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Obs.Report.Float s -> Printf.printf "  %-28s %12.4f\n" name s
+      | _ -> ())
+    phases;
+  let report = Obs.Report.create () in
+  Obs.Report.add_section report "workload"
+    Obs.Report.
+      [
+        ("instance", String instance.Workload.Suite.name);
+        ("samples", Int samples);
+        ("jobs", Int 2);
+        ("uninstrumented_wall_s", Float off_s);
+        ("instrumented_wall_s", Float on_s);
+        ("estimate", Float off_estimate);
+        ("witness_digest", String off_digest);
+        ("bit_identical", Bool equal);
+      ];
+  List.iter
+    (fun (title, fields) -> Obs.Report.add_section report title fields)
+    (Obs.Report.metrics_sections snapshot);
+  Obs.Report.write_json "BENCH_obs.json" report;
+  Printf.printf
+    "\nwrote BENCH_obs.json (phase-time breakdown) and %s (open in \
+     chrome://tracing or https://ui.perfetto.dev)\n"
+    trace_file;
+  if not equal then begin
+    prerr_endline "FAILURE: instrumentation changed the sampled witnesses";
     exit 1
   end
 
@@ -764,10 +868,11 @@ let () =
   let all =
     [ "table1"; "table2"; "figure1"; "epsilon"; "baselines"; "parallel";
       "incremental"; "ablation-support"; "ablation-sparse"; "ablation-blocking";
-      "ablation-leapfrog"; "ablation-amortise"; "ablation-preprocess"; "micro" ]
+      "ablation-leapfrog"; "ablation-amortise"; "ablation-preprocess"; "obs";
+      "micro" ]
   in
   let default = [ "table1"; "figure1"; "epsilon"; "baselines"; "parallel";
-                  "incremental"; "ablation-support"; "ablation-sparse";
+                  "incremental"; "obs"; "ablation-support"; "ablation-sparse";
                   "ablation-blocking"; "ablation-leapfrog"; "ablation-amortise";
                   "ablation-preprocess"; "micro" ]
   in
@@ -790,6 +895,7 @@ let () =
       | "baselines" -> run_baselines ~budget ()
       | "parallel" -> run_parallel ~budget ()
       | "incremental" -> run_incremental ~budget ()
+      | "obs" -> run_obs ~budget ()
       | "ablation-support" -> run_ablation_support ~budget ()
       | "ablation-sparse" -> run_ablation_sparse ~budget ()
       | "ablation-blocking" -> run_ablation_blocking ()

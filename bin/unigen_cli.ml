@@ -16,11 +16,59 @@ let print_witness m sampling =
   print_endline ("v " ^ String.concat " " parts ^ " 0")
 
 (* ------------------------------------------------------------------ *)
+(* Observability plumbing shared by sample and count: --trace FILE
+   (Chrome trace_event JSON, load in chrome://tracing or Perfetto),
+   --metrics-json FILE (structured run report), --stats (same report,
+   as comment lines). Instrumentation is enabled before any solver or
+   worker domain exists and the trace sink is closed on every exit
+   path. *)
+
+let with_observability ~trace ~metrics_json ~show_stats f =
+  if show_stats || metrics_json <> None || trace <> None then
+    Obs.Metrics.enable ();
+  (match trace with Some path -> Obs.Trace.enable_file path | None -> ());
+  Fun.protect ~finally:Obs.Trace.close f
+
+(* Emit the finished report on the channels the flags asked for. *)
+let emit_report ~metrics_json ~show_stats sections =
+  if show_stats || metrics_json <> None then begin
+    let report = Obs.Report.create () in
+    List.iter (fun (title, fields) -> Obs.Report.add_section report title fields)
+      sections;
+    List.iter (fun (title, fields) -> Obs.Report.add_section report title fields)
+      (Obs.Report.metrics_sections (Obs.Metrics.snapshot ()));
+    if show_stats then Obs.Report.pp Format.std_formatter report;
+    match metrics_json with
+    | Some path -> Obs.Report.write_json path report
+    | None -> ()
+  end
+
+let trace_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON timeline of the run (solver \
+           calls, XOR layer swaps, BSAT enumerations, ApproxMC \
+           iterations, UniGen draws, worker lifecycles) to $(docv); open \
+           it in chrome://tracing or Perfetto.")
+
+let metrics_json_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the structured run report (run accounting, solver \
+           counters, per-phase wall time, host info) as JSON to $(docv).")
+
+(* ------------------------------------------------------------------ *)
 (* unigen sample *)
 
 let sample_cmd =
   let run file num epsilon seed timeout project_only jobs show_stats
-      no_incremental =
+      no_incremental trace metrics_json =
     if jobs < 0 then begin
       Printf.eprintf "error: --jobs must be >= 1\n";
       1
@@ -31,6 +79,7 @@ let sample_cmd =
           Printf.eprintf "error: %s\n" msg;
           1
       | Ok f ->
+          with_observability ~trace ~metrics_json ~show_stats @@ fun () ->
           let rng = Rng.create seed in
           let incremental = not no_incremental in
           let deadline = Unix.gettimeofday () +. timeout in
@@ -97,10 +146,21 @@ let sample_cmd =
                 !produced num !attempts
                 (Sampling.Sampler.average_seconds_per_sample st)
                 (Sampling.Sampler.average_xor_length st);
-              if show_stats then
-                Format.printf "c stats: %a@.c stats: incremental=%b@."
-                  Sampling.Sampler.pp st
-                  (Sampling.Unigen.is_incremental prepared);
+              emit_report ~metrics_json ~show_stats
+                [
+                  ( "config",
+                    Obs.Report.
+                      [
+                        ("command", String "sample");
+                        ("file", String file);
+                        ("epsilon", Float epsilon);
+                        ("seed", Int seed);
+                        ("jobs", Int jobs);
+                        ( "incremental",
+                          Bool (Sampling.Unigen.is_incremental prepared) );
+                      ] );
+                  ("run", Sampling.Sampler.report_fields st);
+                ];
               if !produced = num then 0 else 1)
   in
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -128,9 +188,9 @@ let sample_cmd =
   let show_stats =
     Arg.(value & flag
          & info [ "stats" ]
-             ~doc:"Print cumulative solver statistics (conflicts, \
-                   propagations, learnt clauses, session reuse hits) as \
-                   comment lines.")
+             ~doc:"Print the structured run report (run accounting, solver \
+                   counters including decisions and restarts, per-phase \
+                   wall time) as comment lines.")
   in
   let no_incremental =
     Arg.(value & flag
@@ -142,18 +202,20 @@ let sample_cmd =
   Cmd.v
     (Cmd.info "sample" ~doc:"Draw almost-uniform witnesses of a DIMACS CNF file")
     Term.(const run $ file $ num $ epsilon $ seed $ timeout $ project $ jobs
-          $ show_stats $ no_incremental)
+          $ show_stats $ no_incremental $ trace_arg $ metrics_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* unigen count *)
 
 let count_cmd =
-  let run file epsilon delta seed timeout jobs show_stats no_incremental =
+  let run file epsilon delta seed timeout jobs show_stats no_incremental trace
+      metrics_json =
     match read_formula file with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
         1
     | Ok f ->
+        with_observability ~trace ~metrics_json ~show_stats @@ fun () ->
         let rng = Rng.create seed in
         let incremental = not no_incremental in
         let deadline = Unix.gettimeofday () +. timeout in
@@ -177,15 +239,42 @@ let count_cmd =
               r.Counting.Approxmc.log2_estimate
               (if r.Counting.Approxmc.exact then ", exact" else "")
               r.Counting.Approxmc.core_iterations r.Counting.Approxmc.failed_iterations;
-            if show_stats then begin
-              let st = r.Counting.Approxmc.solver_stats in
-              Printf.printf
-                "c stats: conflicts=%d decisions=%d propagations=%d \
-                 restarts=%d learnts=%d reuse_hits=%d incremental=%b\n"
-                st.Sat.Solver.conflicts st.Sat.Solver.decisions
-                st.Sat.Solver.propagations st.Sat.Solver.restarts
-                st.Sat.Solver.learnts r.Counting.Approxmc.reuse_hits incremental
-            end;
+            let st = r.Counting.Approxmc.solver_stats in
+            emit_report ~metrics_json ~show_stats
+              [
+                ( "config",
+                  Obs.Report.
+                    [
+                      ("command", String "count");
+                      ("file", String file);
+                      ("epsilon", Float epsilon);
+                      ("delta", Float delta);
+                      ("seed", Int seed);
+                      ("jobs", Int jobs);
+                      ("incremental", Bool incremental);
+                    ] );
+                ( "count",
+                  Obs.Report.
+                    [
+                      ("estimate", Float r.Counting.Approxmc.estimate);
+                      ("log2_estimate", Float r.Counting.Approxmc.log2_estimate);
+                      ("exact", Bool r.Counting.Approxmc.exact);
+                      ("core_iterations", Int r.Counting.Approxmc.core_iterations);
+                      ( "failed_iterations",
+                        Int r.Counting.Approxmc.failed_iterations );
+                    ] );
+                ( "solver",
+                  Obs.Report.
+                    [
+                      ("conflicts", Int st.Sat.Solver.conflicts);
+                      ("decisions", Int st.Sat.Solver.decisions);
+                      ("propagations", Int st.Sat.Solver.propagations);
+                      ("xor_propagations", Int st.Sat.Solver.xor_propagations);
+                      ("restarts", Int st.Sat.Solver.restarts);
+                      ("learnts", Int st.Sat.Solver.learnts);
+                      ("reuse_hits", Int r.Counting.Approxmc.reuse_hits);
+                    ] );
+              ];
             0)
   in
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -210,7 +299,8 @@ let count_cmd =
   let show_stats =
     Arg.(value & flag
          & info [ "stats" ]
-             ~doc:"Print aggregate solver statistics as a comment line.")
+             ~doc:"Print the structured run report (estimator output, \
+                   solver counters, per-phase wall time) as comment lines.")
   in
   let no_incremental =
     Arg.(value & flag
@@ -221,7 +311,7 @@ let count_cmd =
   Cmd.v
     (Cmd.info "count" ~doc:"Approximately count witnesses (ApproxMC)")
     Term.(const run $ file $ epsilon $ delta $ seed $ timeout $ jobs
-          $ show_stats $ no_incremental)
+          $ show_stats $ no_incremental $ trace_arg $ metrics_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* unigen support *)

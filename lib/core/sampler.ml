@@ -10,7 +10,10 @@ type run_stats = {
   mutable xor_rows : int;
   mutable xor_vars : int;
   mutable conflicts : int;
+  mutable decisions : int;
   mutable propagations : int;
+  mutable xor_propagations : int;
+  mutable restarts : int;
   mutable learnts : int;
   mutable reuse_hits : int;
   mutable wall_seconds : float;
@@ -25,7 +28,10 @@ let fresh_stats () =
     xor_rows = 0;
     xor_vars = 0;
     conflicts = 0;
+    decisions = 0;
     propagations = 0;
+    xor_propagations = 0;
+    restarts = 0;
     learnts = 0;
     reuse_hits = 0;
     wall_seconds = 0.0;
@@ -51,7 +57,10 @@ let merge_into ~into s =
   into.xor_rows <- into.xor_rows + s.xor_rows;
   into.xor_vars <- into.xor_vars + s.xor_vars;
   into.conflicts <- into.conflicts + s.conflicts;
+  into.decisions <- into.decisions + s.decisions;
   into.propagations <- into.propagations + s.propagations;
+  into.xor_propagations <- into.xor_propagations + s.xor_propagations;
+  into.restarts <- into.restarts + s.restarts;
   into.learnts <- into.learnts + s.learnts;
   into.reuse_hits <- into.reuse_hits + s.reuse_hits;
   into.wall_seconds <- into.wall_seconds +. s.wall_seconds
@@ -61,15 +70,43 @@ let record_hash s h =
   s.xor_vars <- s.xor_vars + Hashing.Hxor.total_xor_length h
 
 let record_solve s (out : Sat.Bsat.outcome) =
-  s.conflicts <- s.conflicts + out.Sat.Bsat.stats.Sat.Solver.conflicts;
-  s.propagations <- s.propagations + out.Sat.Bsat.stats.Sat.Solver.propagations;
-  s.learnts <- s.learnts + out.Sat.Bsat.stats.Sat.Solver.learnts;
+  let d = out.Sat.Bsat.stats in
+  s.conflicts <- s.conflicts + d.Sat.Solver.conflicts;
+  s.decisions <- s.decisions + d.Sat.Solver.decisions;
+  s.propagations <- s.propagations + d.Sat.Solver.propagations;
+  s.xor_propagations <- s.xor_propagations + d.Sat.Solver.xor_propagations;
+  s.restarts <- s.restarts + d.Sat.Solver.restarts;
+  s.learnts <- s.learnts + d.Sat.Solver.learnts;
   if out.Sat.Bsat.reused then s.reuse_hits <- s.reuse_hits + 1
 
 let pp fmt s =
   Format.fprintf fmt
     "requested=%d produced=%d cell_failures=%d timeouts=%d avg_xor_len=%.1f \
-     conflicts=%d propagations=%d learnts=%d reuse_hits=%d avg_s=%.3f"
+     conflicts=%d decisions=%d propagations=%d xor_propagations=%d \
+     restarts=%d learnts=%d reuse_hits=%d avg_s=%.3f"
     s.samples_requested s.samples_produced s.cell_failures s.timeouts
-    (average_xor_length s) s.conflicts s.propagations s.learnts s.reuse_hits
+    (average_xor_length s) s.conflicts s.decisions s.propagations
+    s.xor_propagations s.restarts s.learnts s.reuse_hits
     (average_seconds_per_sample s)
+
+let finite f = if Float.is_finite f then f else 0.0
+
+let report_fields s =
+  let open Obs.Report in
+  [
+    ("samples_requested", Int s.samples_requested);
+    ("samples_produced", Int s.samples_produced);
+    ("cell_failures", Int s.cell_failures);
+    ("timeouts", Int s.timeouts);
+    ("success_probability", Float (finite (success_probability s)));
+    ("avg_xor_len", Float (average_xor_length s));
+    ("avg_seconds_per_sample", Float (finite (average_seconds_per_sample s)));
+    ("conflicts", Int s.conflicts);
+    ("decisions", Int s.decisions);
+    ("propagations", Int s.propagations);
+    ("xor_propagations", Int s.xor_propagations);
+    ("restarts", Int s.restarts);
+    ("learnts", Int s.learnts);
+    ("reuse_hits", Int s.reuse_hits);
+    ("wall_seconds", Float s.wall_seconds);
+  ]

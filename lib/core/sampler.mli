@@ -20,7 +20,11 @@ type run_stats = {
   mutable xor_rows : int;  (** total XOR rows across all hash draws *)
   mutable xor_vars : int;  (** total variables across those rows *)
   mutable conflicts : int;  (** CDCL conflicts across all BSAT calls *)
+  mutable decisions : int;
   mutable propagations : int;
+  mutable xor_propagations : int;
+      (** implications produced by the XOR parity engine *)
+  mutable restarts : int;
   mutable learnts : int;  (** learnt clauses recorded *)
   mutable reuse_hits : int;
       (** BSAT calls answered by a warm solver session *)
@@ -52,3 +56,8 @@ val record_solve : run_stats -> Sat.Bsat.outcome -> unit
     propagations, learnt clauses, session-reuse hit) into the run. *)
 
 val pp : Format.formatter -> run_stats -> unit
+
+val report_fields : run_stats -> (string * Obs.Report.value) list
+(** The run's accounting as a typed field list for an {!Obs.Report}
+    section (the structured replacement for the [--stats] one-liner).
+    NaN ratios (nothing requested/produced yet) are reported as 0. *)

@@ -31,6 +31,7 @@ let log2 x = Float.log x /. Float.log 2.0
 
 let prepare ?deadline ?count_iterations ?(hash_density = 0.5)
     ?(incremental = true) ?jobs ?pool ~rng ~epsilon formula =
+  Obs.Trace.span ~cat:"sampling" "unigen.prepare" @@ fun () ->
   let kappa, pivot = Kappa_pivot.compute epsilon in
   let hi = Kappa_pivot.hi_thresh ~kappa ~pivot in
   let lo = Kappa_pivot.lo_thresh ~kappa ~pivot in
@@ -84,6 +85,7 @@ let timeout_retries = 3
 (* lines 12-22. [stats] is passed explicitly so that parallel workers
    can record into private accounting instead of racing on [t.stats]. *)
 let sample_once ?deadline ~rng ~stats t =
+  Obs.Trace.span ~cat:"sampling" "unigen.draw" @@ fun () ->
   match t.phase with
   | Easy models -> Ok (Rng.choose rng models)
   | Hashed { q; _ } ->

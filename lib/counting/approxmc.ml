@@ -38,6 +38,9 @@ type core_out = {
   co_reuse : int;
 }
 
+let c_hash_draws = Obs.Metrics.counter "approxmc.hash_draws"
+let h_cell_size = Obs.Metrics.histogram "approxmc.cell_size"
+
 (* One ApproxMCCore run. With [incremental] (the default) a single
    solver session serves every hash size [i] of the try_size loop:
    only the XOR layer is swapped between sizes, so clauses learnt
@@ -46,12 +49,17 @@ type core_out = {
    hash draws are identical and complete cells are history-independent
    — so the returned estimate is the same. *)
 let core ?deadline ?(incremental = true) ~rng ~pivot ~start f =
+  Obs.Trace.span ~cat:"counting" "approxmc.core" @@ fun () ->
   let sampling = Cnf.Formula.sampling_vars f in
   let n = Array.length sampling in
   let session = if incremental then Some (Sat.Bsat.Session.create f) else None in
   let stats = ref Sat.Solver.stats_zero in
   let reuse = ref 0 in
   let run_bsat i =
+    Obs.Trace.span ~cat:"counting" "approxmc.hash_size"
+      ~args:[ ("m", string_of_int i) ]
+    @@ fun () ->
+    Obs.Metrics.incr c_hash_draws;
     let h = Hashing.Hxor.sample rng ~vars:sampling ~m:i in
     let out =
       match session with
@@ -64,6 +72,8 @@ let core ?deadline ?(incremental = true) ~rng ~pivot ~start f =
     in
     stats := Sat.Solver.stats_add !stats out.Sat.Bsat.stats;
     if out.Sat.Bsat.reused then incr reuse;
+    Obs.Metrics.observe h_cell_size
+      (float_of_int (List.length out.Sat.Bsat.models));
     out
   in
   let rec try_size i =
@@ -105,6 +115,7 @@ let iterate_parallel ?deadline ?jobs ?pool ~incremental ~rng ~pivot ~t f =
 
 let count ?deadline ?(leapfrog = false) ?(incremental = true) ?iterations ?jobs
     ?pool ~rng ~epsilon ~delta f =
+  Obs.Trace.span ~cat:"counting" "approxmc.count" @@ fun () ->
   (match jobs with
   | Some j when j < 1 -> invalid_arg "Approxmc.count: jobs must be >= 1"
   | _ -> ());

@@ -1,5 +1,8 @@
 exception Overflow
 
+let c_cache_hits = Obs.Metrics.counter "exact.component_cache_hits"
+let c_cache_misses = Obs.Metrics.counter "exact.component_cache_misses"
+
 (* Internally clauses are sorted lists of signed DIMACS literals. *)
 
 let checked_mul a b =
@@ -134,8 +137,11 @@ let solutions ~budget cache clauses =
   and cached comp =
     let key = canonical comp in
     match Hashtbl.find_opt cache key with
-    | Some n -> n
+    | Some n ->
+        Obs.Metrics.incr c_cache_hits;
+        n
     | None ->
+        Obs.Metrics.incr c_cache_misses;
         let n = go comp in
         Hashtbl.add cache key n;
         n

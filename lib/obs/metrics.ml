@@ -1,0 +1,293 @@
+(* Domain-sharded metrics. One global registry assigns dense ids; each
+   domain owns a private shard (grown on demand) registered in a global
+   shard list, so updates are plain unsynchronised array writes and
+   only registration / snapshot take the mutex. *)
+
+let enabled = Atomic.make false
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+let is_enabled () = Atomic.get enabled
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+type kind = K_counter | K_histogram
+
+type def = { id : int; name : string; kind : kind }
+
+let reg_lock = Mutex.create ()
+let defs : def list ref = ref []
+let next_id = ref 0
+
+let register name kind =
+  Mutex.lock reg_lock;
+  let id =
+    match List.find_opt (fun d -> d.name = name && d.kind = kind) !defs with
+    | Some d -> d.id
+    | None ->
+        let id = !next_id in
+        incr next_id;
+        defs := { id; name; kind } :: !defs;
+        id
+  in
+  Mutex.unlock reg_lock;
+  id
+
+type counter = int
+type histogram = int
+
+let counter name = register name K_counter
+let histogram name = register name K_histogram
+
+(* ------------------------------------------------------------------ *)
+(* Histogram data (pure, so merge laws are testable) *)
+
+module Hist = struct
+  type data = { count : int; sum : float; buckets : int array }
+
+  let num_buckets = 64
+
+  let empty = { count = 0; sum = 0.0; buckets = Array.make num_buckets 0 }
+
+  (* bucket b covers [2^(b-31), 2^(b-30)); 0 absorbs <= 0 and NaN *)
+  let bucket_of v =
+    if not (Float.is_finite v) || v <= 0.0 then 0
+    else
+      let e = snd (Float.frexp v) in
+      max 0 (min (num_buckets - 1) (e + 30))
+
+  let observe d v =
+    let buckets = Array.copy d.buckets in
+    let b = bucket_of v in
+    buckets.(b) <- buckets.(b) + 1;
+    { count = d.count + 1;
+      sum = d.sum +. (if Float.is_finite v then Float.max v 0.0 else 0.0);
+      buckets }
+
+  let merge a b =
+    { count = a.count + b.count;
+      sum = a.sum +. b.sum;
+      buckets = Array.init num_buckets (fun i -> a.buckets.(i) + b.buckets.(i)) }
+
+  let bucket_upper b = Float.ldexp 1.0 (b - 30)
+
+  let quantile d q =
+    if d.count = 0 then 0.0
+    else begin
+      let target =
+        let t = int_of_float (Float.ceil (q *. float_of_int d.count)) in
+        max 1 (min d.count t)
+      in
+      let rec go b seen =
+        if b >= num_buckets - 1 then bucket_upper b
+        else
+          let seen = seen + d.buckets.(b) in
+          if seen >= target then bucket_upper b else go (b + 1) seen
+      in
+      go 0 0
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Shards *)
+
+(* Parallel arrays indexed by metric id. [counts] doubles as the
+   observation count of histogram ids; [sums]/[buckets] are only
+   populated for histogram ids. *)
+type shard = {
+  mutable counts : int array;
+  mutable sums : float array;
+  mutable buckets : int array array;
+}
+
+let empty_buckets : int array = [||]
+
+let new_shard () = { counts = [||]; sums = [||]; buckets = [||] }
+
+let shard_lock = Mutex.create ()
+let shards : shard list ref = ref []
+
+(* Base accumulator that dead domains' shards are folded into. *)
+let base = new_shard ()
+
+let shard_key =
+  Domain.DLS.new_key (fun () ->
+      let s = new_shard () in
+      Mutex.lock shard_lock;
+      shards := s :: !shards;
+      Mutex.unlock shard_lock;
+      s)
+
+let ensure s id =
+  if id >= Array.length s.counts then begin
+    let n = max 16 (max (2 * Array.length s.counts) (id + 1)) in
+    let counts = Array.make n 0 in
+    Array.blit s.counts 0 counts 0 (Array.length s.counts);
+    let sums = Array.make n 0.0 in
+    Array.blit s.sums 0 sums 0 (Array.length s.sums);
+    let buckets = Array.make n empty_buckets in
+    Array.blit s.buckets 0 buckets 0 (Array.length s.buckets);
+    s.counts <- counts;
+    s.sums <- sums;
+    s.buckets <- buckets
+  end
+
+let incr ?(by = 1) c =
+  if Atomic.get enabled then begin
+    let s = Domain.DLS.get shard_key in
+    ensure s c;
+    s.counts.(c) <- s.counts.(c) + by
+  end
+
+let observe h v =
+  if Atomic.get enabled then begin
+    let s = Domain.DLS.get shard_key in
+    ensure s h;
+    if s.buckets.(h) == empty_buckets then
+      s.buckets.(h) <- Array.make Hist.num_buckets 0;
+    let b = Hist.bucket_of v in
+    s.buckets.(h).(b) <- s.buckets.(h).(b) + 1;
+    s.counts.(h) <- s.counts.(h) + 1;
+    s.sums.(h) <- s.sums.(h) +. (if Float.is_finite v then Float.max v 0.0 else 0.0)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Gauges: rare, global, last write wins *)
+
+let gauge_lock = Mutex.create ()
+let gauges : (string, float) Hashtbl.t = Hashtbl.create 16
+
+let set_gauge name v =
+  if Atomic.get enabled then begin
+    Mutex.lock gauge_lock;
+    Hashtbl.replace gauges name v;
+    Mutex.unlock gauge_lock
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Span time aggregation (memoised name -> histogram id) *)
+
+let span_lock = Mutex.create ()
+let span_ids : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let span_prefix = "span:"
+
+let span_histogram name =
+  Mutex.lock span_lock;
+  let id =
+    match Hashtbl.find_opt span_ids name with
+    | Some id -> id
+    | None ->
+        let id = histogram (span_prefix ^ name) in
+        Hashtbl.add span_ids name id;
+        id
+  in
+  Mutex.unlock span_lock;
+  id
+
+let add_span name seconds = observe (span_histogram name) seconds
+
+(* ------------------------------------------------------------------ *)
+(* Reading *)
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * Hist.data) list;
+}
+
+let fold_shards f init =
+  Mutex.lock shard_lock;
+  let all = base :: !shards in
+  Mutex.unlock shard_lock;
+  List.fold_left f init all
+
+let snapshot () =
+  Mutex.lock reg_lock;
+  let ds = !defs in
+  Mutex.unlock reg_lock;
+  let total_count id = fold_shards (fun acc s ->
+      acc + (if id < Array.length s.counts then s.counts.(id) else 0)) 0
+  in
+  let total_hist id =
+    fold_shards
+      (fun acc s ->
+        if id < Array.length s.buckets && s.buckets.(id) != empty_buckets then
+          Hist.merge acc
+            { Hist.count = s.counts.(id);
+              sum = s.sums.(id);
+              buckets = s.buckets.(id) }
+        else acc)
+      Hist.empty
+  in
+  let counters =
+    List.filter_map
+      (fun d ->
+        match d.kind with
+        | K_counter ->
+            let n = total_count d.id in
+            if n = 0 then None else Some (d.name, n)
+        | K_histogram -> None)
+      ds
+    |> List.sort compare
+  in
+  let histograms =
+    List.filter_map
+      (fun d ->
+        match d.kind with
+        | K_histogram ->
+            let h = total_hist d.id in
+            if h.Hist.count = 0 then None else Some (d.name, h)
+        | K_counter -> None)
+      ds
+    |> List.sort compare
+  in
+  let gs =
+    Mutex.lock gauge_lock;
+    let gs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) gauges [] in
+    Mutex.unlock gauge_lock;
+    List.sort compare gs
+  in
+  { counters; gauges = gs; histograms }
+
+let fold_shard_into ~into s =
+  let n = Array.length s.counts in
+  ensure into (n - 1);
+  for id = 0 to n - 1 do
+    into.counts.(id) <- into.counts.(id) + s.counts.(id);
+    s.counts.(id) <- 0;
+    into.sums.(id) <- into.sums.(id) +. s.sums.(id);
+    s.sums.(id) <- 0.0;
+    if s.buckets.(id) != empty_buckets then begin
+      if into.buckets.(id) == empty_buckets then
+        into.buckets.(id) <- Array.make Hist.num_buckets 0;
+      for b = 0 to Hist.num_buckets - 1 do
+        into.buckets.(id).(b) <- into.buckets.(id).(b) + s.buckets.(id).(b);
+        s.buckets.(id).(b) <- 0
+      done
+    end
+  done
+
+let compact_shards () =
+  Mutex.lock shard_lock;
+  let all = !shards in
+  Mutex.unlock shard_lock;
+  (* shard records stay registered (a live domain keeps using its own
+     through DLS); their contents move to [base] *)
+  List.iter (fun s -> if Array.length s.counts > 0 then fold_shard_into ~into:base s) all
+
+let reset () =
+  Mutex.lock shard_lock;
+  let all = base :: !shards in
+  Mutex.unlock shard_lock;
+  List.iter
+    (fun s ->
+      Array.fill s.counts 0 (Array.length s.counts) 0;
+      Array.fill s.sums 0 (Array.length s.sums) 0.0;
+      Array.iter
+        (fun b -> if b != empty_buckets then Array.fill b 0 (Array.length b) 0)
+        s.buckets)
+    all;
+  Mutex.lock gauge_lock;
+  Hashtbl.reset gauges;
+  Mutex.unlock gauge_lock

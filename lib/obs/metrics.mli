@@ -1,0 +1,118 @@
+(** Process-wide metrics registry: named counters, gauges and
+    log-scale histograms with domain-sharded storage.
+
+    Design constraints, in order:
+
+    - {b cheap when disabled}: every update starts with a single atomic
+      load of the global enable flag; a disabled registry does no
+      allocation and touches no shared cache line beyond that flag.
+    - {b correct across OCaml 5 domains}: each domain owns a private
+      shard (plain, unsynchronised [int array] slots reached through
+      [Domain.DLS]), so concurrent updates never contend or race; a
+      {!snapshot} sums over all shards. Reading while worker domains
+      are still running yields a consistent-enough monitoring view
+      (int loads never tear); a lossless snapshot is obtained by
+      snapshotting after the workers have been joined —
+      [Domain_pool.shutdown] calls {!compact_shards} at exactly that
+      point, folding dead workers' shards into a base accumulator.
+    - {b zero dependencies}: nothing beyond the stdlib and [unix].
+
+    Handles ([counter], [histogram]) are dense integer ids; register
+    them once at module-initialisation time ([let c = counter "x"]) and
+    update through the handle — registration takes a mutex, updates do
+    not. Registration is idempotent: the same name yields the same id,
+    so re-registering from another compilation unit is harmless. *)
+
+(** {2 Enabling} *)
+
+val enable : unit -> unit
+(** Switch recording on (off by default). Typically flipped by the CLI
+    when [--stats], [--metrics-json] or [--trace] is given, before any
+    worker domain is spawned. *)
+
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero every counter, gauge and histogram (registrations survive).
+    Only meaningful while no other domain is updating — tests and the
+    bench harness call it between phases. *)
+
+(** {2 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** Register (or look up) the monotone counter [name]. *)
+
+val incr : ?by:int -> counter -> unit
+
+(** {2 Gauges} *)
+
+val set_gauge : string -> float -> unit
+(** Gauges are last-write-wins process globals (host core count, jobs,
+    formula size): set rarely, from one domain, not sharded. *)
+
+(** {2 Histograms} *)
+
+(** Pure log₂-bucketed histogram data. Bucket [b] covers values in
+    [[2^(b-31), 2^(b-30))]; bucket 0 additionally absorbs zero,
+    negative and non-finite observations, the last bucket absorbs
+    overflow. Exposed as a pure value type so merge laws (associative,
+    commutative, [empty] neutral) are directly testable. *)
+module Hist : sig
+  type data = {
+    count : int;
+    sum : float;
+    buckets : int array;  (** length {!num_buckets} *)
+  }
+
+  val num_buckets : int
+  val empty : data
+  val bucket_of : float -> int
+  val observe : data -> float -> data
+  val merge : data -> data -> data
+
+  val quantile : data -> float -> float
+  (** [quantile d q] for [q] in [0,1]: upper edge of the bucket holding
+      the [q]-th observation — a factor-of-2 estimate, which is what a
+      log-scale histogram can honestly answer. 0 when empty. *)
+end
+
+type histogram
+
+val histogram : string -> histogram
+val observe : histogram -> float -> unit
+
+(** {2 Span time aggregation}
+
+    {!Trace.span} feeds every completed span here, so per-phase wall
+    time is available in reports even when no trace file is being
+    written. Stored as a histogram of span durations (seconds) under
+    the span's name. *)
+
+val add_span : string -> float -> unit
+(** [add_span name seconds] — registration is memoised per name. The
+    backing histogram is registered as [{!span_prefix} ^ name], which
+    is how reports tell phase-time histograms apart from ordinary
+    value histograms. *)
+
+val span_prefix : string
+(** ["span:"]. *)
+
+(** {2 Reading} *)
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name, zeros omitted *)
+  gauges : (string * float) list;
+  histograms : (string * Hist.data) list;
+      (** includes span-time histograms, names as given to {!add_span} *)
+}
+
+val snapshot : unit -> snapshot
+
+val compact_shards : unit -> unit
+(** Fold every shard into the base accumulator and zero the shards.
+    Must only be called when no other domain is updating (e.g. right
+    after a [Domain_pool] has joined its workers); the calling domain's
+    own shard keeps working afterwards. *)

@@ -1,0 +1,108 @@
+(* Chrome trace_event sink. The enabled flag is an atomic read on the
+   hot no-op path; actual emission formats into a private buffer and
+   appends to the channel under the sink mutex. *)
+
+(* Single clock-swap point: gettimeofday has microsecond resolution
+   and, on the single-host runs this repo makes, behaves monotonically
+   enough for trace rendering; a clock_gettime(CLOCK_MONOTONIC) stub
+   would drop in here without touching any caller. *)
+let now_us () = Unix.gettimeofday () *. 1e6
+
+type sink = { oc : out_channel; lock : Mutex.t; t0 : float; mutable first : bool }
+
+let enabled = Atomic.make false
+let current : sink option ref = ref None
+
+let is_enabled () = Atomic.get enabled
+
+let enable_file path =
+  (match !current with Some _ -> invalid_arg "Trace.enable_file: already enabled" | None -> ());
+  let oc = open_out path in
+  output_string oc "[";
+  current := Some { oc; lock = Mutex.create (); t0 = now_us (); first = true };
+  Atomic.set enabled true
+
+let close () =
+  match !current with
+  | None -> ()
+  | Some s ->
+      Atomic.set enabled false;
+      Mutex.lock s.lock;
+      output_string s.oc "\n]\n";
+      close_out s.oc;
+      Mutex.unlock s.lock;
+      current := None
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let emit ~ph ~cat ~name ~args =
+  match !current with
+  | None -> ()
+  | Some s ->
+      let b = Buffer.create 128 in
+      Buffer.add_string b "\n{\"name\":\"";
+      json_escape b name;
+      Buffer.add_string b "\",\"cat\":\"";
+      json_escape b cat;
+      Buffer.add_string b "\",\"ph\":\"";
+      Buffer.add_char b ph;
+      Buffer.add_string b "\",\"pid\":0,\"tid\":";
+      Buffer.add_string b (string_of_int (Domain.self () :> int));
+      Buffer.add_string b ",\"ts\":";
+      Buffer.add_string b (Printf.sprintf "%.3f" (now_us () -. s.t0));
+      (match args with
+      | [] -> ()
+      | args ->
+          Buffer.add_string b ",\"args\":{";
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then Buffer.add_char b ',';
+              Buffer.add_char b '"';
+              json_escape b k;
+              Buffer.add_string b "\":\"";
+              json_escape b v;
+              Buffer.add_char b '"')
+            args;
+          Buffer.add_char b '}');
+      Buffer.add_char b '}';
+      Mutex.lock s.lock;
+      if s.first then s.first <- false else output_char s.oc ',';
+      Buffer.output_buffer s.oc b;
+      Mutex.unlock s.lock
+
+let instant ?(cat = "pipeline") ?(args = []) name =
+  if Atomic.get enabled then emit ~ph:'i' ~cat ~name ~args
+
+let span ?(cat = "pipeline") ?(args = []) name f =
+  let tracing = Atomic.get enabled in
+  let metrics = Metrics.is_enabled () in
+  if not (tracing || metrics) then f ()
+  else begin
+    let t0 = now_us () in
+    if tracing then emit ~ph:'B' ~cat ~name ~args;
+    let finish () =
+      let dt = now_us () -. t0 in
+      if tracing then emit ~ph:'E' ~cat ~name ~args:[];
+      if metrics then Metrics.add_span name (dt *. 1e-6)
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        finish ();
+        Printexc.raise_with_backtrace e bt
+  end

@@ -1,0 +1,44 @@
+(** Structured tracing: begin/end spans emitted as Chrome
+    [trace_event] JSON, loadable in [chrome://tracing] or Perfetto.
+
+    The default sink is a no-op: {!span} costs one atomic load and a
+    tail call until {!enable_file} opens a real sink, so instrumented
+    code can stay instrumented unconditionally. Every completed span is
+    also fed to {!Metrics.add_span} (when metrics are enabled), which
+    is where per-phase wall time in reports comes from — tracing and
+    metrics can be switched on independently.
+
+    Events carry [pid] 0 and the emitting domain's id as [tid], so a
+    [--jobs N] run renders as one lane per worker domain. Timestamps
+    come from a single process-wide clock read at span boundaries
+    (microsecond resolution, monotonically offset from the instant the
+    sink was opened; {!now_us} is the single swap point if a true
+    monotonic source becomes available). Writes are serialised by a
+    sink mutex — spans are solver-call-grained, not
+    per-propagation-grained, so contention is negligible. *)
+
+val enable_file : string -> unit
+(** Open [path] as the trace sink (truncating) and start emitting.
+    Call before spawning worker domains so their lifecycle spans are
+    captured. @raise Sys_error if the file cannot be opened. *)
+
+val is_enabled : unit -> bool
+
+val close : unit -> unit
+(** Terminate the JSON array and close the sink. Idempotent; a no-op
+    when tracing was never enabled. Call after worker domains have
+    been joined (in-flight spans after [close] degrade to metrics-only
+    recording). *)
+
+val span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()] inside a begin/end event pair named
+    [name] (category [cat], default ["pipeline"]; [args] become the
+    event's ["args"] object). The end event is emitted — and the
+    duration fed to {!Metrics.add_span} — whether [f] returns or
+    raises; exceptions are re-raised with their original backtrace. *)
+
+val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
+(** A zero-duration marker event (phase ["i"]). *)
+
+val now_us : unit -> float
+(** The clock used for event timestamps, in microseconds. *)

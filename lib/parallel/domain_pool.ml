@@ -44,6 +44,7 @@ let drain t b =
   claim ()
 
 let worker_loop t =
+  Obs.Trace.span ~cat:"parallel" "pool.worker" @@ fun () ->
   let last_gen = ref 0 in
   let rec loop () =
     Mutex.lock t.lock;
@@ -91,6 +92,9 @@ let map_into t f items store =
   let n = Array.length items in
   if n = 0 then ()
   else begin
+    Obs.Trace.span ~cat:"parallel" "pool.batch"
+      ~args:[ ("items", string_of_int n); ("jobs", string_of_int t.jobs) ]
+    @@ fun () ->
     let error = ref None in
     let error_lock = Mutex.create () in
     let cancelled = Atomic.make false in
@@ -133,7 +137,10 @@ let map_into t f items store =
       Mutex.unlock t.lock
     end;
     match !error with
-    | Some (i, e, bt) -> raise (Item_error (i, e, bt))
+    | Some (i, e, bt) ->
+        (* re-raise carrying the worker-side backtrace, so a crash in a
+           traced parallel run points at the item's code, not here *)
+        Printexc.raise_with_backtrace (Item_error (i, e, bt)) bt
     | None -> ()
   end
 
@@ -163,7 +170,10 @@ let shutdown t =
     Condition.broadcast t.cond;
     Mutex.unlock t.lock;
     Array.iter Domain.join t.workers;
-    t.workers <- [||]
+    t.workers <- [||];
+    (* workers are joined: fold their private metric shards into the
+       base accumulator so the run's snapshot is lossless *)
+    Obs.Metrics.compact_shards ()
   end
 
 let with_pool ~jobs f =

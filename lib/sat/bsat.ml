@@ -37,10 +37,14 @@ let reduce_xors (f : Cnf.Formula.t) =
         `Reduced
           { f with Cnf.Formula.xors = Array.of_list r.Cnf.Xor_gauss.rows }
 
+let c_blocking_clauses = Obs.Metrics.counter "bsat.blocking_clauses"
+let c_enumerations = Obs.Metrics.counter "bsat.enumerations"
+
 (* The blocking-clause enumeration loop, shared by the one-shot and
    session paths. [add_block] persists a blocking clause; [verify] is
    the formula the witnesses must satisfy. *)
 let enum_loop ?deadline ~limit ~blocking ~verify ~add_block ~truncate solver =
+  Obs.Metrics.incr c_enumerations;
   let rec loop acc found =
     if found >= limit then (List.rev acc, `Cut)
     else
@@ -56,6 +60,7 @@ let enum_loop ?deadline ~limit ~blocking ~verify ~add_block ~truncate solver =
             Array.to_list blocking
             |> List.map (fun v -> Cnf.Lit.make v (not (Cnf.Model.value m v)))
           in
+          Obs.Metrics.incr c_blocking_clauses;
           add_block block;
           loop (m :: acc) (found + 1)
   in
@@ -72,6 +77,9 @@ let outcome_of ~reused ~stats (models, status) =
   }
 
 let enumerate ?deadline ?blocking_vars ~limit (f : Cnf.Formula.t) =
+  Obs.Trace.span ~cat:"sat" "bsat.enumerate"
+    ~args:[ ("limit", string_of_int limit) ]
+  @@ fun () ->
   let blocking =
     match blocking_vars with
     | Some vs -> vs
@@ -137,6 +145,11 @@ module Session = struct
         | Ok r -> `Rows r.Cnf.Xor_gauss.rows)
 
   let enumerate ?deadline ?(xors = []) ?(persist_blocking = false) ~limit s =
+    Obs.Trace.span ~cat:"sat" "bsat.session.enumerate"
+      ~args:
+        [ ("limit", string_of_int limit);
+          ("xor_rows", string_of_int (List.length xors)) ]
+    @@ fun () ->
     let reused = s.calls > 0 in
     s.calls <- s.calls + 1;
     match s.solver with
@@ -164,9 +177,13 @@ module Session = struct
             in
             let res =
               Fun.protect
-                ~finally:(fun () -> Solver.pop_group solver)
+                ~finally:(fun () ->
+                  Obs.Trace.span ~cat:"sat" "xor_layer.pop" (fun () ->
+                      Solver.pop_group solver))
                 (fun () ->
-                  List.iter (Solver.add_group_xor solver) rows;
+                  Obs.Trace.span ~cat:"sat" "xor_layer.push"
+                    ~args:[ ("rows", string_of_int (List.length rows)) ]
+                    (fun () -> List.iter (Solver.add_group_xor solver) rows);
                   enum_loop ?deadline ~limit ~blocking:s.blocking ~verify
                     ~add_block ~truncate solver)
             in

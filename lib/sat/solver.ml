@@ -40,18 +40,21 @@ type stats = {
   conflicts : int;
   decisions : int;
   propagations : int;
+  xor_propagations : int;
   restarts : int;
   learnts : int;
 }
 
 let stats_zero =
-  { conflicts = 0; decisions = 0; propagations = 0; restarts = 0; learnts = 0 }
+  { conflicts = 0; decisions = 0; propagations = 0; xor_propagations = 0;
+    restarts = 0; learnts = 0 }
 
 let stats_add a b =
   {
     conflicts = a.conflicts + b.conflicts;
     decisions = a.decisions + b.decisions;
     propagations = a.propagations + b.propagations;
+    xor_propagations = a.xor_propagations + b.xor_propagations;
     restarts = a.restarts + b.restarts;
     learnts = a.learnts + b.learnts;
   }
@@ -61,6 +64,7 @@ let stats_diff a b =
     conflicts = a.conflicts - b.conflicts;
     decisions = a.decisions - b.decisions;
     propagations = a.propagations - b.propagations;
+    xor_propagations = a.xor_propagations - b.xor_propagations;
     restarts = a.restarts - b.restarts;
     learnts = a.learnts - b.learnts;
   }
@@ -106,6 +110,7 @@ type t = {
   mutable n_conflicts : int;
   mutable n_decisions : int;
   mutable n_propagations : int;
+  mutable n_xor_propagations : int;
   mutable n_restarts : int;
   mutable n_learnt_total : int;
   mutable max_learnts : float;
@@ -190,6 +195,7 @@ let create_empty nvars =
       n_conflicts = 0;
       n_decisions = 0;
       n_propagations = 0;
+      n_xor_propagations = 0;
       n_restarts = 0;
       n_learnt_total = 0;
       max_learnts = 0.;
@@ -206,6 +212,7 @@ let num_vars t = t.nvars
 let conflicts t = t.n_conflicts
 let decisions t = t.n_decisions
 let propagations t = t.n_propagations
+let xor_propagations t = t.n_xor_propagations
 let restarts t = t.n_restarts
 let num_clauses t = Vec.size t.clauses
 let num_learnts t = Vec.size t.learnts
@@ -216,6 +223,7 @@ let stats t =
     conflicts = t.n_conflicts;
     decisions = t.n_decisions;
     propagations = t.n_propagations;
+    xor_propagations = t.n_xor_propagations;
     restarts = t.n_restarts;
     learnts = t.n_learnt_total;
   }
@@ -456,6 +464,7 @@ let propagate_xors t p =
            if t.assigns.(other) = 0 then begin
              let parity_rest = xor_parity_assigned t x ~except:other_pos in
              let implied = if x.xrhs then not parity_rest else parity_rest in
+             t.n_xor_propagations <- t.n_xor_propagations + 1;
              ignore (enqueue t (lit_of_var other implied) (R_xor x))
            end
            else begin
@@ -795,6 +804,7 @@ let install_xor t x =
     Vec.push t.xors x;
     let parity_rest = xor_parity_assigned t x ~except:!u1 in
     let implied = if x.xrhs then not parity_rest else parity_rest in
+    t.n_xor_propagations <- t.n_xor_propagations + 1;
     ignore (enqueue t (lit_of_var x.xvars.(!u1) implied) (R_xor x));
     if t.ok then propagate_or_break t
   end
@@ -1092,6 +1102,7 @@ let search t ~assumps ~budget ~deadline =
   match !outcome with Some o -> o | None -> assert false
 
 let solve ?(conflict_limit = max_int) ?deadline ?(assumptions = []) t =
+  Obs.Trace.span ~cat:"sat" "solver.solve" @@ fun () ->
   assert (decision_level t = 0);
   t.model_valid <- false;
   t.failed <- [];

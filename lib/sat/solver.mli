@@ -126,6 +126,9 @@ type stats = {
   conflicts : int;
   decisions : int;
   propagations : int;
+  xor_propagations : int;
+      (** implications enqueued by the XOR parity engine (a subset of
+          [propagations]'s trail pops, counted at the XOR watch) *)
   restarts : int;
   learnts : int;  (** learnt clauses recorded, cumulative *)
 }
@@ -144,6 +147,7 @@ val stats_diff : stats -> stats -> stats
 val conflicts : t -> int
 val decisions : t -> int
 val propagations : t -> int
+val xor_propagations : t -> int
 val restarts : t -> int
 val num_clauses : t -> int
 val num_learnts : t -> int

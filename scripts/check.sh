@@ -1,0 +1,24 @@
+#!/bin/sh
+# CI smoke check: fast typecheck, full test suite, and repo-hygiene
+# guards. Run from anywhere inside the repository.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# Guard: no build artefacts may be committed. A tracked _build/ path
+# means someone ran `git add -A` with a stale .gitignore.
+tracked_build=$(git ls-files | grep -E '(^|/)_build/' || true)
+if [ -n "$tracked_build" ]; then
+    echo "error: build artefacts are tracked by git:" >&2
+    echo "$tracked_build" | sed 's/^/  /' >&2
+    echo "run: git rm -r --cached _build" >&2
+    exit 1
+fi
+
+echo "== dune build @check"
+dune build @check
+
+echo "== dune runtest"
+dune runtest
+
+echo "ok"

@@ -1,0 +1,242 @@
+(* Tests for the observability layer: histogram merge laws (the
+   algebra that makes domain-sharded aggregation lossless), the
+   sharding machinery itself across real domains, report rendering,
+   and a golden check that a traced run emits well-formed Chrome
+   trace_event JSON. *)
+
+(* ------------------------------------------------------------------ *)
+(* Hist merge laws (qcheck) *)
+
+let hist_of_list vs = List.fold_left Obs.Metrics.Hist.observe Obs.Metrics.Hist.empty vs
+
+(* sums are compared up to float re-association error *)
+let hist_eq (a : Obs.Metrics.Hist.data) (b : Obs.Metrics.Hist.data) =
+  let sa = a.Obs.Metrics.Hist.sum and sb = b.Obs.Metrics.Hist.sum in
+  a.Obs.Metrics.Hist.count = b.Obs.Metrics.Hist.count
+  && Float.abs (sa -. sb) <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs sa) (Float.abs sb))
+  && a.Obs.Metrics.Hist.buckets = b.Obs.Metrics.Hist.buckets
+
+(* Observations as a sampler would produce them: wall times, cell
+   sizes, the odd zero/negative/huge outlier. *)
+let obs_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        float_bound_inclusive 2.0;
+        map (fun n -> float_of_int n) (int_bound 1_000_000);
+        map (fun f -> -.f) (float_bound_inclusive 1.0);
+        return 0.0;
+        return infinity;
+        return nan;
+      ])
+
+let shard_gen = QCheck2.Gen.(list_size (int_bound 40) obs_gen)
+
+let prop_merge_commutative =
+  QCheck2.Test.make ~count:200 ~name:"Hist.merge commutative"
+    QCheck2.Gen.(pair shard_gen shard_gen)
+    (fun (xs, ys) ->
+      let a = hist_of_list xs and b = hist_of_list ys in
+      hist_eq (Obs.Metrics.Hist.merge a b) (Obs.Metrics.Hist.merge b a))
+
+let prop_merge_associative =
+  QCheck2.Test.make ~count:200 ~name:"Hist.merge associative"
+    QCheck2.Gen.(triple shard_gen shard_gen shard_gen)
+    (fun (xs, ys, zs) ->
+      let a = hist_of_list xs and b = hist_of_list ys and c = hist_of_list zs in
+      hist_eq
+        (Obs.Metrics.Hist.merge a (Obs.Metrics.Hist.merge b c))
+        (Obs.Metrics.Hist.merge (Obs.Metrics.Hist.merge a b) c))
+
+let prop_merge_empty_neutral =
+  QCheck2.Test.make ~count:200 ~name:"Hist.merge empty neutral"
+    shard_gen
+    (fun xs ->
+      let a = hist_of_list xs in
+      hist_eq (Obs.Metrics.Hist.merge a Obs.Metrics.Hist.empty) a
+      && hist_eq (Obs.Metrics.Hist.merge Obs.Metrics.Hist.empty a) a)
+
+(* Sharded observation then merge = observing everything in one shard:
+   exactly the claim snapshot/compact_shards rely on. *)
+let prop_merge_is_concat =
+  QCheck2.Test.make ~count:200 ~name:"Hist.merge == observe concatenation"
+    QCheck2.Gen.(pair shard_gen shard_gen)
+    (fun (xs, ys) ->
+      hist_eq
+        (Obs.Metrics.Hist.merge (hist_of_list xs) (hist_of_list ys))
+        (hist_of_list (xs @ ys)))
+
+let test_bucket_edges () =
+  Alcotest.(check int) "zero -> bucket 0" 0 (Obs.Metrics.Hist.bucket_of 0.0);
+  Alcotest.(check int) "negative -> bucket 0" 0 (Obs.Metrics.Hist.bucket_of (-3.0));
+  Alcotest.(check int) "nan -> bucket 0" 0 (Obs.Metrics.Hist.bucket_of Float.nan);
+  Alcotest.(check int) "huge -> last bucket"
+    (Obs.Metrics.Hist.num_buckets - 1)
+    (Obs.Metrics.Hist.bucket_of 1e300);
+  (* monotone in v *)
+  let rec check_monotone prev v =
+    if v < 1e12 then begin
+      let b = Obs.Metrics.Hist.bucket_of v in
+      if b < prev then Alcotest.failf "bucket_of not monotone at %g" v;
+      check_monotone b (v *. 1.7)
+    end
+  in
+  check_monotone 0 1e-12
+
+(* ------------------------------------------------------------------ *)
+(* Domain-sharded counters: lossless across real domains *)
+
+let test_shard_merge_across_domains () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
+  Fun.protect ~finally:Obs.Metrics.disable @@ fun () ->
+  let c = Obs.Metrics.counter "test.obs.sharded" in
+  let h = Obs.Metrics.histogram "test.obs.sharded_hist" in
+  let per_domain = 5_000 in
+  let work () =
+    for i = 1 to per_domain do
+      Obs.Metrics.incr c;
+      if i mod 10 = 0 then Obs.Metrics.observe h (float_of_int i)
+    done
+  in
+  let domains = Array.init 3 (fun _ -> Domain.spawn work) in
+  work ();
+  Array.iter Domain.join domains;
+  Obs.Metrics.compact_shards ();
+  let s = Obs.Metrics.snapshot () in
+  Alcotest.(check int)
+    "counter sums over all shards" (4 * per_domain)
+    (List.assoc "test.obs.sharded" s.Obs.Metrics.counters);
+  let hd = List.assoc "test.obs.sharded_hist" s.Obs.Metrics.histograms in
+  Alcotest.(check int)
+    "histogram count sums over all shards" (4 * (per_domain / 10))
+    hd.Obs.Metrics.Hist.count;
+  (* compacting twice must not double-count *)
+  Obs.Metrics.compact_shards ();
+  let s2 = Obs.Metrics.snapshot () in
+  Alcotest.(check int) "compact_shards idempotent" (4 * per_domain)
+    (List.assoc "test.obs.sharded" s2.Obs.Metrics.counters)
+
+let test_disabled_records_nothing () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.disable ();
+  let c = Obs.Metrics.counter "test.obs.disabled" in
+  Obs.Metrics.incr c ~by:42;
+  Obs.Metrics.observe (Obs.Metrics.histogram "test.obs.disabled_hist") 1.0;
+  Obs.Metrics.set_gauge "test.obs.disabled_gauge" 1.0;
+  let s = Obs.Metrics.snapshot () in
+  Alcotest.(check bool) "no counter recorded" true
+    (not (List.mem_assoc "test.obs.disabled" s.Obs.Metrics.counters));
+  Alcotest.(check bool) "no histogram recorded" true
+    (not (List.mem_assoc "test.obs.disabled_hist" s.Obs.Metrics.histograms));
+  Alcotest.(check bool) "no gauge recorded" true
+    (not (List.mem_assoc "test.obs.disabled_gauge" s.Obs.Metrics.gauges))
+
+(* ------------------------------------------------------------------ *)
+(* Report: span-prefixed histograms separate from value histograms *)
+
+let test_report_sections () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
+  Fun.protect ~finally:Obs.Metrics.disable @@ fun () ->
+  Obs.Metrics.observe (Obs.Metrics.histogram "test.obs.values") 8.0;
+  Obs.Metrics.add_span "test.obs.phase" 0.25;
+  let s = Obs.Metrics.snapshot () in
+  let phases = Obs.Report.phase_fields s in
+  Alcotest.(check bool) "span histogram appears in phases" true
+    (List.mem_assoc "test.obs.phase" phases);
+  Alcotest.(check bool) "value histogram stays out of phases" true
+    (not (List.mem_assoc "test.obs.values" phases));
+  let json =
+    let r = Obs.Report.create ~host:true () in
+    List.iter (fun (t, fs) -> Obs.Report.add_section r t fs)
+      (Obs.Report.metrics_sections s);
+    Obs.Report.to_json r
+  in
+  (* the report must embed host metadata and survive a JSON parse *)
+  Alcotest.(check bool) "report mentions ocaml_version" true
+    (String.length json > 0
+    && Test_util.Json.mem "ocaml_version" (Test_util.Json.parse json))
+
+(* ------------------------------------------------------------------ *)
+(* Golden: traced run emits well-formed Chrome trace JSON *)
+
+let test_trace_file_well_formed () =
+  let path = Filename.temp_file "obs_trace" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Obs.Trace.enable_file path;
+  Obs.Trace.span ~cat:"test" "outer" (fun () ->
+      Obs.Trace.instant ~args:[ ("k", "v\"quoted\"") ] "marker";
+      Obs.Trace.span "inner" (fun () -> ignore (Sys.opaque_identity 1));
+      (* a raising span must still close its event *)
+      (try Obs.Trace.span "raising" (fun () -> failwith "boom")
+       with Failure _ -> ()));
+  Obs.Trace.close ();
+  Alcotest.(check bool) "close idempotent" true
+    (Obs.Trace.close (); not (Obs.Trace.is_enabled ()));
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let raw = really_input_string ic len in
+  close_in ic;
+  let events =
+    match Test_util.Json.parse raw with
+    | Test_util.Json.List evs -> evs
+    | _ -> Alcotest.fail "trace file is not a JSON array"
+  in
+  Alcotest.(check int) "3 B + 3 E + 1 instant" 7 (List.length events);
+  let field ev k =
+    match ev with
+    | Test_util.Json.Obj fs -> List.assoc_opt k fs
+    | _ -> Alcotest.fail "event is not an object"
+  in
+  let stack = ref [] in
+  List.iter
+    (fun ev ->
+      (match (field ev "name", field ev "ts", field ev "pid", field ev "tid") with
+      | Some (Test_util.Json.Str _), Some (Test_util.Json.Num _),
+        Some (Test_util.Json.Num _), Some (Test_util.Json.Num _) -> ()
+      | _ -> Alcotest.fail "event missing name/ts/pid/tid");
+      match field ev "ph" with
+      | Some (Test_util.Json.Str "B") ->
+          stack := field ev "name" :: !stack
+      | Some (Test_util.Json.Str "E") -> (
+          match !stack with
+          | top :: rest ->
+              Alcotest.(check bool) "E matches innermost B" true
+                (top = field ev "name");
+              stack := rest
+          | [] -> Alcotest.fail "E without matching B")
+      | Some (Test_util.Json.Str "i") -> ()
+      | _ -> Alcotest.fail "unexpected ph")
+    events;
+  Alcotest.(check int) "all B events closed" 0 (List.length !stack)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "hist",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_merge_commutative;
+            prop_merge_associative;
+            prop_merge_empty_neutral;
+            prop_merge_is_concat;
+          ]
+        @ [ Alcotest.test_case "bucket edges" `Quick test_bucket_edges ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "shard merge across domains" `Quick
+            test_shard_merge_across_domains;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_disabled_records_nothing;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "sections and json" `Quick test_report_sections ] );
+      ( "trace",
+        [
+          Alcotest.test_case "chrome trace well-formed" `Quick
+            test_trace_file_well_formed;
+        ] );
+    ]
