@@ -63,12 +63,27 @@ let metrics_json_arg =
           "Write the structured run report (run accounting, solver \
            counters, per-phase wall time, host info) as JSON to $(docv).")
 
+let audit_arg =
+  Cmdliner.Arg.(
+    value
+    & flag
+    & info [ "audit" ]
+        ~doc:
+          "Enable the correctness-audit subsystem: sampled invariant \
+           sweeps of the live CDCL/XOR solver state, re-evaluation of \
+           every witness against all clauses and XOR constraints, \
+           blocking-set disjointness checking, and domain-ownership \
+           tracking. A detected violation aborts with a structured \
+           state dump. Equivalent to setting UNIGEN_AUDIT=1; tune the \
+           sweep sampling period with UNIGEN_AUDIT_PERIOD (default 64).")
+
 (* ------------------------------------------------------------------ *)
 (* unigen sample *)
 
 let sample_cmd =
   let run file num epsilon seed timeout project_only jobs show_stats
-      no_incremental trace metrics_json =
+      no_incremental audit trace metrics_json =
+    if audit then Audit.enable ();
     if jobs < 0 then begin
       Printf.eprintf "error: --jobs must be >= 1\n";
       1
@@ -202,14 +217,15 @@ let sample_cmd =
   Cmd.v
     (Cmd.info "sample" ~doc:"Draw almost-uniform witnesses of a DIMACS CNF file")
     Term.(const run $ file $ num $ epsilon $ seed $ timeout $ project $ jobs
-          $ show_stats $ no_incremental $ trace_arg $ metrics_json_arg)
+          $ show_stats $ no_incremental $ audit_arg $ trace_arg $ metrics_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* unigen count *)
 
 let count_cmd =
-  let run file epsilon delta seed timeout jobs show_stats no_incremental trace
-      metrics_json =
+  let run file epsilon delta seed timeout jobs show_stats no_incremental audit
+      trace metrics_json =
+    if audit then Audit.enable ();
     match read_formula file with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
@@ -311,7 +327,7 @@ let count_cmd =
   Cmd.v
     (Cmd.info "count" ~doc:"Approximately count witnesses (ApproxMC)")
     Term.(const run $ file $ epsilon $ delta $ seed $ timeout $ jobs
-          $ show_stats $ no_incremental $ trace_arg $ metrics_json_arg)
+          $ show_stats $ no_incremental $ audit_arg $ trace_arg $ metrics_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* unigen support *)

@@ -1,0 +1,5 @@
+include Violation
+include Config
+module State = State
+module Solver_invariants = Solver_invariants
+module Ownership = Ownership

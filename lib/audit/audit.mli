@@ -1,0 +1,36 @@
+(** Correctness-audit subsystem: runtime flag, structured violations,
+    solver invariant sanitizer, and domain-ownership checks.
+
+    The library is stdlib-only so every layer (including [lib/sat]
+    itself) can raise {!Violation} without a dependency cycle; the
+    sanitizer therefore works on the neutral {!State.solver_view}
+    snapshot rather than the live solver. See DESIGN.md, "Correctness
+    audit". *)
+
+(** {1 Structured violations} *)
+
+type report = Violation.report = {
+  invariant : string;
+  detail : string;
+  context : (string * string) list;
+}
+
+exception Violation of report
+
+val fail : invariant:string -> detail:string -> (string * string) list -> 'a
+val to_string : report -> string
+
+(** {1 Runtime flag} ([UNIGEN_AUDIT] / [--audit]) *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+val set_period : int -> unit
+val get_period : unit -> int
+val tick : unit -> bool
+
+(** {1 Components} *)
+
+module State = State
+module Solver_invariants = Solver_invariants
+module Ownership = Ownership

@@ -1,0 +1,34 @@
+let enabled = Atomic.make false
+let period = Atomic.make 64
+
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+let is_enabled () = Atomic.get enabled
+
+let set_period p =
+  if p < 1 then
+    Violation.fail ~invariant:"audit-config" ~detail:"sampling period must be >= 1"
+      [ ("period", string_of_int p) ];
+  Atomic.set period p
+
+let get_period () = Atomic.get period
+
+(* Per-domain tick counter: cheap sampling of hot-path sweeps without
+   cross-domain contention. *)
+let tick_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let tick () =
+  if not (Atomic.get enabled) then false
+  else begin
+    let c = Domain.DLS.get tick_key in
+    incr c;
+    !c mod Atomic.get period = 0
+  end
+
+let () =
+  (match Sys.getenv_opt "UNIGEN_AUDIT" with
+  | Some ("1" | "true" | "yes" | "on") -> enable ()
+  | Some _ | None -> ());
+  match Sys.getenv_opt "UNIGEN_AUDIT_PERIOD" with
+  | Some s -> ( match int_of_string_opt s with Some p when p >= 1 -> Atomic.set period p | _ -> ())
+  | None -> ()

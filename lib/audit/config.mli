@@ -1,0 +1,23 @@
+(** Runtime switch for the audit subsystem.
+
+    Audit mode defaults to off (zero behavioural change); it turns on
+    via [enable] (the CLI's [--audit]) or the [UNIGEN_AUDIT=1]
+    environment variable, read once at program start. Hot-path sweeps
+    are additionally sampled: call sites guard with {!tick}, which
+    fires once every [period] calls per domain
+    ([UNIGEN_AUDIT_PERIOD], default 64). *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val set_period : int -> unit
+(** Set the hot-path sampling period (>= 1); raises
+    {!Violation.Violation} otherwise. *)
+
+val get_period : unit -> int
+
+val tick : unit -> bool
+(** [tick ()] is [true] when audit mode is on and this domain's call
+    counter hits the sampling period — the guard for sweeps inside the
+    search loop. Always [false] with audit off (one atomic read). *)

@@ -1,0 +1,18 @@
+type t = { owner : int; what : string }
+
+let domain_id () = (Domain.self () :> int)
+
+let create what = { owner = domain_id (); what }
+
+let owner t = t.owner
+
+let check t =
+  if Config.is_enabled () then begin
+    let d = domain_id () in
+    if d <> t.owner then
+      Violation.fail ~invariant:"domain-ownership"
+        ~detail:("cross-domain access to " ^ t.what)
+        [ ("resource", t.what);
+          ("owner_domain", string_of_int t.owner);
+          ("current_domain", string_of_int d) ]
+  end

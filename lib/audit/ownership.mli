@@ -1,0 +1,20 @@
+(** Domain-ownership tags.
+
+    A tag records the domain that created a single-owner resource
+    (solver, session, metrics shard). [check] is called on every
+    touch; with audit mode on, a touch from any other domain raises a
+    deterministic [domain-ownership] {!Violation.Violation} instead of
+    a latent race. With audit off the check is one atomic read. *)
+
+type t
+
+val create : string -> t
+(** [create what] tags the calling domain as owner; [what] names the
+    resource in violation reports. *)
+
+val owner : t -> int
+(** Integer id of the owning domain. *)
+
+val check : t -> unit
+(** Raises {!Violation.Violation} when audit mode is on and the
+    calling domain differs from the owner. *)

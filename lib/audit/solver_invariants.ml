@@ -1,0 +1,462 @@
+(* Invariant sweeps over a State.solver_view. Each check raises
+   Violation.Violation with the invariant's stable name and enough
+   context to reconstruct the failure without a debugger. The sweep is
+   audit-only code: clarity over speed, but still linear in the size of
+   the solver state (one Hashtbl per sweep, no quadratic scans). *)
+
+open State
+
+let itos = string_of_int
+
+let lit_to_string view l =
+  let v = var_of_lit l in
+  let sign = if l land 1 = 0 then "" else "-" in
+  let value =
+    match lit_value view l with
+    | 1 -> "T@" ^ itos view.level.(v)
+    | -1 -> "F@" ^ itos view.level.(v)
+    | _ -> "U"
+  in
+  sign ^ "x" ^ itos v ^ ":" ^ value
+
+let lits_to_string view lits =
+  "[" ^ String.concat " " (Array.to_list (Array.map (lit_to_string view) lits)) ^ "]"
+
+let xvars_to_string view vars =
+  let one v =
+    let value =
+      match view.assigns.(v) with
+      | 1 -> "T@" ^ itos view.level.(v)
+      | -1 -> "F@" ^ itos view.level.(v)
+      | _ -> "U"
+    in
+    "x" ^ itos v ^ ":" ^ value
+  in
+  "[" ^ String.concat " " (Array.to_list (Array.map one vars)) ^ "]"
+
+let base_context view =
+  [ ("nvars", itos view.nvars);
+    ("decision_level", itos view.decision_level);
+    ("trail", itos (Array.length view.trail));
+    ("qhead", itos view.qhead);
+    ("clauses", itos (Array.length view.clauses));
+    ("xors", itos (Array.length view.xors));
+    ("num_groups", itos view.num_groups);
+    ("ok", string_of_bool view.ok);
+    ("broken_by", itos view.broken_by) ]
+
+let fail view ~invariant ~detail extra =
+  Violation.fail ~invariant ~detail (extra @ base_context view)
+
+(* ------------------------------------------------------------------ *)
+
+let check_vecs view =
+  List.iter
+    (fun v ->
+      if v.v_size < 0 || v.v_size > v.v_capacity then
+        fail view ~invariant:"vec-bounds"
+          ~detail:("vector " ^ v.v_name ^ " has size outside [0, capacity]")
+          [ ("vec", v.v_name); ("size", itos v.v_size); ("capacity", itos v.v_capacity) ])
+    view.vecs
+
+let check_trail view =
+  let n = Array.length view.trail in
+  let nlim = Array.length view.trail_lim in
+  if view.qhead < 0 || view.qhead > n then
+    fail view ~invariant:"trail-bounds" ~detail:"propagation head outside trail" [];
+  if nlim <> view.decision_level then
+    fail view ~invariant:"trail-bounds" ~detail:"decision level disagrees with trail_lim size"
+      [ ("trail_lim", itos nlim) ];
+  for i = 0 to nlim - 1 do
+    if view.trail_lim.(i) < 0 || view.trail_lim.(i) > n then
+      fail view ~invariant:"trail-bounds" ~detail:"trail_lim entry outside trail"
+        [ ("lim_index", itos i); ("lim", itos view.trail_lim.(i)) ];
+    if i > 0 && view.trail_lim.(i) < view.trail_lim.(i - 1) then
+      fail view ~invariant:"level-monotonic" ~detail:"trail_lim not monotonically nondecreasing"
+        [ ("lim_index", itos i);
+          ("lim", itos view.trail_lim.(i));
+          ("previous", itos view.trail_lim.(i - 1)) ]
+  done;
+  let seen = Array.make (view.nvars + 1) false in
+  let lvl = ref 0 in
+  Array.iteri
+    (fun i l ->
+      let v = var_of_lit l in
+      if v < 1 || v > view.nvars then
+        fail view ~invariant:"trail-bounds" ~detail:"trail literal names an unknown variable"
+          [ ("position", itos i); ("lit", itos l) ];
+      if seen.(v) then
+        fail view ~invariant:"trail-consistency" ~detail:"variable appears twice on the trail"
+          [ ("position", itos i); ("var", itos v) ];
+      seen.(v) <- true;
+      if lit_value view l <> 1 then
+        fail view ~invariant:"trail-consistency" ~detail:"trail literal is not true under assigns"
+          [ ("position", itos i); ("lit", lit_to_string view l) ];
+      while !lvl < nlim && view.trail_lim.(!lvl) <= i do incr lvl done;
+      if view.level.(v) <> !lvl then
+        fail view ~invariant:"level-monotonic"
+          ~detail:"recorded level disagrees with trail position"
+          [ ("position", itos i);
+            ("var", itos v);
+            ("recorded_level", itos view.level.(v));
+            ("trail_level", itos !lvl) ])
+    view.trail;
+  for v = 1 to view.nvars do
+    if view.assigns.(v) <> 0 && not seen.(v) then
+      fail view ~invariant:"trail-consistency" ~detail:"assigned variable missing from the trail"
+        [ ("var", itos v); ("level", itos view.level.(v)) ]
+  done
+
+let clause_table view =
+  let tbl = Hashtbl.create (max 16 (Array.length view.clauses)) in
+  Array.iter (fun c -> Hashtbl.replace tbl c.c_id c) view.clauses;
+  tbl
+
+let xor_table view =
+  let tbl = Hashtbl.create (max 16 (Array.length view.xors)) in
+  Array.iter (fun x -> Hashtbl.replace tbl x.x_id x) view.xors;
+  tbl
+
+let check_reasons view ctbl xtbl =
+  let trail_pos = Array.make (view.nvars + 1) (-1) in
+  Array.iteri (fun i l -> trail_pos.(var_of_lit l) <- i) view.trail;
+  for v = 1 to view.nvars do
+    if view.assigns.(v) <> 0 then begin
+      let lvl = view.level.(v) in
+      match view.reason.(v) with
+      | R_dangling ->
+          fail view ~invariant:"reason-consistency"
+            ~detail:"reason points at a detached constraint" [ ("var", itos v) ]
+      | R_clause id -> (
+          match Hashtbl.find_opt ctbl id with
+          | None ->
+              fail view ~invariant:"reason-consistency" ~detail:"reason clause is not live"
+                [ ("var", itos v); ("clause", itos id) ]
+          | Some c ->
+              let ctx () =
+                [ ("var", itos v); ("clause", itos id); ("lits", lits_to_string view c.c_lits) ]
+              in
+              if Array.length c.c_lits = 0 || var_of_lit c.c_lits.(0) <> v
+                 || lit_value view c.c_lits.(0) <> 1 then
+                fail view ~invariant:"reason-consistency"
+                  ~detail:"reason clause's first literal is not the implied true literal" (ctx ());
+              Array.iteri
+                (fun i l ->
+                  if i > 0 then
+                    if lit_value view l <> -1 || view.level.(var_of_lit l) > lvl then
+                      fail view ~invariant:"reason-consistency"
+                        ~detail:
+                          "reason clause has a non-false or later-level literal beside the implied one"
+                        (("offending", lit_to_string view l) :: ctx ()))
+                c.c_lits)
+      | R_xor id -> (
+          match Hashtbl.find_opt xtbl id with
+          | None ->
+              fail view ~invariant:"reason-consistency" ~detail:"reason XOR is not live"
+                [ ("var", itos v); ("xor", itos id) ]
+          | Some x ->
+              let ctx =
+                [ ("var", itos v); ("xor", itos id); ("vars", xvars_to_string view x.x_vars) ]
+              in
+              let parity = ref false in
+              Array.iter
+                (fun u ->
+                  if view.assigns.(u) = 0 || view.level.(u) > lvl then
+                    fail view ~invariant:"reason-consistency"
+                      ~detail:"reason XOR has an unassigned or later-level variable" ctx;
+                  if view.assigns.(u) > 0 then parity := not !parity)
+                x.x_vars;
+              if !parity <> x.x_rhs then
+                fail view ~invariant:"reason-consistency"
+                  ~detail:"reason XOR is not satisfied by the current assignment" ctx)
+      | R_none ->
+          if lvl > 0 then begin
+            let pos = trail_pos.(v) in
+            if pos < 0 || pos <> view.trail_lim.(lvl - 1) then
+              fail view ~invariant:"reason-consistency"
+                ~detail:"reasonless non-decision assignment above level 0"
+                [ ("var", itos v); ("level", itos lvl); ("trail_pos", itos pos) ]
+          end
+    end
+  done
+
+let check_clause_watches view ctbl =
+  let occurrences = Hashtbl.create (max 16 (Array.length view.clauses)) in
+  Array.iteri
+    (fun l entries ->
+      List.iter
+        (fun e ->
+          if e.w_deleted then begin
+            if e.w_id >= 0 && Hashtbl.mem ctbl e.w_id then
+              fail view ~invariant:"group-hygiene"
+                ~detail:"clause marked deleted is still registered as live"
+                [ ("lit", itos l); ("clause", itos e.w_id) ]
+          end
+          else if e.w_id < 0 then
+            fail view ~invariant:"lazy-deletion"
+              ~detail:"watch list holds an orphaned clause record not marked deleted"
+              [ ("lit", itos l) ]
+          else
+            match Hashtbl.find_opt ctbl e.w_id with
+            | None ->
+                fail view ~invariant:"lazy-deletion"
+                  ~detail:"watch list holds a detached clause not marked deleted"
+                  [ ("lit", itos l); ("clause", itos e.w_id) ]
+            | Some c ->
+                if Array.length c.c_lits < 2
+                   || (c.c_lits.(0) <> l && c.c_lits.(1) <> l) then
+                  fail view ~invariant:"watch-attached"
+                    ~detail:"clause is in a watch list of a literal it does not watch"
+                    [ ("lit", itos l);
+                      ("clause", itos e.w_id);
+                      ("lits", lits_to_string view c.c_lits) ];
+                Hashtbl.replace occurrences e.w_id
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt occurrences e.w_id)))
+        entries)
+    view.watches;
+  Array.iter
+    (fun c ->
+      if Array.length c.c_lits < 2 then
+        fail view ~invariant:"clause-width" ~detail:"attached clause has fewer than two literals"
+          [ ("clause", itos c.c_id); ("lits", lits_to_string view c.c_lits) ];
+      let n = Option.value ~default:0 (Hashtbl.find_opt occurrences c.c_id) in
+      if n <> 2 then
+        fail view ~invariant:"watch-attached"
+          ~detail:"live clause is not watched exactly once from each watched literal"
+          [ ("clause", itos c.c_id);
+            ("occurrences", itos n);
+            ("lits", lits_to_string view c.c_lits) ])
+    view.clauses
+
+let check_two_watch view =
+  Array.iter
+    (fun c ->
+      let satisfied = Array.exists (fun l -> lit_value view l = 1) c.c_lits in
+      let w0 = lit_value view c.c_lits.(0) and w1 = lit_value view c.c_lits.(1) in
+      let ctx =
+        [ ("clause", itos c.c_id); ("lits", lits_to_string view c.c_lits) ]
+      in
+      if not satisfied then begin
+        if w0 = -1 || w1 = -1 then
+          fail view ~invariant:"two-watch"
+            ~detail:"non-satisfied clause has a false watched literal at a propagation fixpoint"
+            ctx
+      end
+      else begin
+        (* A false watch is only legal when the other watch is true and
+           was assigned no later than the false one. *)
+        let check_pair wf wo =
+          if lit_value view wf = -1 then
+            if lit_value view wo <> 1
+               || view.level.(var_of_lit wo) > view.level.(var_of_lit wf) then
+              fail view ~invariant:"watch-order"
+                ~detail:"false watched literal is not backed by an earlier true co-watch"
+                (("false_watch", lit_to_string view wf)
+                 :: ("co_watch", lit_to_string view wo)
+                 :: ctx)
+        in
+        check_pair c.c_lits.(0) c.c_lits.(1);
+        check_pair c.c_lits.(1) c.c_lits.(0)
+      end)
+    view.clauses
+
+let check_xor_watches view xtbl =
+  let occurrences = Hashtbl.create (max 16 (Array.length view.xors)) in
+  Array.iteri
+    (fun v entries ->
+      List.iter
+        (fun e ->
+          if e.w_deleted then ()
+          else if e.w_id < 0 then
+            fail view ~invariant:"lazy-deletion"
+              ~detail:"XOR watch list holds an orphaned record not marked deleted"
+              [ ("watch_var", itos v) ]
+          else
+            match Hashtbl.find_opt xtbl e.w_id with
+            | None ->
+                fail view ~invariant:"lazy-deletion"
+                  ~detail:"XOR watch list holds a detached constraint not marked deleted"
+                  [ ("watch_var", itos v); ("xor", itos e.w_id) ]
+            | Some x ->
+                let len = Array.length x.x_vars in
+                if x.x_wa < 0 || x.x_wa >= len || x.x_wb < 0 || x.x_wb >= len then
+                  fail view ~invariant:"xor-watch"
+                    ~detail:"XOR watch positions outside the variable array"
+                    [ ("xor", itos e.w_id); ("wa", itos x.x_wa); ("wb", itos x.x_wb) ];
+                if x.x_vars.(x.x_wa) <> v && x.x_vars.(x.x_wb) <> v then
+                  fail view ~invariant:"xor-watch"
+                    ~detail:"XOR is in the watch list of a variable it does not watch"
+                    [ ("watch_var", itos v);
+                      ("xor", itos e.w_id);
+                      ("vars", xvars_to_string view x.x_vars) ];
+                Hashtbl.replace occurrences e.w_id
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt occurrences e.w_id)))
+        entries)
+    view.xwatches;
+  Array.iter
+    (fun x ->
+      if Array.length x.x_vars < 2 then
+        fail view ~invariant:"xor-width"
+          ~detail:"attached XOR has fewer than two variables"
+          [ ("xor", itos x.x_id); ("vars", xvars_to_string view x.x_vars) ];
+      if x.x_wa = x.x_wb then
+        fail view ~invariant:"xor-watch" ~detail:"XOR watches the same position twice"
+          [ ("xor", itos x.x_id); ("wa", itos x.x_wa) ];
+      let n = Option.value ~default:0 (Hashtbl.find_opt occurrences x.x_id) in
+      if n <> 2 then
+        fail view ~invariant:"xor-watch"
+          ~detail:"live XOR is not watched exactly once from each watched variable"
+          [ ("xor", itos x.x_id);
+            ("occurrences", itos n);
+            ("vars", xvars_to_string view x.x_vars) ])
+    view.xors
+
+let check_xor_fixpoint view =
+  Array.iter
+    (fun x ->
+      let unassigned = ref 0 and parity = ref false in
+      Array.iter
+        (fun v ->
+          if view.assigns.(v) = 0 then incr unassigned
+          else if view.assigns.(v) > 0 then parity := not !parity)
+        x.x_vars;
+      let ctx =
+        [ ("xor", itos x.x_id);
+          ("rhs", string_of_bool x.x_rhs);
+          ("vars", xvars_to_string view x.x_vars) ]
+      in
+      if !unassigned = 0 then begin
+        if !parity <> x.x_rhs then
+          fail view ~invariant:"xor-satisfied"
+            ~detail:"fully assigned XOR violates its parity at a propagation fixpoint" ctx
+      end
+      else begin
+        let wa = x.x_vars.(x.x_wa) and wb = x.x_vars.(x.x_wb) in
+        if view.assigns.(wa) <> 0 || view.assigns.(wb) <> 0 then
+          fail view ~invariant:"xor-watch"
+            ~detail:
+              "partially assigned XOR has an assigned watch variable at a propagation fixpoint"
+            (("watch_a", itos wa) :: ("watch_b", itos wb) :: ctx)
+      end)
+    view.xors
+
+let check_heap view =
+  let size = Array.length view.heap in
+  Array.iteri
+    (fun i v ->
+      if v < 1 || v > view.nvars then
+        fail view ~invariant:"heap-index" ~detail:"order heap holds an unknown variable"
+          [ ("slot", itos i); ("var", itos v) ];
+      if view.heap_index.(v) <> i then
+        fail view ~invariant:"heap-index"
+          ~detail:"order heap slot disagrees with the variable's index map entry"
+          [ ("slot", itos i); ("var", itos v); ("index", itos view.heap_index.(v)) ];
+      if i > 0 then begin
+        let parent = view.heap.((i - 1) / 2) in
+        if view.activity.(parent) < view.activity.(v) then
+          fail view ~invariant:"heap-property"
+            ~detail:"order heap parent has lower activity than its child"
+            [ ("slot", itos i);
+              ("var", itos v);
+              ("parent", itos parent);
+              ("activity", string_of_float view.activity.(v));
+              ("parent_activity", string_of_float view.activity.(parent)) ]
+      end)
+    view.heap;
+  for v = 1 to view.nvars do
+    let idx = view.heap_index.(v) in
+    if idx >= size then
+      fail view ~invariant:"heap-index" ~detail:"index map points outside the heap"
+        [ ("var", itos v); ("index", itos idx) ];
+    if idx >= 0 && view.heap.(idx) <> v then
+      fail view ~invariant:"heap-index"
+        ~detail:"index map entry does not point back at its variable"
+        [ ("var", itos v); ("index", itos idx); ("slot_var", itos view.heap.(idx)) ];
+    if view.assigns.(v) = 0 && idx < 0 then
+      fail view ~invariant:"heap-membership"
+        ~detail:"unassigned variable is missing from the order heap" [ ("var", itos v) ]
+  done
+
+let check_groups view =
+  let bad_group g = g > view.num_groups || g < 0 in
+  Array.iter
+    (fun c ->
+      if bad_group c.c_group then
+        fail view ~invariant:"group-hygiene"
+          ~detail:"live clause is tagged with a retracted or unknown group"
+          [ ("clause", itos c.c_id);
+            ("group", itos c.c_group);
+            ("learnt", string_of_bool c.c_learnt) ])
+    view.clauses;
+  Array.iter
+    (fun x ->
+      if bad_group x.x_group then
+        fail view ~invariant:"group-hygiene"
+          ~detail:"live XOR is tagged with a retracted or unknown group"
+          [ ("xor", itos x.x_id); ("group", itos x.x_group) ])
+    view.xors;
+  for v = 1 to view.nvars do
+    if view.assigns.(v) <> 0 && view.level.(v) = 0 && bad_group view.assign_group.(v) then
+      fail view ~invariant:"group-hygiene"
+        ~detail:"level-0 assignment is tagged with a retracted or unknown group"
+        [ ("var", itos v); ("group", itos view.assign_group.(v)) ]
+  done;
+  List.iter
+    (fun g ->
+      if bad_group g then
+        fail view ~invariant:"group-hygiene"
+          ~detail:"lost-unit ledger references a retracted or unknown group"
+          [ ("group", itos g) ])
+    view.lost_unit_groups;
+  let check_entries watches kind =
+    Array.iter
+      (fun entries ->
+        List.iter
+          (fun e ->
+            if e.w_group > view.num_groups && not e.w_deleted then
+              fail view ~invariant:"group-hygiene"
+                ~detail:(kind ^ " watch entry carries a retracted group but is not deleted")
+                [ ("id", itos e.w_id); ("group", itos e.w_group) ])
+          entries)
+      watches
+  in
+  check_entries view.watches "clause";
+  check_entries view.xwatches "XOR"
+
+(* ------------------------------------------------------------------ *)
+
+let check view =
+  check_vecs view;
+  let ctbl = clause_table view in
+  let xtbl = xor_table view in
+  check_clause_watches view ctbl;
+  check_xor_watches view xtbl;
+  check_heap view;
+  if view.ok then begin
+    check_trail view;
+    check_reasons view ctbl xtbl;
+    check_groups view;
+    if view.at_fixpoint then begin
+      check_two_watch view;
+      check_xor_fixpoint view
+    end
+  end
+
+let check_model view ~value =
+  Array.iter
+    (fun c ->
+      if not (Array.exists (fun l -> value (var_of_lit l) = (l land 1 = 0)) c.c_lits) then
+        fail view ~invariant:"model-audit"
+          ~detail:"returned model falsifies an attached clause"
+          [ ("clause", itos c.c_id);
+            ("learnt", string_of_bool c.c_learnt);
+            ("lits", lits_to_string view c.c_lits) ])
+    view.clauses;
+  Array.iter
+    (fun x ->
+      let parity = Array.fold_left (fun p v -> if value v then not p else p) false x.x_vars in
+      if parity <> x.x_rhs then
+        fail view ~invariant:"model-audit"
+          ~detail:"returned model violates an attached XOR's parity"
+          [ ("xor", itos x.x_id); ("vars", xvars_to_string view x.x_vars) ])
+    view.xors

@@ -1,0 +1,44 @@
+(** The CDCL/XOR invariant sanitizer.
+
+    [check] sweeps a {!State.solver_view} and raises
+    {!Violation.Violation} on the first broken invariant. The
+    catalogue (stable invariant names, also listed in DESIGN.md):
+
+    - [vec-bounds]: every internal vector has [0 <= size <= capacity].
+    - [trail-bounds] / [trail-consistency] / [level-monotonic]: the
+      trail holds each assigned variable exactly once, as a true
+      literal, at the level implied by its position between
+      [trail_lim] marks; [qhead] stays inside the trail.
+    - [reason-consistency]: every implied assignment's reason is live,
+      implies exactly that literal, and uses only earlier-or-equal
+      level antecedents; reasonless assignments above level 0 sit at
+      their level's first trail slot (decisions).
+    - [watch-attached] / [lazy-deletion] / [clause-width]: every live
+      clause has >= 2 literals and is watched exactly once from each
+      of its first two literals; anything else found in a watch list
+      must be flagged deleted.
+    - [two-watch] / [watch-order] (fixpoint only): a non-satisfied
+      clause never has a false watch; a false watch in a satisfied
+      clause is backed by a true co-watch from an earlier-or-equal
+      level.
+    - [xor-width] / [xor-watch] / [xor-satisfied]: XOR watch positions
+      are distinct and registered; at a fixpoint a partially assigned
+      XOR watches two unassigned variables, and a fully assigned one
+      satisfies its parity.
+    - [heap-index] / [heap-property] / [heap-membership]: the order
+      heap and its index map agree, parents dominate children by
+      activity, and every unassigned variable is present.
+    - [group-hygiene]: no live clause, learnt, XOR, level-0
+      implication, lost-unit ledger entry, or undeleted watch record
+      carries a group beyond the current group count.
+    - [model-audit] ([check_model]): the returned witness satisfies
+      every attached clause and XOR. *)
+
+val check : State.solver_view -> unit
+(** Full sweep; raises {!Violation.Violation} on the first failure.
+    Fixpoint-only checks are gated on [view.at_fixpoint], and
+    search-state checks on [view.ok]. *)
+
+val check_model : State.solver_view -> value:(int -> bool) -> unit
+(** [check_model view ~value] audits a model ([value v] is variable
+    [v]'s assignment) against all attached clauses and XORs. *)

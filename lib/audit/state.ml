@@ -1,0 +1,57 @@
+type clause_view = {
+  c_id : int;
+  c_lits : int array;
+  c_learnt : bool;
+  c_group : int;
+}
+
+type xor_view = {
+  x_id : int;
+  x_vars : int array;
+  x_rhs : bool;
+  x_group : int;
+  x_wa : int;
+  x_wb : int;
+}
+
+type watch_entry = {
+  w_id : int;
+  w_deleted : bool;
+  w_group : int;
+}
+
+type reason_view = R_none | R_clause of int | R_xor of int | R_dangling
+
+type vec_view = { v_name : string; v_size : int; v_capacity : int }
+
+type solver_view = {
+  nvars : int;
+  ok : bool;
+  broken_by : int;
+  num_groups : int;
+  decision_level : int;
+  qhead : int;
+  at_fixpoint : bool;
+  assigns : int array;
+  level : int array;
+  assign_group : int array;
+  reason : reason_view array;
+  trail : int array;
+  trail_lim : int array;
+  clauses : clause_view array;
+  xors : xor_view array;
+  watches : watch_entry list array;
+  xwatches : watch_entry list array;
+  heap : int array;
+  heap_index : int array;
+  activity : float array;
+  lost_unit_groups : int list;
+  vecs : vec_view list;
+}
+
+let var_of_lit l = l lsr 1
+let neg_lit l = l lxor 1
+
+let lit_value view l =
+  let a = view.assigns.(var_of_lit l) in
+  if a = 0 then 0 else if (a > 0) = (l land 1 = 0) then 1 else -1

@@ -1,0 +1,76 @@
+(** Plain-data snapshot of a CDCL solver, as seen by the auditor.
+
+    [lib/audit] must not depend on [lib/sat] (the solver raises
+    {!Violation.Violation} itself), so invariant checks run over this
+    neutral view instead of the live solver record. The solver builds
+    one with [Solver.audit_view]; arrays are copies, safe to retain.
+
+    Conventions mirror the solver: literals are ints with variable
+    [l lsr 1] and sign bit [l land 1] (even = positive); [assigns]
+    holds 1 / -1 / 0 per variable; clause views carry the solver's
+    stable clause id, and watch entries reference that id ([-1] for a
+    detached record that only survives in a watch list through lazy
+    deletion). *)
+
+type clause_view = {
+  c_id : int;
+  c_lits : int array;  (** watched literals at positions 0 and 1 *)
+  c_learnt : bool;
+  c_group : int;
+}
+
+type xor_view = {
+  x_id : int;
+  x_vars : int array;
+  x_rhs : bool;
+  x_group : int;
+  x_wa : int;  (** watched positions into [x_vars] *)
+  x_wb : int;
+}
+
+type watch_entry = {
+  w_id : int;  (** clause/xor id, or [-1] for an orphaned record *)
+  w_deleted : bool;  (** the record's lazy-deletion flag *)
+  w_group : int;
+}
+
+type reason_view =
+  | R_none
+  | R_clause of int
+  | R_xor of int
+  | R_dangling  (** reason points at a record no longer attached *)
+
+type vec_view = { v_name : string; v_size : int; v_capacity : int }
+
+type solver_view = {
+  nvars : int;
+  ok : bool;
+  broken_by : int;
+  num_groups : int;
+  decision_level : int;
+  qhead : int;
+  at_fixpoint : bool;
+      (** propagation queue drained when the view was taken; gates the
+          two-watch / XOR-watch checks, which only hold at fixpoints *)
+  assigns : int array;
+  level : int array;
+  assign_group : int array;  (** only meaningful for level-0 facts *)
+  reason : reason_view array;
+  trail : int array;
+  trail_lim : int array;
+  clauses : clause_view array;  (** live problem + learnt clauses *)
+  xors : xor_view array;  (** live XOR constraints *)
+  watches : watch_entry list array;  (** indexed by literal *)
+  xwatches : watch_entry list array;  (** indexed by variable *)
+  heap : int array;  (** order-heap contents, root first *)
+  heap_index : int array;  (** variable -> heap slot, [-1] if absent *)
+  activity : float array;
+  lost_unit_groups : int list;
+  vecs : vec_view list;  (** size/capacity of every internal vector *)
+}
+
+val var_of_lit : int -> int
+val neg_lit : int -> int
+
+val lit_value : solver_view -> int -> int
+(** 1 true, -1 false, 0 unassigned under [view.assigns]. *)

@@ -1,0 +1,30 @@
+type report = {
+  invariant : string;
+  detail : string;
+  context : (string * string) list;
+}
+
+exception Violation of report
+
+let to_string r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "audit violation [";
+  Buffer.add_string b r.invariant;
+  Buffer.add_string b "]: ";
+  Buffer.add_string b r.detail;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b "\n  ";
+      Buffer.add_string b k;
+      Buffer.add_string b " = ";
+      Buffer.add_string b v)
+    r.context;
+  Buffer.contents b
+
+let () =
+  Printexc.register_printer (function
+    | Violation r -> Some (to_string r)
+    | _ -> None)
+
+let fail ~invariant ~detail context =
+  raise (Violation { invariant; detail; context })

@@ -1,0 +1,20 @@
+(** Structured audit failures.
+
+    Every check of the audit subsystem reports through {!Violation}:
+    the violated invariant's stable name, a one-line diagnosis, and a
+    key/value context dump of the state that witnessed the violation —
+    never a bare [Assert_failure]. A printer is registered so uncaught
+    violations render the full report. *)
+
+type report = {
+  invariant : string;  (** stable invariant name, e.g. ["two-watch"] *)
+  detail : string;  (** one-line human diagnosis *)
+  context : (string * string) list;  (** state dump (trail, watches, ...) *)
+}
+
+exception Violation of report
+
+val fail : invariant:string -> detail:string -> (string * string) list -> 'a
+(** [fail ~invariant ~detail context] raises {!Violation}. *)
+
+val to_string : report -> string

@@ -98,11 +98,16 @@ type shard = {
   mutable counts : int array;
   mutable sums : float array;
   mutable buckets : int array array;
+  shard_owner : Audit.Ownership.t;
+      (* updates are unsynchronised array writes, sound only from the
+         owning domain; snapshot/compact reads are mutex-coordinated *)
 }
 
 let empty_buckets : int array = [||]
 
-let new_shard () = { counts = [||]; sums = [||]; buckets = [||] }
+let new_shard () =
+  { counts = [||]; sums = [||]; buckets = [||];
+    shard_owner = Audit.Ownership.create "Metrics.shard" }
 
 let shard_lock = Mutex.create ()
 let shards : shard list ref = ref []
@@ -135,6 +140,7 @@ let ensure s id =
 let incr ?(by = 1) c =
   if Atomic.get enabled then begin
     let s = Domain.DLS.get shard_key in
+    Audit.Ownership.check s.shard_owner;
     ensure s c;
     s.counts.(c) <- s.counts.(c) + by
   end
@@ -142,6 +148,7 @@ let incr ?(by = 1) c =
 let observe h v =
   if Atomic.get enabled then begin
     let s = Domain.DLS.get shard_key in
+    Audit.Ownership.check s.shard_owner;
     ensure s h;
     if s.buckets.(h) == empty_buckets then
       s.buckets.(h) <- Array.make Hist.num_buckets 0;

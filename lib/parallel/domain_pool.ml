@@ -22,6 +22,10 @@ type t = {
   mutable stopping : bool;
   mutable workers : unit Domain.t array;
   mutable alive : bool;
+  owner : Audit.Ownership.t;
+      (* batch submission and shutdown belong to the creating domain:
+         the submitter doubles as a worker and the condition-variable
+         handshake assumes exactly one submitting thread *)
 }
 
 let signal_all t =
@@ -75,6 +79,7 @@ let create ~jobs =
       stopping = false;
       workers = [||];
       alive = true;
+      owner = Audit.Ownership.create "Domain_pool.t";
     }
   in
   t.workers <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
@@ -88,6 +93,7 @@ let check_alive t =
 exception Item_error of int * exn * Printexc.raw_backtrace
 
 let map_into t f items store =
+  Audit.Ownership.check t.owner;
   check_alive t;
   let n = Array.length items in
   if n = 0 then ()
@@ -163,6 +169,7 @@ let iteri t f items =
   with Item_error (_, e, bt) -> Printexc.raise_with_backtrace e bt
 
 let shutdown t =
+  Audit.Ownership.check t.owner;
   if t.alive then begin
     t.alive <- false;
     Mutex.lock t.lock;

@@ -27,7 +27,13 @@ type t
 
 val create : jobs:int -> t
 (** [create ~jobs] builds a pool of [jobs] total workers ([jobs - 1]
-    spawned domains). @raise Invalid_argument when [jobs < 1]. *)
+    spawned domains). @raise Invalid_argument when [jobs < 1].
+
+    The pool is owned by the creating domain: batch submission
+    ({!map} / {!iteri}) and {!shutdown} must come from it. With audit
+    mode on ([Audit.enable]) a cross-domain call raises
+    [Audit.Violation] (invariant [domain-ownership]) instead of
+    racing the condition-variable handshake. *)
 
 val size : t -> int
 (** The [jobs] the pool was created with. *)

@@ -16,7 +16,7 @@ type outcome = {
    pure function of the formula, restoring bit-identity between the
    fresh and session paths and across parallel schedules. *)
 let sort_models ms =
-  List.sort (fun a b -> compare (Cnf.Model.key a) (Cnf.Model.key b)) ms
+  List.sort (fun a b -> String.compare (Cnf.Model.key a) (Cnf.Model.key b)) ms
 
 let empty_outcome ~reused ~stats =
   { models = []; exhausted = true; timed_out = false; conflicts = 0;
@@ -45,6 +45,12 @@ let c_enumerations = Obs.Metrics.counter "bsat.enumerations"
    the formula the witnesses must satisfy. *)
 let enum_loop ?deadline ~limit ~blocking ~verify ~add_block ~truncate solver =
   Obs.Metrics.incr c_enumerations;
+  let audit = Audit.is_enabled () in
+  (* projected keys of the witnesses found so far: with audit mode on,
+     every new witness is re-checked against the accumulated
+     blocking-clause set (a repeat projection means a blocking clause
+     was lost or never took effect) *)
+  let seen_keys = Hashtbl.create (if audit then 64 else 1) in
   let rec loop acc found =
     if found >= limit then (List.rev acc, `Cut)
     else
@@ -54,7 +60,22 @@ let enum_loop ?deadline ~limit ~blocking ~verify ~add_block ~truncate solver =
       | Solver.Sat ->
           let m = truncate (Solver.model solver) in
           if not (Cnf.Model.satisfies verify m) then
-            failwith "Bsat.enumerate: solver returned a non-model (internal bug)";
+            Audit.fail ~invariant:"model-audit"
+              ~detail:"Bsat.enumerate: solver returned a witness falsifying the formula"
+              [ ("witness",
+                 String.concat " " (List.map string_of_int (Cnf.Model.to_dimacs m)));
+                ("found_so_far", string_of_int found) ];
+          if audit then begin
+            let k = Cnf.Model.key (Cnf.Model.restrict m blocking) in
+            if Hashtbl.mem seen_keys k then
+              Audit.fail ~invariant:"blocking-set"
+                ~detail:
+                  "Bsat.enumerate: witness repeats a projection already excluded by a blocking clause"
+                [ ("witness",
+                   String.concat " " (List.map string_of_int (Cnf.Model.to_dimacs m)));
+                  ("found_so_far", string_of_int found) ];
+            Hashtbl.add seen_keys k ()
+          end;
           (* block this witness on the projection *)
           let block =
             Array.to_list blocking
@@ -107,6 +128,7 @@ module Session = struct
     solver : Solver.t option; (* None: base XOR system inconsistent *)
     base_vars : int; (* formula width, before activation variables *)
     mutable calls : int;
+    owner : Audit.Ownership.t; (* sessions are single-domain resources *)
   }
 
   let create ?blocking_vars (f : Cnf.Formula.t) =
@@ -121,13 +143,14 @@ module Session = struct
       | `Reduced reduced -> Some (Solver.create reduced)
     in
     { formula = f; blocking; solver; base_vars = f.Cnf.Formula.num_vars;
-      calls = 0 }
+      calls = 0; owner = Audit.Ownership.create "Bsat.Session" }
 
   let calls s = s.calls
   let formula s = s.formula
   let blocking_vars s = s.blocking
 
   let stats s =
+    Audit.Ownership.check s.owner;
     match s.solver with
     | None -> Solver.stats_zero
     | Some solver -> Solver.stats solver
@@ -150,6 +173,7 @@ module Session = struct
         [ ("limit", string_of_int limit);
           ("xor_rows", string_of_int (List.length xors)) ]
     @@ fun () ->
+    Audit.Ownership.check s.owner;
     let reused = s.calls > 0 in
     s.calls <- s.calls + 1;
     match s.solver with

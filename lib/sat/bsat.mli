@@ -38,7 +38,11 @@ val enumerate :
   Cnf.Formula.t ->
   outcome
 (** Every returned model is verified against the formula; a violation
-    (a solver soundness bug) raises [Failure]. *)
+    (a solver soundness bug) raises [Audit.Violation] with invariant
+    [model-audit]. With audit mode on, each witness is additionally
+    checked against the accumulated blocking-clause set (invariant
+    [blocking-set]): a repeated projection is reported instead of
+    silently skewing the enumeration. *)
 
 val count_upto : ?deadline:float -> limit:int -> Cnf.Formula.t -> int
 (** [count_upto ~limit f] is [min (number of distinct projected

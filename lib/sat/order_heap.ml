@@ -77,6 +77,22 @@ let pop_max t =
     Some top
   end
 
+let snapshot t =
+  let heap = Array.init (Vec.size t.heap) (Vec.get t.heap) in
+  (heap, Array.copy t.indices)
+
+(* Test-only fault injection: exchange two heap slots WITHOUT updating
+   the index map, so the heap/index agreement invariant breaks. *)
+let corrupt_swap t i j =
+  let n = Vec.size t.heap in
+  if i < 0 || j < 0 || i >= n || j >= n || i = j then false
+  else begin
+    let a = Vec.get t.heap i and b = Vec.get t.heap j in
+    Vec.set t.heap i b;
+    Vec.set t.heap j a;
+    true
+  end
+
 let rebuild t vars =
   Vec.iter (fun v -> t.indices.(v) <- -1) t.heap;
   Vec.clear t.heap;

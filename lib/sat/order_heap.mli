@@ -23,3 +23,14 @@ val pop_max : t -> int option
 val size : t -> int
 val rebuild : t -> int list -> unit
 (** Clear and re-insert the given variables. *)
+
+val snapshot : t -> int array * int array
+(** [(heap, indices)] copies for the audit sweep: heap contents root
+    first, and the full variable -> slot index map ([-1] = absent). *)
+
+val corrupt_swap : t -> int -> int -> bool
+(** @deprecated Test-only fault injection for the audit mutation
+    tests: swaps two heap slots while deliberately leaving the index
+    map stale. Returns [false] (state untouched) when the slots do not
+    name two distinct in-range positions. Never call this outside
+    tests. *)

@@ -14,16 +14,18 @@
    single integer comparison. *)
 
 type clause = {
+  cid : int; (* per-solver id, for audit reports and watch accounting *)
   lits : int array; (* positions 0 and 1 are the watched literals *)
   learnt : bool;
-  group : int;
+  mutable group : int; (* mutable only for Corrupt.stale_group *)
   mutable activity : float;
   mutable deleted : bool;
 }
 
 type xor_constraint = {
+  xid : int;
   xvars : int array;
-  xrhs : bool;
+  mutable xrhs : bool; (* mutable only for Corrupt.flip_xor_parity *)
   xgroup : int;
   mutable xdeleted : bool;
   mutable wa : int; (* watched position in xvars *)
@@ -70,10 +72,10 @@ let stats_diff a b =
   }
 
 let dummy_clause =
-  { lits = [||]; learnt = false; group = 0; activity = 0.; deleted = true }
+  { cid = -1; lits = [||]; learnt = false; group = 0; activity = 0.; deleted = true }
 
 let dummy_xor =
-  { xvars = [||]; xrhs = false; xgroup = 0; xdeleted = true; wa = 0; wb = 0 }
+  { xid = -1; xvars = [||]; xrhs = false; xgroup = 0; xdeleted = true; wa = 0; wb = 0 }
 
 type t = {
   mutable nvars : int;
@@ -115,7 +117,14 @@ type t = {
   mutable n_learnt_total : int;
   mutable max_learnts : float;
   mutable proof : Drat.step list option; (* reversed; None = disabled *)
+  mutable next_cid : int; (* next clause/xor id for audit accounting *)
+  owner : Audit.Ownership.t; (* creating domain; checked in audit mode *)
 }
+
+let fresh_cid t =
+  let id = t.next_cid in
+  t.next_cid <- id + 1;
+  id
 
 let lit_to_dimacs l = if l land 1 = 0 then l lsr 1 else -(l lsr 1)
 
@@ -200,6 +209,8 @@ let create_empty nvars =
       n_learnt_total = 0;
       max_learnts = 0.;
       proof = None;
+      next_cid = 0;
+      owner = Audit.Ownership.create "Solver.t";
     }
   in
   for v = 1 to nvars do
@@ -229,6 +240,199 @@ let stats t =
   }
 
 let failed_assumptions t = List.rev_map Cnf.Lit.of_index t.failed
+
+(* ------------------------------------------------------------------ *)
+(* Correctness audit                                                   *)
+
+let itos = string_of_int
+
+(* Structured replacement for the old bare [assert (decision_level t = 0)]
+   preconditions: always on (they guard API misuse, not internal state),
+   but failing with the invariant name and a trail dump. *)
+let require_root t fn =
+  if Vec.size t.trail_lim <> 0 then
+    Audit.fail ~invariant:"root-level-api"
+      ~detail:(fn ^ " is only legal at decision level 0")
+      [ ("function", fn);
+        ("decision_level", itos (Vec.size t.trail_lim));
+        ("trail", itos (Vec.size t.trail));
+        ("qhead", itos t.qhead) ]
+
+(* Snapshot the solver as the plain-data view the sanitizer checks.
+   Audit-only code: linear in the solver state, never on by default. *)
+let audit_view t : Audit.State.solver_view =
+  let module S = Audit.State in
+  let n = t.nvars in
+  let clause_view (c : clause) =
+    { S.c_id = c.cid; c_lits = Array.copy c.lits; c_learnt = c.learnt; c_group = c.group }
+  in
+  let clauses =
+    Array.append
+      (Array.init (Vec.size t.clauses) (fun i -> clause_view (Vec.get t.clauses i)))
+      (Array.init (Vec.size t.learnts) (fun i -> clause_view (Vec.get t.learnts i)))
+  in
+  let xors =
+    Array.init (Vec.size t.xors) (fun i ->
+        let x = Vec.get t.xors i in
+        { S.x_id = x.xid; x_vars = Array.copy x.xvars; x_rhs = x.xrhs;
+          x_group = x.xgroup; x_wa = x.wa; x_wb = x.wb })
+  in
+  let watches =
+    Array.init ((2 * n) + 2) (fun l ->
+        List.rev
+          (Vec.fold
+             (fun acc (c : clause) ->
+               { S.w_id = c.cid; w_deleted = c.deleted; w_group = c.group } :: acc)
+             [] t.watches.(l)))
+  in
+  let xwatches =
+    Array.init (n + 1) (fun v ->
+        List.rev
+          (Vec.fold
+             (fun acc (x : xor_constraint) ->
+               { S.w_id = x.xid; w_deleted = x.xdeleted; w_group = x.xgroup } :: acc)
+             [] t.xwatches.(v)))
+  in
+  let reason =
+    Array.init (n + 1) (fun v ->
+        if v = 0 || t.assigns.(v) = 0 then S.R_none
+        else
+          match t.reason.(v) with
+          | No_reason -> S.R_none
+          | R_clause c -> if c.deleted then S.R_dangling else S.R_clause c.cid
+          | R_xor x -> if x.xdeleted then S.R_dangling else S.R_xor x.xid)
+  in
+  let heap, heap_index = Order_heap.snapshot t.order in
+  let vec_view name v = { S.v_name = name; v_size = Vec.size v; v_capacity = Vec.capacity v } in
+  let vecs =
+    let acc =
+      ref
+        [ vec_view "clauses" t.clauses;
+          vec_view "learnts" t.learnts;
+          vec_view "xors" t.xors;
+          vec_view "trail" t.trail;
+          vec_view "trail_lim" t.trail_lim ]
+    in
+    for l = 0 to (2 * n) + 1 do
+      acc := vec_view "watches" t.watches.(l) :: !acc
+    done;
+    for v = 1 to n do
+      acc := vec_view "xwatches" t.xwatches.(v) :: !acc
+    done;
+    !acc
+  in
+  { S.nvars = n;
+    ok = t.ok;
+    broken_by = t.broken_by;
+    num_groups = List.length t.groups;
+    decision_level = Vec.size t.trail_lim;
+    qhead = t.qhead;
+    at_fixpoint = t.qhead = Vec.size t.trail;
+    assigns = Array.sub t.assigns 0 (n + 1);
+    level = Array.sub t.level 0 (n + 1);
+    assign_group = Array.sub t.assign_group 0 (n + 1);
+    reason;
+    trail = Array.init (Vec.size t.trail) (Vec.get t.trail);
+    trail_lim = Array.init (Vec.size t.trail_lim) (Vec.get t.trail_lim);
+    clauses;
+    xors;
+    watches;
+    xwatches;
+    heap;
+    heap_index = Array.sub heap_index 0 (n + 1);
+    activity = Array.sub t.activity 0 (n + 1);
+    lost_unit_groups = List.map fst t.lost_units;
+    vecs }
+
+let check_invariants t =
+  Audit.Ownership.check t.owner;
+  Audit.Solver_invariants.check (audit_view t)
+
+(* Sampled sweep for hot paths (the search loop's propagation
+   fixpoints): free when audit mode is off. *)
+let maybe_audit t = if Audit.tick () then check_invariants t
+
+(* Model auditing runs on every Sat (not sampled), so it avoids the
+   full view construction: direct evaluation over the attached store. *)
+let audit_model t =
+  match (t.model_valid, t.saved_model) with
+  | true, Some m ->
+      let value v = Cnf.Model.value m v in
+      (* width-1 clauses are absorbed into level-0 trail facts rather
+         than stored, so the root trail is part of the clause set *)
+      let root_end =
+        if Vec.size t.trail_lim = 0 then Vec.size t.trail
+        else Vec.get t.trail_lim 0
+      in
+      for i = 0 to root_end - 1 do
+        let l = Vec.get t.trail i in
+        if value (lit_var l) <> lit_is_pos l then
+          Audit.fail ~invariant:"model-audit"
+            ~detail:"returned model contradicts a level-0 fact"
+            [ ("lit", itos l); ("var", itos (lit_var l));
+              ("trail_pos", itos i) ]
+      done;
+      let check_clause (c : clause) =
+        if not (Array.exists (fun l -> value (lit_var l) = lit_is_pos l) c.lits) then
+          Audit.fail ~invariant:"model-audit"
+            ~detail:"returned model falsifies an attached clause"
+            [ ("clause", itos c.cid);
+              ("learnt", string_of_bool c.learnt);
+              ("group", itos c.group);
+              ("lits", String.concat " " (Array.to_list (Array.map itos c.lits))) ]
+      in
+      Vec.iter check_clause t.clauses;
+      Vec.iter check_clause t.learnts;
+      Vec.iter
+        (fun (x : xor_constraint) ->
+          let parity =
+            Array.fold_left (fun p v -> if value v then not p else p) false x.xvars
+          in
+          if parity <> x.xrhs then
+            Audit.fail ~invariant:"model-audit"
+              ~detail:"returned model violates an attached XOR's parity"
+              [ ("xor", itos x.xid);
+                ("group", itos x.xgroup);
+                ("vars", String.concat " " (Array.to_list (Array.map itos x.xvars))) ])
+        t.xors
+  | _ -> invalid_arg "Solver.audit_model: last solve was not Sat"
+
+(* Group hygiene is cheap enough to verify after every pop without
+   building the full view: one linear scan of the attached store. *)
+let check_group_hygiene_light t =
+  let ng = List.length t.groups in
+  let bad g = g > ng || g < 0 in
+  let check_clause (c : clause) =
+    if bad c.group then
+      Audit.fail ~invariant:"group-hygiene"
+        ~detail:"live clause is tagged with a retracted or unknown group"
+        [ ("clause", itos c.cid);
+          ("group", itos c.group);
+          ("num_groups", itos ng);
+          ("learnt", string_of_bool c.learnt) ]
+  in
+  Vec.iter check_clause t.clauses;
+  Vec.iter check_clause t.learnts;
+  Vec.iter
+    (fun (x : xor_constraint) ->
+      if bad x.xgroup then
+        Audit.fail ~invariant:"group-hygiene"
+          ~detail:"live XOR is tagged with a retracted or unknown group"
+          [ ("xor", itos x.xid); ("group", itos x.xgroup); ("num_groups", itos ng) ])
+    t.xors;
+  for v = 1 to t.nvars do
+    if t.assigns.(v) <> 0 && t.level.(v) = 0 && bad t.assign_group.(v) then
+      Audit.fail ~invariant:"group-hygiene"
+        ~detail:"level-0 assignment is tagged with a retracted or unknown group"
+        [ ("var", itos v); ("group", itos t.assign_group.(v)); ("num_groups", itos ng) ]
+  done;
+  List.iter
+    (fun (g, l) ->
+      if bad g then
+        Audit.fail ~invariant:"group-hygiene"
+          ~detail:"lost-unit ledger references a retracted or unknown group"
+          [ ("group", itos g); ("lit", itos l); ("num_groups", itos ng) ])
+    t.lost_units
 
 (* ------------------------------------------------------------------ *)
 (* Variable growth (activation variables)                              *)
@@ -687,7 +891,9 @@ let record_learnt t ~group asserting others blevel =
       let tmp = arr.(1) in
       arr.(1) <- arr.(!best);
       arr.(!best) <- tmp;
-      let c = { lits = arr; learnt = true; group; activity = 0.; deleted = false } in
+      let c =
+        { cid = fresh_cid t; lits = arr; learnt = true; group; activity = 0.; deleted = false }
+      in
       clause_bump t c;
       attach_clause t c;
       Vec.push t.learnts c;
@@ -836,7 +1042,8 @@ let normalize_for_group t group raw =
   scan [] sorted
 
 let add_clause t lits =
-  assert (decision_level t = 0);
+  require_root t "Solver.add_clause";
+  Audit.Ownership.check t.owner;
   if t.ok then begin
     let raw = List.map (fun l -> (Cnf.Lit.to_index l : int)) lits in
     match normalize_for_group t 0 raw with
@@ -846,6 +1053,7 @@ let add_clause t lits =
     | Some (_ :: _ :: _ as ls) ->
         install_clause t
           {
+            cid = fresh_cid t;
             lits = Array.of_list ls;
             learnt = false;
             group = 0;
@@ -873,6 +1081,7 @@ let add_xor_general t ~group (x : Cnf.Xor_clause.t) =
     | _ :: _ :: _ ->
         install_xor t
           {
+            xid = fresh_cid t;
             xvars = Array.of_list vars;
             xrhs = !rhs;
             xgroup = group;
@@ -883,7 +1092,8 @@ let add_xor_general t ~group (x : Cnf.Xor_clause.t) =
   end
 
 let add_xor t (x : Cnf.Xor_clause.t) =
-  assert (decision_level t = 0);
+  require_root t "Solver.add_xor";
+  Audit.Ownership.check t.owner;
   if t.proof <> None then
     invalid_arg "Solver.add_xor: proof logging excludes XOR constraints";
   add_xor_general t ~group:0 x
@@ -898,7 +1108,8 @@ let create (f : Cnf.Formula.t) =
 (* Groups                                                              *)
 
 let push_group t =
-  assert (decision_level t = 0);
+  require_root t "Solver.push_group";
+  Audit.Ownership.check t.owner;
   if t.proof <> None then
     invalid_arg "Solver.push_group: proof logging excludes groups";
   let a =
@@ -911,7 +1122,7 @@ let push_group t =
   t.groups <- a :: t.groups
 
 let add_group_clause t lits =
-  assert (decision_level t = 0);
+  require_root t "Solver.add_group_clause";
   match t.groups with
   | [] -> invalid_arg "Solver.add_group_clause: no group pushed"
   | a :: _ ->
@@ -929,6 +1140,7 @@ let add_group_clause t lits =
         | Some ls ->
             install_clause t
               {
+                cid = fresh_cid t;
                 lits = Array.of_list (ls @ [ lit_of_var a true ]);
                 learnt = false;
                 group = g;
@@ -938,13 +1150,14 @@ let add_group_clause t lits =
       end
 
 let add_group_xor t (x : Cnf.Xor_clause.t) =
-  assert (decision_level t = 0);
+  require_root t "Solver.add_group_xor";
   match t.groups with
   | [] -> invalid_arg "Solver.add_group_xor: no group pushed"
   | _ :: _ -> add_xor_general t ~group:(List.length t.groups) x
 
 let pop_group t =
-  assert (decision_level t = 0);
+  require_root t "Solver.pop_group";
+  Audit.Ownership.check t.owner;
   match t.groups with
   | [] -> invalid_arg "Solver.pop_group: no group pushed"
   | a :: rest ->
@@ -983,13 +1196,19 @@ let pop_group t =
         List.partition (fun (g0, _) -> g0 < g) t.lost_units
       in
       t.lost_units <- keep;
-      if t.ok then begin
-        List.iter (fun (g0, l) -> if t.ok then assert_unit_core t ~group:g0 l) revive;
-        if t.ok then propagate_or_break t
+      (if t.ok then begin
+         List.iter (fun (g0, l) -> if t.ok then assert_unit_core t ~group:g0 l) revive;
+         if t.ok then propagate_or_break t
+       end
+       else
+         (* still broken by a lower group: keep the units pending *)
+         t.lost_units <- revive @ t.lost_units);
+      (* group hygiene is exactly what a pop can break: scan it after
+         every pop; the full (expensive) sweep is sampled *)
+      if Audit.is_enabled () then begin
+        check_group_hygiene_light t;
+        if Audit.tick () then check_invariants t
       end
-      else
-        (* still broken by a lower group: keep the units pending *)
-        t.lost_units <- revive @ t.lost_units
 
 (* ------------------------------------------------------------------ *)
 (* Search                                                              *)
@@ -1059,6 +1278,7 @@ let search t ~assumps ~budget ~deadline =
           end
         end
     | None ->
+        maybe_audit t;
         if !local_conflicts >= budget then begin
           cancel_until t 0;
           outcome := Some S_restart
@@ -1099,11 +1319,20 @@ let search t ~assumps ~budget ~deadline =
                 ignore (enqueue t (lit_of_var v t.polarity.(v)) No_reason)
         end
   done;
-  match !outcome with Some o -> o | None -> assert false
+  match !outcome with
+  | Some o -> o
+  | None ->
+      Audit.fail ~invariant:"search-outcome"
+        ~detail:"search loop exited without recording an outcome"
+        [ ("decision_level", itos (decision_level t));
+          ("trail", itos (Vec.size t.trail));
+          ("conflicts", itos t.n_conflicts) ]
 
 let solve ?(conflict_limit = max_int) ?deadline ?(assumptions = []) t =
   Obs.Trace.span ~cat:"sat" "solver.solve" @@ fun () ->
-  assert (decision_level t = 0);
+  require_root t "Solver.solve";
+  Audit.Ownership.check t.owner;
+  maybe_audit t;
   t.model_valid <- false;
   t.failed <- [];
   if not t.ok then begin
@@ -1138,6 +1367,10 @@ let solve ?(conflict_limit = max_int) ?deadline ?(assumptions = []) t =
                 in
                 t.saved_model <- Some m;
                 t.model_valid <- true;
+                if Audit.is_enabled () then begin
+                  if Audit.tick () then check_invariants t;
+                  audit_model t
+                end;
                 cancel_until t 0;
                 t.max_learnts <- t.max_learnts *. 1.1;
                 Sat
@@ -1167,3 +1400,59 @@ let enable_proof_logging t =
   if t.proof = None then t.proof <- Some []
 
 let proof t = match t.proof with None -> [] | Some steps -> List.rev steps
+
+(* ------------------------------------------------------------------ *)
+(* Test-only fault injection (mutation tests for the sanitizer)        *)
+
+module Corrupt = struct
+  let first_live_clause t =
+    if Vec.size t.clauses > 0 then Some (Vec.get t.clauses 0)
+    else if Vec.size t.learnts > 0 then Some (Vec.get t.learnts 0)
+    else None
+
+  let drop_watch t =
+    match first_live_clause t with
+    | None -> false
+    | Some c ->
+        Vec.filter_in_place (fun (c' : clause) -> c' != c) t.watches.(c.lits.(0));
+        true
+
+  let stale_group t =
+    match first_live_clause t with
+    | None -> false
+    | Some c ->
+        c.group <- List.length t.groups + 1;
+        true
+
+  let flip_xor_parity t =
+    let found = ref false in
+    Vec.iter
+      (fun (x : xor_constraint) ->
+        if (not !found) && Array.for_all (fun v -> t.assigns.(v) <> 0) x.xvars then begin
+          x.xrhs <- not x.xrhs;
+          found := true
+        end)
+      t.xors;
+    !found
+
+  let bump_trail_level t =
+    if Vec.size t.trail = 0 then false
+    else begin
+      let v = lit_var (Vec.get t.trail 0) in
+      t.level.(v) <- t.level.(v) + 1;
+      true
+    end
+
+  let scramble_heap t = Order_heap.corrupt_swap t.order 0 1
+
+  let flip_model_bit t =
+    match (t.model_valid, t.saved_model) with
+    | true, Some m when t.nvars >= 1 ->
+        let m' =
+          Cnf.Model.make t.nvars (fun v ->
+              if v = 1 then not (Cnf.Model.value m 1) else Cnf.Model.value m v)
+        in
+        t.saved_model <- Some m';
+        true
+    | _ -> false
+end

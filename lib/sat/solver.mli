@@ -120,6 +120,55 @@ val enable_proof_logging : t -> unit
 val proof : t -> Drat.step list
 (** Chronological proof log (empty when logging is disabled). *)
 
+(** {2 Correctness audit}
+
+    The solver participates in the [lib/audit] subsystem: API
+    preconditions (root-level only) raise a structured
+    [Audit.Violation] instead of [Assert_failure], and when audit mode
+    is on ([Audit.enable] / [UNIGEN_AUDIT=1]) the solver additionally
+    sweeps its internal invariants at propagation fixpoints (sampled
+    by [Audit.tick]), at [solve] boundaries, and after every
+    [pop_group], and re-checks every model against all attached
+    clauses and XORs. With audit mode off none of this runs and
+    behaviour is bit-identical. *)
+
+val check_invariants : t -> unit
+(** Force a full invariant sweep now (regardless of the audit flag);
+    raises [Audit.Violation] on the first broken invariant. See
+    [Audit.Solver_invariants] for the invariant catalogue. *)
+
+val audit_view : t -> Audit.State.solver_view
+(** The plain-data snapshot the sweep checks (exposed for tests). *)
+
+val audit_model : t -> unit
+(** Re-evaluate the last model against every attached clause and XOR;
+    raises [Audit.Violation] on a falsified constraint and
+    [Invalid_argument] if the last solve did not return [Sat]. *)
+
+(** Test-only fault injection for the sanitizer's mutation tests: each
+    function plants one specific corruption in live solver state and
+    returns whether it applied (so property tests can discard
+    non-applicable cases). Never call these outside tests. *)
+module Corrupt : sig
+  val drop_watch : t -> bool
+  (** Remove a live clause from one of its two watch lists. *)
+
+  val stale_group : t -> bool
+  (** Tag a live clause with a group beyond the current group count. *)
+
+  val flip_xor_parity : t -> bool
+  (** Negate the right-hand side of a fully assigned attached XOR. *)
+
+  val bump_trail_level : t -> bool
+  (** Record a wrong decision level for the first trail entry. *)
+
+  val scramble_heap : t -> bool
+  (** Swap two order-heap slots without fixing the index map. *)
+
+  val flip_model_bit : t -> bool
+  (** Flip variable 1 in the saved model of the last [Sat] solve. *)
+end
+
 (** {2 Statistics} *)
 
 type stats = {

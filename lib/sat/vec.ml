@@ -4,6 +4,7 @@ let create ?(capacity = 16) ~dummy () =
   { data = Array.make (max capacity 1) dummy; size = 0; dummy }
 
 let size t = t.size
+let capacity t = Array.length t.data
 let is_empty t = t.size = 0
 
 let get t i =

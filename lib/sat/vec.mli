@@ -8,6 +8,9 @@ type 'a t
 
 val create : ?capacity:int -> dummy:'a -> unit -> 'a t
 val size : 'a t -> int
+val capacity : 'a t -> int
+(** Current backing-array length; [size t <= capacity t] always. *)
+
 val is_empty : 'a t -> bool
 val get : 'a t -> int -> 'a
 val set : 'a t -> int -> 'a -> unit

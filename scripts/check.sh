@@ -18,7 +18,18 @@ fi
 echo "== dune build @check"
 dune build @check
 
+echo "== lint"
+# Repo-specific rules (determinism, hot-path hygiene, .mli coverage);
+# findings are JSON on stdout, unallowlisted ones fail the build.
+dune exec bin/lint.exe -- --root . > /dev/null
+
 echo "== dune runtest"
 dune runtest
+
+echo "== dune runtest (audit mode)"
+# Second pass with the correctness-audit subsystem live: sampled
+# invariant sweeps, witness re-evaluation, blocking-set and ownership
+# checks. A longer sweep period keeps the pass ~2x baseline cost.
+UNIGEN_AUDIT=1 UNIGEN_AUDIT_PERIOD=256 dune runtest --force
 
 echo "ok"

@@ -1,0 +1,221 @@
+(* Mutation tests for the correctness-audit subsystem: each seeded
+   corruption of live solver state must be caught by the invariant
+   sanitizer, and clean states must never trip it. *)
+
+let clause = Cnf.Clause.of_dimacs
+let xor_c vars rhs = Cnf.Xor_clause.make vars rhs
+
+(* Run [f] and report which invariant (if any) it violated. *)
+let violation_of f =
+  match f () with
+  | () -> None
+  | exception Audit.Violation r -> Some r.Audit.invariant
+
+let expect_violation name expected f =
+  match violation_of f with
+  | Some inv when List.mem inv expected -> ()
+  | Some inv ->
+      Alcotest.failf "%s: caught, but as invariant %S (expected one of %s)" name
+        inv
+        (String.concat ", " expected)
+  | None -> Alcotest.failf "%s: corruption not detected" name
+
+let expect_applied name applied = Alcotest.(check bool) (name ^ " applied") true applied
+
+(* ------------------------------------------------------------------ *)
+(* Handcrafted corruptions, one per injector *)
+
+let test_detects_dropped_watch () =
+  let f = Cnf.Formula.create ~num_vars:3 [ clause [ 1; 2 ]; clause [ -1; 3 ] ] in
+  let s = Sat.Solver.create f in
+  expect_applied "drop_watch" (Sat.Solver.Corrupt.drop_watch s);
+  expect_violation "drop_watch" [ "watch-attached"; "two-watch" ] (fun () ->
+      Sat.Solver.check_invariants s)
+
+let test_detects_stale_group () =
+  let f = Cnf.Formula.create ~num_vars:2 [ clause [ 1; 2 ] ] in
+  let s = Sat.Solver.create f in
+  expect_applied "stale_group" (Sat.Solver.Corrupt.stale_group s);
+  expect_violation "stale_group" [ "group-hygiene" ] (fun () ->
+      Sat.Solver.check_invariants s)
+
+let test_detects_flipped_xor_parity () =
+  (* attach the xor while its variables are free (units added at build
+     time would be substituted away), then force them at level 0: the
+     attached xor ends up fully assigned and satisfied *)
+  let s = Sat.Solver.create_empty 3 in
+  Sat.Solver.add_xor s (xor_c [ 1; 2; 3 ] false);
+  Sat.Solver.add_clause s [ Cnf.Lit.pos 1 ];
+  Sat.Solver.add_clause s [ Cnf.Lit.pos 2 ];
+  Alcotest.(check bool) "sat" true (Sat.Solver.solve s = Sat.Solver.Sat);
+  expect_applied "flip_xor_parity" (Sat.Solver.Corrupt.flip_xor_parity s);
+  (* the flipped parity surfaces either as the xor no longer being
+     satisfied, or as the xor-propagated variable's reason breaking *)
+  expect_violation "flip_xor_parity" [ "xor-satisfied"; "reason-consistency" ]
+    (fun () -> Sat.Solver.check_invariants s)
+
+let test_detects_bumped_trail_level () =
+  let f = Cnf.Formula.create ~num_vars:2 [ clause [ 1 ] ] in
+  let s = Sat.Solver.create f in
+  expect_applied "bump_trail_level" (Sat.Solver.Corrupt.bump_trail_level s);
+  expect_violation "bump_trail_level"
+    [ "trail-consistency"; "level-monotonic"; "reason-consistency" ]
+    (fun () -> Sat.Solver.check_invariants s)
+
+let test_detects_scrambled_heap () =
+  let f = Cnf.Formula.create ~num_vars:4 [] in
+  let s = Sat.Solver.create f in
+  expect_applied "scramble_heap" (Sat.Solver.Corrupt.scramble_heap s);
+  expect_violation "scramble_heap" [ "heap-index"; "heap-property" ] (fun () ->
+      Sat.Solver.check_invariants s)
+
+let test_detects_flipped_model_bit () =
+  let f = Cnf.Formula.create ~num_vars:2 [ clause [ 1 ]; clause [ 1; 2 ] ] in
+  let s = Sat.Solver.create f in
+  Alcotest.(check bool) "sat" true (Sat.Solver.solve s = Sat.Solver.Sat);
+  expect_applied "flip_model_bit" (Sat.Solver.Corrupt.flip_model_bit s);
+  expect_violation "flip_model_bit" [ "model-audit" ] (fun () ->
+      Sat.Solver.audit_model s)
+
+(* ------------------------------------------------------------------ *)
+(* Clean states never trip the sanitizer *)
+
+let prop_clean_states_pass =
+  QCheck2.Test.make ~count:300 ~name:"sanitizer accepts uncorrupted states"
+    Test_util.Gen.formula_spec
+    (fun spec ->
+      let f = Test_util.Gen.build_spec spec in
+      let s = Sat.Solver.create f in
+      Sat.Solver.check_invariants s;
+      (match Sat.Solver.solve s with
+      | Sat.Solver.Sat -> Sat.Solver.audit_model s
+      | _ -> ());
+      Sat.Solver.check_invariants s;
+      true)
+
+(* Every applicable corruption is detected on random solved states. *)
+let injectors =
+  [
+    ("drop_watch", Sat.Solver.Corrupt.drop_watch, `Invariants);
+    ("stale_group", Sat.Solver.Corrupt.stale_group, `Invariants);
+    ("flip_xor_parity", Sat.Solver.Corrupt.flip_xor_parity, `Invariants);
+    ("bump_trail_level", Sat.Solver.Corrupt.bump_trail_level, `Invariants);
+    ("scramble_heap", Sat.Solver.Corrupt.scramble_heap, `Invariants);
+    ("flip_model_bit", Sat.Solver.Corrupt.flip_model_bit, `Model);
+  ]
+
+let prop_corruptions_detected =
+  QCheck2.Test.make ~count:300 ~name:"every applicable corruption is caught"
+    QCheck2.Gen.(pair Test_util.Gen.formula_spec (int_bound 5))
+    (fun (spec, which) ->
+      let f = Test_util.Gen.build_spec spec in
+      let s = Sat.Solver.create f in
+      ignore (Sat.Solver.solve s);
+      let view = Sat.Solver.audit_view s in
+      let name, inject, checker = List.nth injectors which in
+      (* detection contracts hold on healthy, propagated states: on a
+         broken solver (UNSAT) the sanitizer deliberately skips the
+         trail / group / fixpoint checks *)
+      if not (view.Audit.State.ok && view.Audit.State.at_fixpoint) then true
+      else if not (inject s) then true (* not applicable to this state *)
+      else
+        (* flipping a don't-care model bit yields another genuine model
+           of f: the auditor accepting it is correct, not a miss *)
+        let detectable =
+          match checker with
+          | `Invariants -> true
+          | `Model -> not (Cnf.Model.satisfies f (Sat.Solver.model s))
+        in
+        let check () =
+          match checker with
+          | `Invariants -> Sat.Solver.check_invariants s
+          | `Model -> Sat.Solver.audit_model s
+        in
+        match violation_of check with
+        | Some _ -> true
+        | None ->
+            if detectable then
+              QCheck2.Test.fail_reportf "undetected corruption: %s" name
+            else true)
+
+(* ------------------------------------------------------------------ *)
+(* Config and ownership behaviour *)
+
+(* The suite must behave identically under UNIGEN_AUDIT=1 (the CI
+   audit pass), so tests that toggle the global switch restore
+   whatever state they found. *)
+let with_audit b f =
+  let was_enabled = Audit.is_enabled () in
+  let old_period = Audit.get_period () in
+  (if b then Audit.enable () else Audit.disable ());
+  Fun.protect
+    ~finally:(fun () ->
+      Audit.set_period old_period;
+      if was_enabled then Audit.enable () else Audit.disable ())
+    f
+
+let test_tick_respects_enable () =
+  with_audit false (fun () ->
+      Alcotest.(check bool) "disabled: never fires" false (Audit.tick ()));
+  with_audit true (fun () ->
+      Audit.set_period 1;
+      Alcotest.(check bool) "period 1: always fires" true (Audit.tick ());
+      Audit.set_period 1000;
+      Alcotest.(check bool) "long period: not yet" false (Audit.tick ()))
+
+let test_set_period_rejects_nonpositive () =
+  expect_violation "set_period 0" [ "audit-config" ] (fun () -> Audit.set_period 0)
+
+let test_ownership_flags_cross_domain_use () =
+  let f = Cnf.Formula.create ~num_vars:2 [ clause [ 1; 2 ] ] in
+  let s = Sat.Solver.create f in
+  with_audit true (fun () ->
+      let d =
+        Domain.spawn (fun () ->
+            violation_of (fun () -> Sat.Solver.check_invariants s))
+      in
+      match Domain.join d with
+      | Some "domain-ownership" -> ()
+      | Some inv -> Alcotest.failf "wrong invariant: %s" inv
+      | None -> Alcotest.fail "cross-domain touch not flagged");
+  (* same-domain use stays fine, audit on or off *)
+  Sat.Solver.check_invariants s
+
+let test_ownership_silent_when_disabled () =
+  let f = Cnf.Formula.create ~num_vars:1 [] in
+  let s = Sat.Solver.create f in
+  with_audit false (fun () ->
+      let d =
+        Domain.spawn (fun () ->
+            violation_of (fun () -> ignore (Sat.Solver.solve s)))
+      in
+      match Domain.join d with
+      | None -> ()
+      | Some inv -> Alcotest.failf "audit off must not flag (%s)" inv)
+
+let () =
+  Alcotest.run "audit"
+    [
+      ( "mutation",
+        [
+          Alcotest.test_case "dropped watch" `Quick test_detects_dropped_watch;
+          Alcotest.test_case "stale group tag" `Quick test_detects_stale_group;
+          Alcotest.test_case "flipped xor parity" `Quick test_detects_flipped_xor_parity;
+          Alcotest.test_case "bumped trail level" `Quick test_detects_bumped_trail_level;
+          Alcotest.test_case "scrambled heap" `Quick test_detects_scrambled_heap;
+          Alcotest.test_case "flipped model bit" `Quick test_detects_flipped_model_bit;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "tick gating" `Quick test_tick_respects_enable;
+          Alcotest.test_case "period validation" `Quick test_set_period_rejects_nonpositive;
+        ] );
+      ( "ownership",
+        [
+          Alcotest.test_case "cross-domain flagged" `Quick test_ownership_flags_cross_domain_use;
+          Alcotest.test_case "silent when disabled" `Quick test_ownership_silent_when_disabled;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_clean_states_pass; prop_corruptions_detected ] );
+    ]

@@ -15,12 +15,13 @@ let prop_solver_verdict_and_model =
     Test_util.Gen.formula_spec
     (fun spec ->
       let f = build spec in
-      let s = Sat.Solver.create f in
-      match Sat.Solver.solve s with
-      | Sat.Solver.Sat ->
+      (* checked_solve additionally certifies pure-CNF UNSAT verdicts
+         with a RUP refutation *)
+      match Test_util.Check.checked_solve f with
+      | Sat.Solver.Sat, s ->
           Sat.Brute.is_sat f && Cnf.Model.satisfies f (Sat.Solver.model s)
-      | Sat.Solver.Unsat -> not (Sat.Brute.is_sat f)
-      | Sat.Solver.Unknown -> false)
+      | Sat.Solver.Unsat, _ -> not (Sat.Brute.is_sat f)
+      | Sat.Solver.Unknown, _ -> false)
 
 (* Exact counting under assumption literals vs brute-force filtering. *)
 let prop_count_restricted_matches_brute =

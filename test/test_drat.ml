@@ -84,6 +84,37 @@ let test_format_parse_errors () =
        false
      with Failure _ -> true)
 
+(* Well-formed proofs survive a print/parse cycle exactly. *)
+let prop_format_roundtrip_random =
+  let gen_lits =
+    QCheck2.Gen.(
+      map
+        (List.filter (fun i -> i <> 0))
+        (small_list (int_range (-25) 25)))
+  in
+  let gen_step =
+    QCheck2.Gen.(
+      map
+        (fun (del, lits) -> if del then Sat.Drat.Delete lits else Sat.Drat.Add lits)
+        (pair bool gen_lits))
+  in
+  QCheck2.Test.make ~count:300 ~name:"to_string/of_string round-trips"
+    (QCheck2.Gen.small_list gen_step)
+    (fun proof -> Sat.Drat.of_string (Sat.Drat.to_string proof) = proof)
+
+(* Malformed input must fail with Failure (the documented exception),
+   never anything else; and whatever parses must reparse stably. *)
+let prop_of_string_fuzz =
+  QCheck2.Test.make ~count:1000 ~name:"of_string on junk: Failure or stable value"
+    QCheck2.Gen.(
+      string_size
+        ~gen:(oneofl [ '0'; '1'; '7'; '9'; '-'; ' '; '\n'; '\t'; 'd'; 'x'; '%' ])
+        (int_bound 40))
+    (fun text ->
+      match Sat.Drat.of_string text with
+      | exception Failure _ -> true
+      | steps -> Sat.Drat.of_string (Sat.Drat.to_string steps) = steps)
+
 (* ------------------------------------------------------------------ *)
 (* Solver-emitted proofs *)
 
@@ -165,6 +196,8 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_format_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_format_parse_errors;
+          QCheck_alcotest.to_alcotest prop_format_roundtrip_random;
+          QCheck_alcotest.to_alcotest prop_of_string_fuzz;
         ] );
       ( "solver",
         [

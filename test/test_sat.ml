@@ -4,9 +4,9 @@
 let clause = Cnf.Clause.of_dimacs
 let xor_c vars rhs = Cnf.Xor_clause.make vars rhs
 
-let solve_formula f =
-  let s = Sat.Solver.create f in
-  Sat.Solver.solve s
+(* all UNSAT verdicts on pure-CNF formulas in this suite come with a
+   checked RUP refutation — see Test_util.Check *)
+let solve_formula f = fst (Test_util.Check.checked_solve f)
 
 let check_sat name f expected =
   match (solve_formula f, expected) with
@@ -145,18 +145,25 @@ let test_incremental_blocking () =
   let f = Cnf.Formula.create ~num_vars:2 [] in
   let s = Sat.Solver.create f in
   let found = ref [] in
+  let blocked = ref [] in
   let rec loop () =
     match Sat.Solver.solve s with
     | Sat.Solver.Sat ->
         let m = Sat.Solver.model s in
         found := Cnf.Model.key m :: !found;
-        Sat.Solver.add_clause s
+        let block =
           [
             Cnf.Lit.make 1 (not (Cnf.Model.value m 1));
             Cnf.Lit.make 2 (not (Cnf.Model.value m 2));
-          ];
+          ]
+        in
+        blocked := Cnf.Clause.of_list block :: !blocked;
+        Sat.Solver.add_clause s block;
         loop ()
-    | Sat.Solver.Unsat -> ()
+    | Sat.Solver.Unsat ->
+        (* the incremental verdict covers f + the blocking clauses:
+           certify that combined formula with a fresh logged solve *)
+        Test_util.Check.assert_refutable (Cnf.Formula.add_clauses f !blocked)
     | Sat.Solver.Unknown -> Alcotest.fail "unexpected Unknown"
   in
   loop ();
@@ -263,12 +270,11 @@ let prop_solver_agrees_with_brute =
     (fun spec ->
       let f = Test_util.Gen.build_spec spec in
       let expected = Sat.Brute.is_sat f in
-      let s = Sat.Solver.create f in
-      match Sat.Solver.solve s with
-      | Sat.Solver.Sat ->
+      match Test_util.Check.checked_solve f with
+      | Sat.Solver.Sat, s ->
           expected && Cnf.Model.satisfies f (Sat.Solver.model s)
-      | Sat.Solver.Unsat -> not expected
-      | Sat.Solver.Unknown -> false)
+      | Sat.Solver.Unsat, _ -> not expected
+      | Sat.Solver.Unknown, _ -> false)
 
 let prop_bsat_counts_match_brute =
   QCheck2.Test.make ~count:200 ~name:"bsat enumeration count = brute count"

@@ -17,8 +17,10 @@ let test_failed_assumptions () =
     Cnf.Formula.create ~num_vars:2
       [ Cnf.Clause.of_dimacs [ 1 ]; Cnf.Clause.of_dimacs [ -1; 2 ] ]
   in
-  let s = Sat.Solver.create f in
-  (match Sat.Solver.solve ~assumptions:[ Cnf.Lit.neg 2 ] s with
+  (* checked_solve certifies the assumption-UNSAT against
+     f + assumption units with a RUP refutation *)
+  let r, s = Test_util.Check.checked_solve ~assumptions:[ Cnf.Lit.neg 2 ] f in
+  (match r with
   | Sat.Solver.Unsat -> ()
   | _ -> Alcotest.fail "expected Unsat under ~assumptions:[-2]");
   let failed = Sat.Solver.failed_assumptions s in
@@ -77,9 +79,8 @@ let prop_assumptions_agree =
       in
       let units = List.map (fun l -> Cnf.Clause.of_list [ l ]) assumptions in
       let expected = Sat.Brute.is_sat (Cnf.Formula.add_clauses f units) in
-      let s = Sat.Solver.create f in
-      match Sat.Solver.solve ~assumptions s with
-      | Sat.Solver.Sat ->
+      match Test_util.Check.checked_solve ~assumptions f with
+      | Sat.Solver.Sat, s ->
           expected
           && Cnf.Model.satisfies f (Sat.Solver.model s)
           && List.for_all
@@ -87,7 +88,7 @@ let prop_assumptions_agree =
                  Cnf.Model.value (Sat.Solver.model s) (Cnf.Lit.var l)
                  = Cnf.Lit.sign l)
                assumptions
-      | Sat.Solver.Unsat ->
+      | Sat.Solver.Unsat, s ->
           (not expected)
           &&
           (* when the formula alone is satisfiable the failed-assumption
@@ -100,7 +101,7 @@ let prop_assumptions_agree =
                     (Cnf.Formula.add_clauses f
                        (List.map (fun l -> Cnf.Clause.of_list [ l ]) failed)))
           else true
-      | Sat.Solver.Unknown -> false)
+      | Sat.Solver.Unknown, _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* Property (b): after pop_group the solver answers as if the group
