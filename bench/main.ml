@@ -801,6 +801,146 @@ let run_obs ~budget () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Sampling service daemon: cold vs warm request latency against a
+   live forked daemon (the warm request reuses the cached preparation,
+   so the gap is the amortised ApproxMC cost), then queue wait under
+   concurrent pipelined clients. Writes BENCH_service.json. *)
+
+let run_service ~budget () =
+  section
+    "Sampling service daemon (cold vs warm latency, queue wait under load, \
+     writes BENCH_service.json)";
+  let instance =
+    match Workload.Suite.by_name "case_m1" with
+    | Some i -> i
+    | None -> failwith "instance missing"
+  in
+  let formula_text =
+    Cnf.Dimacs.to_string (Lazy.force instance.Workload.Suite.formula)
+  in
+  let n = min budget.unigen_samples 20 in
+  let clients = 4 and per_client = 5 in
+  let dir = Filename.temp_file "unigen_bench_service" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let socket_path = Filename.concat dir "bench.sock" in
+  match Unix.fork () with
+  | 0 ->
+      (try Service.Server.run (Service.Server.default_config ~socket_path)
+       with _ -> ());
+      Unix._exit 0
+  | pid ->
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          (try ignore (Unix.waitpid [] pid : int * Unix.process_status)
+           with Unix.Unix_error (Unix.ECHILD, _, _) -> ());
+          (try Sys.remove socket_path with Sys_error _ -> ());
+          try Unix.rmdir dir with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while
+        (not (Sys.file_exists socket_path)) && Unix.gettimeofday () < deadline
+      do
+        ignore (Unix.select [] [] [] 0.02)
+      done;
+      if not (Sys.file_exists socket_path) then failwith "daemon did not start";
+      let sample_req seed =
+        Service.Wire.Sample
+          { Service.Wire.default_sample_req with Service.Wire.formula_text; n; seed }
+      in
+      let queue_wait = function
+        | Service.Wire.Ok_sample ok -> ok.Service.Wire.queue_wait_s
+        | _ -> failwith "service bench: unexpected response"
+      in
+      (* cold, then repeated warm draws with fresh draw seeds (all share
+         the one cached preparation) on a single connection *)
+      let cold_s, warm_median_s =
+        Service.Client.with_connection ~socket_path @@ fun conn ->
+        let timed seed =
+          let t0 = Unix.gettimeofday () in
+          let resp = Service.Client.request conn (sample_req seed) in
+          ignore (queue_wait resp : float);
+          Unix.gettimeofday () -. t0
+        in
+        let cold = timed 1 in
+        let warm = List.init 5 (fun i -> timed (2 + i)) in
+        let sorted = List.sort compare warm in
+        (cold, List.nth sorted (List.length sorted / 2))
+      in
+      Printf.printf "  cold request:        %8.1f ms (prepare + %d draws)\n%!"
+        (cold_s *. 1000.) n;
+      Printf.printf "  warm request median: %8.1f ms (%d draws, cache hit)\n%!"
+        (warm_median_s *. 1000.) n;
+      Printf.printf "  amortisation factor: %8.1fx\n%!" (cold_s /. warm_median_s);
+      (* concurrent load: [clients] connections each pipeline
+         [per_client] requests before reading anything back, so the
+         daemon's admission queue genuinely fills *)
+      let fds =
+        List.init clients (fun _ ->
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_UNIX socket_path);
+            fd)
+      in
+      let t0 = Unix.gettimeofday () in
+      List.iteri
+        (fun ci fd ->
+          for r = 0 to per_client - 1 do
+            Service.Wire.write_frame fd
+              (Service.Json.to_string
+                 (Service.Wire.request_to_json
+                    (sample_req (100 + (ci * per_client) + r))))
+          done)
+        fds;
+      let waits = ref [] in
+      List.iter
+        (fun fd ->
+          for _ = 1 to per_client do
+            match Service.Wire.read_frame fd with
+            | Some payload ->
+                waits :=
+                  queue_wait
+                    (Service.Wire.response_of_json (Service.Json.of_string payload))
+                  :: !waits
+            | None -> failwith "service bench: daemon closed mid-burst"
+          done)
+        fds;
+      let burst_s = Unix.gettimeofday () -. t0 in
+      List.iter Unix.close fds;
+      let wait_avg =
+        List.fold_left ( +. ) 0.0 !waits /. float_of_int (List.length !waits)
+      in
+      let wait_max = List.fold_left Float.max 0.0 !waits in
+      Printf.printf
+        "  burst: %d clients x %d requests in %.1f ms (queue wait avg %.1f ms, \
+         max %.1f ms)\n%!"
+        clients per_client (burst_s *. 1000.) (wait_avg *. 1000.)
+        (wait_max *. 1000.);
+      (match Service.Client.call ~socket_path Service.Wire.Shutdown with
+      | Service.Wire.Bye -> ()
+      | _ -> failwith "service bench: shutdown refused");
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> failwith "service bench: daemon exited uncleanly");
+      let report = Obs.Report.create () in
+      Obs.Report.add_section report "service"
+        Obs.Report.
+          [
+            ("instance", String instance.Workload.Suite.name);
+            ("samples_per_request", Int n);
+            ("cold_ms", Float (cold_s *. 1000.));
+            ("warm_ms_median", Float (warm_median_s *. 1000.));
+            ("amortisation_factor", Float (cold_s /. warm_median_s));
+            ("concurrent_clients", Int clients);
+            ("requests_per_client", Int per_client);
+            ("burst_wall_ms", Float (burst_s *. 1000.));
+            ("queue_wait_ms_avg", Float (wait_avg *. 1000.));
+            ("queue_wait_ms_max", Float (wait_max *. 1000.));
+          ];
+      Obs.Report.write_json "BENCH_service.json" report;
+      Printf.printf "\nwrote BENCH_service.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro benchmarks *)
 
 let run_micro () =
@@ -869,12 +1009,12 @@ let () =
     [ "table1"; "table2"; "figure1"; "epsilon"; "baselines"; "parallel";
       "incremental"; "ablation-support"; "ablation-sparse"; "ablation-blocking";
       "ablation-leapfrog"; "ablation-amortise"; "ablation-preprocess"; "obs";
-      "micro" ]
+      "service"; "micro" ]
   in
   let default = [ "table1"; "figure1"; "epsilon"; "baselines"; "parallel";
-                  "incremental"; "obs"; "ablation-support"; "ablation-sparse";
-                  "ablation-blocking"; "ablation-leapfrog"; "ablation-amortise";
-                  "ablation-preprocess"; "micro" ]
+                  "incremental"; "obs"; "service"; "ablation-support";
+                  "ablation-sparse"; "ablation-blocking"; "ablation-leapfrog";
+                  "ablation-amortise"; "ablation-preprocess"; "micro" ]
   in
   let targets = if targets = [] then default else targets in
   List.iter
@@ -896,6 +1036,7 @@ let () =
       | "parallel" -> run_parallel ~budget ()
       | "incremental" -> run_incremental ~budget ()
       | "obs" -> run_obs ~budget ()
+      | "service" -> run_service ~budget ()
       | "ablation-support" -> run_ablation_support ~budget ()
       | "ablation-sparse" -> run_ablation_sparse ~budget ()
       | "ablation-blocking" -> run_ablation_blocking ()

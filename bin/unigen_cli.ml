@@ -509,6 +509,266 @@ let convert_cmd =
     Term.(const run $ file $ out $ parity $ seed)
 
 (* ------------------------------------------------------------------ *)
+(* unigen serve: the long-lived sampling daemon *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix domain socket the daemon listens on (created on start, \
+              unlinked on shutdown).")
+
+let serve_cmd =
+  let run socket queue_capacity max_batch cache_capacity jobs no_incremental
+      audit show_stats trace metrics_json =
+    if audit then Audit.enable ();
+    with_observability ~trace ~metrics_json ~show_stats @@ fun () ->
+    let config =
+      {
+        Service.Server.socket_path = socket;
+        scheduler =
+          {
+            Service.Scheduler.queue_capacity;
+            max_batch;
+            cache_capacity;
+            jobs;
+            incremental = not no_incremental;
+          };
+        log = (fun msg -> Printf.printf "c %s\n%!" msg);
+      }
+    in
+    match Service.Server.run config with
+    | () ->
+        emit_report ~metrics_json ~show_stats
+          [
+            ( "config",
+              Obs.Report.
+                [
+                  ("command", String "serve");
+                  ("socket", String socket);
+                  ("queue_capacity", Int queue_capacity);
+                  ("max_batch", Int max_batch);
+                  ("cache_capacity", Int cache_capacity);
+                  ("jobs", Int jobs);
+                  ("incremental", Bool (not no_incremental));
+                ] );
+          ];
+        0
+    | exception Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | exception Unix.Unix_error (e, fn, arg) ->
+        Printf.eprintf "error: %s: %s %s\n" fn (Unix.error_message e) arg;
+        1
+  in
+  let queue_capacity =
+    Arg.(value & opt int 64
+         & info [ "queue-capacity" ]
+             ~doc:"Admission queue bound; further requests are rejected \
+                   with a retry-after hint (backpressure).")
+  in
+  let max_batch =
+    Arg.(value & opt int 10_000
+         & info [ "max-batch" ] ~doc:"Per-request sample budget.")
+  in
+  let cache_capacity =
+    Arg.(value & opt int 16
+         & info [ "cache-capacity" ]
+             ~doc:"Prepared-state LRU entries kept hot (0 disables the \
+                   cache; every request then re-pays preparation).")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ]
+             ~doc:"Worker domains for preparation and draws (witnesses are \
+                   bit-identical for every value).")
+  in
+  let no_incremental =
+    Arg.(value & flag
+         & info [ "no-incremental" ]
+             ~doc:"Fresh CDCL solver per BSAT call instead of warm sessions \
+                   (differential reference path).")
+  in
+  let show_stats =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print the structured service report (request, cache and \
+                   queue counters) on shutdown.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the sampling service daemon: content-addressed formula \
+             registry, prepared-state cache and deadline-aware scheduler \
+             behind a Unix-socket JSON protocol")
+    Term.(const run $ socket_arg $ queue_capacity $ max_batch $ cache_capacity
+          $ jobs $ no_incremental $ audit_arg $ show_stats $ trace_arg
+          $ metrics_json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* unigen client: talk to a running daemon *)
+
+let client_cmd =
+  let run socket file num seed prepare_seed epsilon timeout_s max_attempts pin
+      tag status shutdown cancel =
+    let call req =
+      try Ok (Service.Client.call ~socket_path:socket req) with
+      | Unix.Unix_error (e, _, _) ->
+          Error
+            (Printf.sprintf "cannot reach daemon at %s: %s" socket
+               (Unix.error_message e))
+      | Service.Client.Protocol_error m -> Error ("protocol error: " ^ m)
+    in
+    let fail msg =
+      Printf.eprintf "error: %s\n" msg;
+      1
+    in
+    if status then
+      match call Service.Wire.Status with
+      | Error m -> fail m
+      | Ok (Service.Wire.Metrics values) ->
+          List.iter (fun (k, v) -> Printf.printf "c %s = %g\n" k v) values;
+          0
+      | Ok _ -> fail "unexpected response to status"
+    else if shutdown then
+      match call Service.Wire.Shutdown with
+      | Error m -> fail m
+      | Ok Service.Wire.Bye ->
+          print_endline "c daemon shutting down";
+          0
+      | Ok _ -> fail "unexpected response to shutdown"
+    else
+      match cancel with
+      | Some t -> (
+          match call (Service.Wire.Cancel t) with
+          | Error m -> fail m
+          | Ok (Service.Wire.Cancel_result found) ->
+              Printf.printf "c cancel %s: %s\n" t
+                (if found then "cancelled" else "not found");
+              if found then 0 else 1
+          | Ok _ -> fail "unexpected response to cancel")
+      | None -> (
+          match file with
+          | None -> fail "provide a CNF FILE, or --status/--shutdown/--cancel"
+          | Some path -> (
+              match
+                try Ok (In_channel.with_open_bin path In_channel.input_all)
+                with Sys_error m -> Error m
+              with
+              | Error m -> fail m
+              | Ok formula_text -> (
+                  let req =
+                    {
+                      Service.Wire.default_sample_req with
+                      Service.Wire.formula_text;
+                      n = num;
+                      seed;
+                      prepare_seed;
+                      epsilon;
+                      timeout_s;
+                      max_attempts;
+                      pin;
+                      tag;
+                    }
+                  in
+                  match call (Service.Wire.Sample req) with
+                  | Error m -> fail m
+                  | Ok (Service.Wire.Ok_sample r) ->
+                      Printf.printf
+                        "c service: fingerprint=%s cache=%s queue_wait=%.1fms\n"
+                        r.Service.Wire.fingerprint
+                        (if r.Service.Wire.cache_hit then "hit" else "miss")
+                        (r.Service.Wire.queue_wait_s *. 1000.0);
+                      List.iter
+                        (fun w ->
+                          print_endline
+                            ("v "
+                            ^ String.concat " " (List.map string_of_int w)
+                            ^ " 0"))
+                        r.Service.Wire.witnesses;
+                      Printf.printf "c produced %d/%d witnesses\n"
+                        r.Service.Wire.produced r.Service.Wire.requested;
+                      if r.Service.Wire.produced = r.Service.Wire.requested
+                      then 0
+                      else 1
+                  | Ok (Service.Wire.Unsat _) ->
+                      print_endline "s UNSATISFIABLE";
+                      2
+                  | Ok (Service.Wire.Rejected { reason; retry_after_s }) ->
+                      Printf.eprintf "rejected: %s (retry after %.0f ms)\n"
+                        (Service.Wire.reject_reason_to_string reason)
+                        (retry_after_s *. 1000.0);
+                      3
+                  | Ok (Service.Wire.Deadline_miss _) ->
+                      Printf.eprintf "deadline missed\n";
+                      4
+                  | Ok (Service.Wire.Cancelled _) ->
+                      Printf.eprintf "cancelled\n";
+                      5
+                  | Ok (Service.Wire.Error_msg m) -> fail m
+                  | Ok _ -> fail "unexpected response")))
+  in
+  let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let num =
+    Arg.(value & opt int 10 & info [ "n"; "samples" ] ~doc:"Number of witnesses.")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "s"; "seed" ]
+             ~doc:"Draw seed: witness $(i)i$(i) comes from stream (seed, i), \
+                   bit-identical to an offline run with the same seed.")
+  in
+  let prepare_seed =
+    Arg.(value & opt int 1
+         & info [ "prepare-seed" ]
+             ~doc:"Preparation (ApproxMC) seed. Kept separate from the draw \
+                   seed so requests differing only in --seed share one \
+                   cached preparation.")
+  in
+  let epsilon =
+    Arg.(value & opt float 6.0 & info [ "e"; "epsilon" ] ~doc:"Tolerance (> 1.71).")
+  in
+  let timeout_s =
+    Arg.(value & opt (some float) None
+         & info [ "t"; "timeout" ]
+             ~doc:"Request deadline in seconds, measured from admission.")
+  in
+  let max_attempts =
+    Arg.(value & opt int 20
+         & info [ "max-attempts" ] ~doc:"Cell-failure retries per witness.")
+  in
+  let pin =
+    Arg.(value & flag
+         & info [ "pin" ]
+             ~doc:"Pin this formula's prepared state against cache eviction.")
+  in
+  let tag =
+    Arg.(value & opt (some string) None
+         & info [ "tag" ] ~docv:"TAG"
+             ~doc:"Client-chosen request id, echoed in the response and \
+                   usable with --cancel from another connection.")
+  in
+  let status =
+    Arg.(value & flag
+         & info [ "status" ] ~doc:"Print the daemon's metrics snapshot and exit.")
+  in
+  let shutdown =
+    Arg.(value & flag
+         & info [ "shutdown" ]
+             ~doc:"Ask the daemon to drain in-flight requests and exit.")
+  in
+  let cancel =
+    Arg.(value & opt (some string) None
+         & info [ "cancel" ] ~docv:"TAG"
+             ~doc:"Cancel the pending request submitted with --tag TAG.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Submit sampling requests to a running unigen daemon")
+    Term.(const run $ socket_arg $ file $ num $ seed $ prepare_seed $ epsilon
+          $ timeout_s $ max_attempts $ pin $ tag $ status $ shutdown $ cancel)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "almost-uniform SAT witness generation (UniGen, DAC 2014)" in
@@ -518,4 +778,4 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [ sample_cmd; count_cmd; support_cmd; bench_gen_cmd; simplify_cmd;
-            convert_cmd ]))
+            convert_cmd; serve_cmd; client_cmd ]))

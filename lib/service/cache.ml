@@ -1,0 +1,48 @@
+type key = {
+  fingerprint : string;
+  epsilon : float;
+  prepare_seed : int;
+  count_iterations : int option;
+  incremental : bool;
+}
+
+let key_to_string k =
+  Printf.sprintf "%s/e%g/p%d/i%s/%s" k.fingerprint k.epsilon k.prepare_seed
+    (match k.count_iterations with None -> "-" | Some n -> string_of_int n)
+    (if k.incremental then "inc" else "fresh")
+
+type entry = {
+  prepared : Sampling.Unigen.prepared;
+  formula : Cnf.Formula.t;
+  mutable draws_served : int;
+}
+
+let c_hits = Obs.Metrics.counter "service.cache_hits"
+let c_misses = Obs.Metrics.counter "service.cache_misses"
+let c_evictions = Obs.Metrics.counter "service.cache_evictions"
+
+type t = { lru : (key, entry) Lru.t }
+
+let create ~capacity =
+  { lru = Lru.create ~on_evict:(fun _ _ -> Obs.Metrics.incr c_evictions) ~capacity () }
+
+let capacity t = Lru.capacity t.lru
+let length t = Lru.length t.lru
+
+let find t k =
+  match Lru.find t.lru k with
+  | Some e ->
+      Obs.Metrics.incr c_hits;
+      Some e
+  | None ->
+      Obs.Metrics.incr c_misses;
+      None
+
+let peek t k = Lru.peek t.lru k
+
+let put t k e = Lru.put t.lru k e
+let pin t k = Lru.pin t.lru k
+let unpin t k = Lru.unpin t.lru k
+let is_pinned t k = Lru.is_pinned t.lru k
+let remove t k = Lru.remove t.lru k
+let keys_mru t = Lru.keys_mru t.lru

@@ -1,0 +1,57 @@
+(** Prepared-state cache: the amortization layer of the daemon.
+
+    UniGen's cost structure is one expensive preparation per formula
+    (ApproxMC count, κ/pivot selection, candidate hash-size window)
+    followed by many cheap draws. This cache keys a
+    {!Sampling.Unigen.prepared} by everything the preparation is a
+    deterministic function of — the formula's content address plus
+    the preparation parameters — so a repeat request skips straight
+    to the draw loop {e and} still returns witnesses bit-identical to
+    a cold run (the determinism contract the differential tests
+    enforce).
+
+    Bounded LRU with pinning and explicit eviction (see {!Lru} for
+    the exact semantics); hit/miss/eviction counts flow to
+    {!Obs.Metrics} under [service.cache_hits] / [service.cache_misses]
+    / [service.cache_evictions]. *)
+
+type key = {
+  fingerprint : string;  (** {!Registry.fingerprint} of the formula *)
+  epsilon : float;
+  prepare_seed : int;
+      (** seed of the RNG handed to [Unigen.prepare] (ApproxMC's
+          randomness) — part of the key so a cache hit reproduces the
+          exact hash-size window a cold preparation would compute *)
+  count_iterations : int option;
+  incremental : bool;
+}
+
+val key_to_string : key -> string
+(** Stable rendering used for metrics labels and debugging. *)
+
+type entry = {
+  prepared : Sampling.Unigen.prepared;
+  formula : Cnf.Formula.t;  (** the canonical formula that was prepared *)
+  mutable draws_served : int;
+}
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument when [capacity < 0]. *)
+
+val capacity : t -> int
+val length : t -> int
+
+val find : t -> key -> entry option
+(** Counts a hit or a miss and touches the LRU order. *)
+
+val peek : t -> key -> entry option
+(** No metrics, no touch. *)
+
+val put : t -> key -> entry -> unit
+val pin : t -> key -> bool
+val unpin : t -> key -> bool
+val is_pinned : t -> key -> bool
+val remove : t -> key -> bool
+val keys_mru : t -> key list

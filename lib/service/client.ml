@@ -1,0 +1,31 @@
+type t = { fd : Unix.file_descr }
+
+exception Protocol_error of string
+
+let connect ~socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let recv t =
+  match Wire.read_frame t.fd with
+  | None -> raise (Protocol_error "daemon closed the connection")
+  | Some payload -> (
+      try Wire.response_of_json (Json.of_string payload)
+      with Json.Decode_error msg -> raise (Protocol_error msg))
+  | exception Wire.Frame_error msg -> raise (Protocol_error msg)
+
+let request t req =
+  Wire.write_frame t.fd (Json.to_string (Wire.request_to_json req));
+  recv t
+
+let with_connection ~socket_path f =
+  let t = connect ~socket_path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let call ~socket_path req = with_connection ~socket_path (fun t -> request t req)

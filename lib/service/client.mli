@@ -1,0 +1,26 @@
+(** Blocking client for the sampling daemon. *)
+
+type t
+(** One open connection. *)
+
+exception Protocol_error of string
+(** The daemon closed mid-frame or sent undecodable JSON. *)
+
+val connect : socket_path:string -> t
+(** @raise Unix.Unix_error when the daemon is not reachable. *)
+
+val close : t -> unit
+
+val request : t -> Wire.request -> Wire.response
+(** Send one request and block for the next response frame. Sample
+    responses arrive in daemon scheduling order; when interleaving
+    requests on one connection, distinguish them by [tag]. *)
+
+val recv : t -> Wire.response
+(** Block for one more response frame without sending anything (for
+    tagged multi-request pipelines). *)
+
+val with_connection : socket_path:string -> (t -> 'a) -> 'a
+
+val call : socket_path:string -> Wire.request -> Wire.response
+(** Connect, {!request}, close. *)

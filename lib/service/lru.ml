@@ -1,0 +1,136 @@
+(* Doubly-linked recency list over a hash table. [head] is the
+   most-recently-used end, [tail] the eviction end. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable pinned : bool;
+  mutable prev : ('k, 'v) node option;  (* towards MRU *)
+  mutable next : ('k, 'v) node option;  (* towards LRU *)
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  on_evict : 'k -> 'v -> unit;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;
+  mutable tail : ('k, 'v) node option;
+  mutable length : int;
+}
+
+let create ?(on_evict = fun _ _ -> ()) ~capacity () =
+  if capacity < 0 then invalid_arg "Lru.create: capacity must be >= 0";
+  {
+    capacity;
+    on_evict;
+    table = Hashtbl.create (max 16 capacity);
+    head = None;
+    tail = None;
+    length = 0;
+  }
+
+let capacity t = t.capacity
+let length t = t.length
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t n =
+  match t.head with
+  | Some h when h == n -> ()
+  | _ ->
+      unlink t n;
+      push_front t n
+
+(* Walk from the tail towards the head looking for the oldest
+   evictable entry; [None] when everything resident is pinned (or is
+   the protected just-inserted node). *)
+let rec oldest_unpinned ?protect = function
+  | None -> None
+  | Some n when n.pinned -> oldest_unpinned ?protect n.prev
+  | Some n when (match protect with Some p -> p == n | None -> false) ->
+      oldest_unpinned ?protect n.prev
+  | some -> some
+
+let enforce_capacity ?protect t =
+  let continue = ref true in
+  while t.length > t.capacity && !continue do
+    match oldest_unpinned ?protect t.tail with
+    | None -> continue := false
+    | Some victim ->
+        unlink t victim;
+        Hashtbl.remove t.table victim.key;
+        t.length <- t.length - 1;
+        t.on_evict victim.key victim.value
+  done
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some n ->
+      touch t n;
+      Some n.value
+
+let mem t k = Hashtbl.mem t.table k
+
+let peek t k =
+  match Hashtbl.find_opt t.table k with Some n -> Some n.value | None -> None
+
+let put t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+      n.value <- v;
+      touch t n;
+      enforce_capacity t
+  | None ->
+      let n = { key = k; value = v; pinned = false; prev = None; next = None } in
+      Hashtbl.replace t.table k n;
+      push_front t n;
+      t.length <- t.length + 1;
+      (* the entry being inserted is never its own victim — except at
+         capacity 0, where nothing is ever resident *)
+      if t.capacity = 0 then enforce_capacity t else enforce_capacity ~protect:n t
+
+let pin t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> false
+  | Some n ->
+      n.pinned <- true;
+      true
+
+let unpin t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> false
+  | Some n ->
+      n.pinned <- false;
+      (* releasing a pin may re-enable a deferred eviction *)
+      enforce_capacity t;
+      true
+
+let is_pinned t k =
+  match Hashtbl.find_opt t.table k with Some n -> n.pinned | None -> false
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> false
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table k;
+      t.length <- t.length - 1;
+      true
+
+let keys_mru t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.key :: acc) n.next
+  in
+  go [] t.head

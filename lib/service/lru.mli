@@ -1,0 +1,59 @@
+(** Bounded least-recently-used map with pinning and explicit
+    eviction — the mechanism behind the prepared-state cache.
+
+    Semantics:
+    - {!find} and {!put} move the entry to the most-recently-used
+      position.
+    - After an insertion pushes the population above [capacity],
+      unpinned entries are evicted from the LRU end until the bound
+      holds again. Pinned entries are skipped, and the entry being
+      inserted is never its own victim; when every {e other} resident
+      entry is pinned the map temporarily exceeds its capacity rather
+      than evicting pinned state or the new entry (it shrinks back
+      when a pin is released).
+    - [capacity 0] therefore stores nothing: an unpinned insertion is
+      evicted immediately ([on_evict] still fires), and {!pin} cannot
+      reach it.
+    - {!remove} is explicit eviction and overrides pinning.
+
+    Not thread-safe by design: the scheduler owns its cache from a
+    single domain (enforced by an {!Audit.Ownership} tag one level
+    up). *)
+
+type ('k, 'v) t
+
+val create : ?on_evict:('k -> 'v -> unit) -> capacity:int -> unit -> ('k, 'v) t
+(** [on_evict] fires for automatic (capacity) evictions only, not for
+    {!remove} or value replacement.
+    @raise Invalid_argument when [capacity < 0]. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Touches the entry (moves it to MRU) on a hit. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Does {e not} touch the entry. *)
+
+val peek : ('k, 'v) t -> 'k -> 'v option
+(** Lookup without touching the recency order. *)
+
+val put : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or replace; replacement keeps the entry's pin state. *)
+
+val pin : ('k, 'v) t -> 'k -> bool
+(** Exempt the entry from automatic eviction; [false] when absent.
+    Idempotent. *)
+
+val unpin : ('k, 'v) t -> 'k -> bool
+
+val is_pinned : ('k, 'v) t -> 'k -> bool
+
+val remove : ('k, 'v) t -> 'k -> bool
+(** Explicit eviction, effective even on pinned entries; [false] when
+    absent. *)
+
+val keys_mru : ('k, 'v) t -> 'k list
+(** All keys, most-recently-used first (the eviction order reversed) —
+    for tests and introspection. *)

@@ -1,0 +1,54 @@
+(** Content-addressed formula registry.
+
+    Two clients submitting the same formula — up to clause order,
+    literal order, duplicate literals/clauses, tautologies and
+    sampling-set order — should share one prepared sampler state. The
+    registry makes that identity explicit: {!canonical} maps a formula
+    to a normal form, {!fingerprint} hashes the normal form's
+    serialization into a stable content address, and {!intern} stores
+    one shared canonical copy per fingerprint.
+
+    Canonical form (this is also the specification the DIMACS
+    round-trip property in the test suite checks against):
+    - clauses are {!Cnf.Clause.normalize}d (literals sorted,
+      duplicates dropped), tautologies removed, then sorted with
+      {!Cnf.Clause.compare} and deduplicated;
+    - XOR rows are rebuilt with {!Cnf.Xor_clause.make} (variables
+      sorted, pairs cancelled), trivially-true empty rows ([⊕∅ =
+      false], which has no DIMACS rendering) dropped, then sorted and
+      deduplicated;
+    - the sampling set, when declared, is sorted and deduplicated
+      (declared-vs-absent is preserved: an absent set means "sample
+      over all variables", which is a different formula identity);
+    - [num_vars] is preserved verbatim — variables beyond the last
+      occurring one still widen the witness space.
+
+    The preparation pipeline runs on the canonical formula, so every
+    client of one fingerprint receives witnesses from the same
+    deterministic draw streams regardless of how its copy of the
+    formula was ordered. *)
+
+val canonical : Cnf.Formula.t -> Cnf.Formula.t
+(** Idempotent: [canonical (canonical f)] equals [canonical f]. *)
+
+val serialize : Cnf.Formula.t -> string
+(** Canonicalize, then render the versioned byte string that is
+    hashed by {!fingerprint} (exposed for tests and debugging). *)
+
+val fingerprint : Cnf.Formula.t -> string
+(** Hex content address of [serialize f] — equal for any two formulas
+    with the same canonical form. *)
+
+type t
+(** Registry instance: fingerprint → shared canonical formula. *)
+
+val create : unit -> t
+
+val intern : t -> Cnf.Formula.t -> string * Cnf.Formula.t
+(** [intern t f] returns [(fingerprint, canonical)]; a second intern
+    of an equivalent formula returns the {e same} canonical value
+    (physical sharing), so per-formula state keyed by fingerprint
+    never duplicates. *)
+
+val find : t -> string -> Cnf.Formula.t option
+val length : t -> int

@@ -1,0 +1,322 @@
+type config = {
+  queue_capacity : int;
+  max_batch : int;
+  cache_capacity : int;
+  jobs : int;
+  incremental : bool;
+}
+
+let default_config =
+  {
+    queue_capacity = 64;
+    max_batch = 10_000;
+    cache_capacity = 16;
+    jobs = 1;
+    incremental = true;
+  }
+
+type request = {
+  formula : Cnf.Formula.t;
+  n : int;
+  seed : int;
+  prepare_seed : int;
+  epsilon : float;
+  count_iterations : int option;
+  timeout_s : float option;
+  max_attempts : int;
+  pin : bool;
+  tag : string option;
+}
+
+let request_of_wire formula (w : Wire.sample_req) =
+  {
+    formula;
+    n = w.Wire.n;
+    seed = w.Wire.seed;
+    prepare_seed = w.Wire.prepare_seed;
+    epsilon = w.Wire.epsilon;
+    count_iterations = w.Wire.count_iterations;
+    timeout_s = w.Wire.timeout_s;
+    max_attempts = w.Wire.max_attempts;
+    pin = w.Wire.pin;
+    tag = w.Wire.tag;
+  }
+
+type reject = { reason : Wire.reject_reason; retry_after_s : float }
+
+type pending_req = {
+  id : int;
+  req : request;
+  fingerprint : string;
+  canonical : Cnf.Formula.t;
+  submitted_at : float;
+  deadline : float option;  (* absolute *)
+  mutable cancelled : bool;
+}
+
+type t = {
+  cfg : config;
+  registry : Registry.t;
+  prep_cache : Cache.t;
+  pool : Parallel.Domain_pool.t option;
+  queues : (string, pending_req Queue.t) Hashtbl.t;
+  rotation : string Queue.t;  (* fingerprints with pending work, RR order *)
+  by_id : (int, pending_req) Hashtbl.t;
+  mutable next_id : int;
+  mutable pending_count : int;
+  mutable draining : bool;
+  mutable avg_exec_s : float;  (* EWMA of request execution time *)
+  mutable executed : int;
+  mutable pool_down : bool;
+  owner : Audit.Ownership.t;
+}
+
+let c_requests = Obs.Metrics.counter "service.requests"
+let c_rejected = Obs.Metrics.counter "service.rejected"
+let c_deadline_misses = Obs.Metrics.counter "service.deadline_misses"
+let c_cancelled = Obs.Metrics.counter "service.cancelled"
+let h_queue_wait = Obs.Metrics.histogram "service.queue_wait_seconds"
+let h_request = Obs.Metrics.histogram "service.request_seconds"
+
+let set_depth t =
+  Obs.Metrics.set_gauge "service.queue_depth" (float_of_int t.pending_count)
+
+let create ?(config = default_config) () =
+  if config.queue_capacity < 1 then
+    invalid_arg "Scheduler.create: queue_capacity must be >= 1";
+  if config.jobs < 1 then invalid_arg "Scheduler.create: jobs must be >= 1";
+  if config.cache_capacity < 0 then
+    invalid_arg "Scheduler.create: cache_capacity must be >= 0";
+  if config.max_batch < 0 then
+    invalid_arg "Scheduler.create: max_batch must be >= 0";
+  {
+    cfg = config;
+    registry = Registry.create ();
+    prep_cache = Cache.create ~capacity:config.cache_capacity;
+    pool =
+      (if config.jobs > 1 then Some (Parallel.Domain_pool.create ~jobs:config.jobs)
+       else None);
+    queues = Hashtbl.create 16;
+    rotation = Queue.create ();
+    by_id = Hashtbl.create 64;
+    next_id = 1;
+    pending_count = 0;
+    draining = false;
+    avg_exec_s = 0.05;
+    executed = 0;
+    pool_down = false;
+    owner = Audit.Ownership.create "service scheduler";
+  }
+
+let config t = t.cfg
+let cache t = t.prep_cache
+let registry t = t.registry
+
+let pending t =
+  Audit.Ownership.check t.owner;
+  t.pending_count
+
+let is_draining t = t.draining
+
+let set_draining t =
+  Audit.Ownership.check t.owner;
+  t.draining <- true
+
+let submit t req =
+  Audit.Ownership.check t.owner;
+  if t.draining then begin
+    Obs.Metrics.incr c_rejected;
+    Error { reason = Wire.Draining; retry_after_s = 0.0 }
+  end
+  else if req.n < 0 || req.n > t.cfg.max_batch then begin
+    Obs.Metrics.incr c_rejected;
+    Error { reason = Wire.Batch_too_large; retry_after_s = 0.0 }
+  end
+  else if t.pending_count >= t.cfg.queue_capacity then begin
+    Obs.Metrics.incr c_rejected;
+    (* the hint assumes the backlog drains at the observed mean
+       request time; clients treat it as advisory *)
+    Error
+      {
+        reason = Wire.Queue_full;
+        retry_after_s = t.avg_exec_s *. float_of_int (t.pending_count + 1);
+      }
+  end
+  else begin
+    let fingerprint, canonical = Registry.intern t.registry req.formula in
+    let now = Unix.gettimeofday () in
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    let p =
+      {
+        id;
+        req;
+        fingerprint;
+        canonical;
+        submitted_at = now;
+        deadline = Option.map (fun s -> now +. s) req.timeout_s;
+        cancelled = false;
+      }
+    in
+    (match Hashtbl.find_opt t.queues fingerprint with
+    | Some q -> Queue.push p q
+    | None ->
+        let q = Queue.create () in
+        Queue.push p q;
+        Hashtbl.replace t.queues fingerprint q;
+        Queue.push fingerprint t.rotation);
+    Hashtbl.replace t.by_id id p;
+    t.pending_count <- t.pending_count + 1;
+    Obs.Metrics.incr c_requests;
+    set_depth t;
+    Ok id
+  end
+
+let cancel t id =
+  Audit.Ownership.check t.owner;
+  match Hashtbl.find_opt t.by_id id with
+  | None -> false
+  | Some p ->
+      p.cancelled <- true;
+      Hashtbl.remove t.by_id id;
+      t.pending_count <- t.pending_count - 1;
+      Obs.Metrics.incr c_cancelled;
+      set_depth t;
+      true
+
+(* Next request in fairness order: pop the head fingerprint of the
+   rotation, take its oldest live request, and re-enqueue the
+   fingerprint at the rotation tail while it still has work. *)
+let rec next_pending t =
+  if Queue.is_empty t.rotation then None
+  else begin
+    let fp = Queue.pop t.rotation in
+    match Hashtbl.find_opt t.queues fp with
+    | None -> next_pending t
+    | Some q ->
+        let rec take () =
+          if Queue.is_empty q then None
+          else
+            let p = Queue.pop q in
+            if p.cancelled then take () else Some p
+        in
+        let taken = take () in
+        if Queue.is_empty q then Hashtbl.remove t.queues fp
+        else Queue.push fp t.rotation;
+        (match taken with None -> next_pending t | Some p -> Some p)
+  end
+
+let execute t ~queue_wait_s p =
+  let key =
+    {
+      Cache.fingerprint = p.fingerprint;
+      epsilon = p.req.epsilon;
+      prepare_seed = p.req.prepare_seed;
+      count_iterations = p.req.count_iterations;
+      incremental = t.cfg.incremental;
+    }
+  in
+  let cached = Cache.find t.prep_cache key in
+  let cache_hit = Option.is_some cached in
+  let prep_result =
+    match cached with
+    | Some entry -> Ok entry
+    | None -> (
+        let rng = Rng.create p.req.prepare_seed in
+        match
+          Obs.Trace.span ~cat:"service" "service.prepare"
+            ~args:[ ("fingerprint", p.fingerprint) ]
+            (fun () ->
+              Sampling.Unigen.prepare ?deadline:p.deadline
+                ?count_iterations:p.req.count_iterations
+                ~incremental:t.cfg.incremental ?pool:t.pool ~rng
+                ~epsilon:p.req.epsilon p.canonical)
+        with
+        | Ok prepared ->
+            let entry =
+              { Cache.prepared; formula = p.canonical; draws_served = 0 }
+            in
+            Cache.put t.prep_cache key entry;
+            Ok entry
+        | Error e -> Error e)
+  in
+  if p.req.pin then ignore (Cache.pin t.prep_cache key : bool);
+  match prep_result with
+  | Error Sampling.Unigen.Unsat_formula -> Wire.Unsat { rsp_tag = p.req.tag }
+  | Error Sampling.Unigen.Prepare_timeout ->
+      Obs.Metrics.incr c_deadline_misses;
+      Wire.Deadline_miss { rsp_tag = p.req.tag }
+  | Error Sampling.Unigen.Count_failed ->
+      Wire.Error_msg "approximate count failed within budget"
+  | Ok entry ->
+      let outcomes =
+        Obs.Trace.span ~cat:"service" "service.draw"
+          ~args:[ ("fingerprint", p.fingerprint); ("n", string_of_int p.req.n) ]
+          (fun () ->
+            Sampling.Unigen.sample_batch ?deadline:p.deadline
+              ~max_attempts:(max 1 p.req.max_attempts) ?pool:t.pool
+              ~seed:p.req.seed entry.Cache.prepared p.req.n)
+      in
+      entry.Cache.draws_served <- entry.Cache.draws_served + p.req.n;
+      let witnesses =
+        Array.to_list outcomes
+        |> List.filter_map (function
+             | Ok m -> Some (Cnf.Model.to_dimacs m)
+             | Error _ -> None)
+      in
+      Wire.Ok_sample
+        {
+          fingerprint = p.fingerprint;
+          cache_hit;
+          witnesses;
+          produced = List.length witnesses;
+          requested = p.req.n;
+          queue_wait_s;
+          rsp_tag = p.req.tag;
+        }
+
+let step t =
+  Audit.Ownership.check t.owner;
+  match next_pending t with
+  | None -> None
+  | Some p ->
+      Hashtbl.remove t.by_id p.id;
+      t.pending_count <- t.pending_count - 1;
+      set_depth t;
+      let now = Unix.gettimeofday () in
+      let queue_wait_s = now -. p.submitted_at in
+      Obs.Metrics.observe h_queue_wait queue_wait_s;
+      let response =
+        Obs.Trace.span ~cat:"service" "service.request"
+          ~args:[ ("fingerprint", p.fingerprint); ("id", string_of_int p.id) ]
+          (fun () ->
+            match p.deadline with
+            | Some d when now > d ->
+                Obs.Metrics.incr c_deadline_misses;
+                Wire.Deadline_miss { rsp_tag = p.req.tag }
+            | _ -> (
+                try execute t ~queue_wait_s p with
+                | Invalid_argument m -> Wire.Error_msg ("invalid request: " ^ m)
+                | Failure m -> Wire.Error_msg m))
+      in
+      let dt = Unix.gettimeofday () -. now in
+      Obs.Metrics.observe h_request dt;
+      t.avg_exec_s <-
+        (if t.executed = 0 then dt else (0.8 *. t.avg_exec_s) +. (0.2 *. dt));
+      t.executed <- t.executed + 1;
+      Some (p.id, response)
+
+let drain t =
+  let rec go acc =
+    match step t with None -> List.rev acc | Some c -> go (c :: acc)
+  in
+  go []
+
+let shutdown t =
+  Audit.Ownership.check t.owner;
+  if not t.pool_down then begin
+    t.pool_down <- true;
+    match t.pool with
+    | Some pool -> Parallel.Domain_pool.shutdown pool
+    | None -> ()
+  end

@@ -1,0 +1,105 @@
+(** Deadline-aware request scheduler over the prepared-state cache.
+
+    The scheduler is the daemon's brain, factored out of the socket
+    layer so every policy is unit-testable in-process:
+
+    - {b bounded admission}: {!submit} is non-blocking; when
+      [queue_capacity] requests are already pending it rejects with a
+      [retry_after_s] hint derived from the observed mean request time
+      (backpressure instead of unbounded buffering). Requests whose
+      sample budget exceeds [max_batch] are rejected outright.
+    - {b fairness}: pending requests are kept in one FIFO per formula
+      fingerprint, and {!step} round-robins across fingerprints — a
+      client spraying thousands of requests at one formula delays its
+      own queue, not other formulas'.
+    - {b deadlines}: a request admitted with [timeout_s] carries an
+      absolute deadline; if it is already past when the request is
+      dispatched, the request completes as [Deadline_miss] without
+      touching a solver, and an in-flight preparation respects the
+      same deadline through [Unigen.prepare ~deadline].
+    - {b cancellation}: {!cancel} removes a pending request by id;
+      cancelled requests are skipped at dispatch.
+    - {b determinism}: execution reuses the {!Cache} when possible and
+      prepares on a miss with [Rng.create prepare_seed]; either way
+      the drawn witnesses are bit-identical to an offline
+      [Unigen.sample_batch ~seed] on the canonical formula (the
+      differential test in [test_service.ml] enforces this on both
+      paths).
+
+    Single-owner: every entry point checks an {!Audit.Ownership} tag,
+    so with audit mode on, a cross-domain touch raises a structured
+    violation instead of racing. Metrics: [service.requests],
+    [service.rejected], [service.deadline_misses], [service.cancelled],
+    cache hit/miss/eviction counts, [service.queue_depth] gauge, and
+    [service.queue_wait_seconds] / [service.request_seconds]
+    histograms. *)
+
+type config = {
+  queue_capacity : int;  (** max pending requests before rejection *)
+  max_batch : int;  (** per-request sample budget *)
+  cache_capacity : int;  (** prepared-state LRU size *)
+  jobs : int;  (** worker domains for prepare/draw; 1 = inline *)
+  incremental : bool;  (** warm solver sessions (the default path) *)
+}
+
+val default_config : config
+(** [queue_capacity = 64], [max_batch = 10_000], [cache_capacity = 16],
+    [jobs = 1], [incremental = true]. *)
+
+type request = {
+  formula : Cnf.Formula.t;
+  n : int;
+  seed : int;
+  prepare_seed : int;
+  epsilon : float;
+  count_iterations : int option;
+  timeout_s : float option;  (** relative deadline, measured from admission *)
+  max_attempts : int;
+  pin : bool;
+  tag : string option;  (** echoed into the response *)
+}
+
+val request_of_wire : Cnf.Formula.t -> Wire.sample_req -> request
+(** Pair an already-parsed formula with the wire parameters. *)
+
+type reject = { reason : Wire.reject_reason; retry_after_s : float }
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Builds the registry, the cache and (when [jobs > 1]) a private
+    {!Parallel.Domain_pool}. @raise Invalid_argument on non-positive
+    capacities where required ([queue_capacity >= 1], [jobs >= 1],
+    [cache_capacity >= 0], [max_batch >= 0]). *)
+
+val config : t -> config
+val cache : t -> Cache.t
+val registry : t -> Registry.t
+
+val submit : t -> request -> (int, reject) result
+(** Admission control only — never solves. [Ok id] hands back the
+    dispatch handle used by {!cancel} and returned by {!step}. *)
+
+val cancel : t -> int -> bool
+(** [true] iff the id was still pending. *)
+
+val pending : t -> int
+(** Admitted, not yet dispatched, not cancelled. *)
+
+val set_draining : t -> unit
+(** Further {!submit}s reject with [Draining]; pending requests still
+    dispatch (the graceful-shutdown half of the daemon). *)
+
+val is_draining : t -> bool
+
+val step : t -> (int * Wire.response) option
+(** Dispatch and fully execute the next request in fairness order;
+    [None] when nothing is pending. *)
+
+val drain : t -> (int * Wire.response) list
+(** {!step} to exhaustion, in completion order. *)
+
+val shutdown : t -> unit
+(** Join the private worker pool (if any). Idempotent. Pending
+    requests are not executed; callers wanting a graceful stop call
+    {!set_draining} and {!drain} first. *)

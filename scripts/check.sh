@@ -32,4 +32,48 @@ echo "== dune runtest (audit mode)"
 # checks. A longer sweep period keeps the pass ~2x baseline cost.
 UNIGEN_AUDIT=1 UNIGEN_AUDIT_PERIOD=256 dune runtest --force
 
+echo "== service smoke"
+# End-to-end daemon check over a real socket: start `unigen serve` on a
+# temp socket, issue the same request twice on the same formula, verify
+# the second is served from the prepared-state cache (the daemon's
+# metrics JSON must report exactly one hit and one miss), then shut
+# down gracefully and confirm the metrics file was flushed on exit.
+smoke_dir=$(mktemp -d)
+serve_pid=
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$smoke_dir"' EXIT
+sock="$smoke_dir/unigen.sock"
+metrics="$smoke_dir/metrics.json"
+cat > "$smoke_dir/smoke.cnf" <<'EOF'
+p cnf 6 3
+c ind 1 2 3 4 0
+1 2 3 0
+-2 4 0
+x 5 6 0
+EOF
+dune exec bin/unigen_cli.exe -- serve --socket "$sock" \
+    --metrics-json "$metrics" > "$smoke_dir/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [ -S "$sock" ] && break
+    sleep 0.1
+done
+[ -S "$sock" ] || { echo "error: daemon did not create $sock" >&2; exit 1; }
+client() {
+    dune exec bin/unigen_cli.exe -- client "$smoke_dir/smoke.cnf" \
+        --socket "$sock" -n 3 -s 7 "$@"
+}
+client | grep -q 'cache=miss' || { echo "error: first request should miss" >&2; exit 1; }
+client | grep -q 'cache=hit'  || { echo "error: second request should hit the cache" >&2; exit 1; }
+client --shutdown > /dev/null
+wait "$serve_pid"
+grep -q '"service.cache_hits": 1' "$metrics" || {
+    echo "error: metrics JSON should record exactly one cache hit" >&2
+    cat "$metrics" >&2
+    exit 1
+}
+grep -q '"service.cache_misses": 1' "$metrics" || {
+    echo "error: metrics JSON should record exactly one cache miss" >&2
+    exit 1
+}
+
 echo "ok"

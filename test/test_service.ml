@@ -1,0 +1,582 @@
+(* Tests for the sampling service subsystem (lib/service): LRU cache
+   semantics, content-addressed registry canonicalization, scheduler
+   policy (backpressure, deadlines, fairness, cancellation), the wire
+   codec, and the determinism contract — service-path witnesses must
+   be bit-identical to offline [Unigen.sample_batch] for the same
+   seeds, on both cache hit and cache miss. *)
+
+module Lru = Service.Lru
+module Registry = Service.Registry
+module Cache = Service.Cache
+module Scheduler = Service.Scheduler
+module Wire = Service.Wire
+module Json = Service.Json
+
+(* ------------------------------------------------------------------ *)
+(* LRU *)
+
+let test_lru_eviction_order () =
+  let evicted = ref [] in
+  let c = Lru.create ~on_evict:(fun k _ -> evicted := k :: !evicted) ~capacity:2 () in
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  Alcotest.(check (list string)) "mru order" [ "b"; "a" ] (Lru.keys_mru c);
+  (* touching [a] protects it; the next insertion evicts [b] *)
+  Alcotest.(check (option int)) "find a" (Some 1) (Lru.find c "a");
+  Lru.put c "c" 3;
+  Alcotest.(check (list string)) "b evicted" [ "c"; "a" ] (Lru.keys_mru c);
+  Alcotest.(check (list string)) "evict callback" [ "b" ] !evicted;
+  Alcotest.(check (option int)) "b gone" None (Lru.find c "b");
+  Alcotest.(check int) "length" 2 (Lru.length c)
+
+let test_lru_pinning () =
+  let c = Lru.create ~capacity:2 () in
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  Alcotest.(check bool) "pin a" true (Lru.pin c "a");
+  Alcotest.(check bool) "pin missing" false (Lru.pin c "zz");
+  (* [a] is LRU but pinned: inserting [c] evicts [b] instead *)
+  Lru.put c "c" 3;
+  Alcotest.(check bool) "a survives" true (Lru.mem c "a");
+  Alcotest.(check bool) "b evicted" false (Lru.mem c "b");
+  (* pin the rest: the cache may exceed capacity rather than drop pins *)
+  ignore (Lru.pin c "c" : bool);
+  Lru.put c "d" 4;
+  Alcotest.(check int) "over capacity under full pin" 3 (Lru.length c);
+  Alcotest.(check bool) "d resident" true (Lru.mem c "d");
+  (* releasing a pin re-enables the deferred eviction *)
+  Alcotest.(check bool) "unpin a" true (Lru.unpin c "a");
+  Alcotest.(check int) "shrunk back" 2 (Lru.length c);
+  Alcotest.(check bool) "a evicted on unpin" false (Lru.mem c "a");
+  (* explicit removal overrides pinning *)
+  Alcotest.(check bool) "remove pinned c" true (Lru.remove c "c");
+  Alcotest.(check bool) "c gone" false (Lru.mem c "c")
+
+let test_lru_capacity_edge_cases () =
+  (* capacity 0: nothing is ever resident *)
+  let evicted = ref 0 in
+  let c0 = Lru.create ~on_evict:(fun _ _ -> incr evicted) ~capacity:0 () in
+  Lru.put c0 "a" 1;
+  Alcotest.(check int) "cap0 empty" 0 (Lru.length c0);
+  Alcotest.(check (option int)) "cap0 miss" None (Lru.find c0 "a");
+  Alcotest.(check int) "cap0 evicted immediately" 1 !evicted;
+  Alcotest.(check bool) "cap0 pin impossible" false (Lru.pin c0 "a");
+  (* capacity 1: every insertion displaces the previous entry *)
+  let c1 = Lru.create ~capacity:1 () in
+  Lru.put c1 "a" 1;
+  Lru.put c1 "b" 2;
+  Alcotest.(check (list string)) "cap1 single" [ "b" ] (Lru.keys_mru c1);
+  Alcotest.(check (option int)) "cap1 hit" (Some 2) (Lru.find c1 "b");
+  (* replacement of the resident key is not an eviction *)
+  Lru.put c1 "b" 9;
+  Alcotest.(check (option int)) "cap1 replace" (Some 9) (Lru.find c1 "b");
+  Alcotest.(check bool) "negative capacity rejected" true
+    (match Lru.create ~capacity:(-1) () with
+    | exception Invalid_argument _ -> true
+    | (_ : (string, int) Lru.t) -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let formula_of_string = Cnf.Dimacs.parse_string
+
+let test_registry_fingerprint_invariance () =
+  (* same formula modulo clause order, literal order, duplicate
+     literals/clauses, a tautology, and sampling-set order *)
+  let a =
+    formula_of_string
+      "p cnf 5 4\nc ind 1 2 3 0\n1 2 0\n-2 3 0\nx 1 -4 5 0\n4 -4 5 0\n"
+  in
+  let b =
+    formula_of_string
+      "p cnf 5 4\nc ind 3 1 2 2 0\n-2 3 0\n2 1 1 0\nx -4 1 5 0\n"
+  in
+  Alcotest.(check string)
+    "equivalent formulas share a fingerprint" (Registry.fingerprint a)
+    (Registry.fingerprint b);
+  let c = formula_of_string "p cnf 5 2\nc ind 1 2 3 0\n1 2 0\n-2 4 0\n" in
+  Alcotest.(check bool)
+    "different formulas differ" false
+    (String.equal (Registry.fingerprint a) (Registry.fingerprint c));
+  (* declared-vs-absent sampling set is a different identity *)
+  let d = formula_of_string "p cnf 5 2\n1 2 0\n-2 3 0\n" in
+  let d' = formula_of_string "p cnf 5 2\nc ind 1 2 3 4 5 0\n1 2 0\n-2 3 0\n" in
+  Alcotest.(check bool)
+    "absent vs full sampling set differ" false
+    (String.equal (Registry.fingerprint d) (Registry.fingerprint d'))
+
+let test_registry_canonical_idempotent () =
+  let f =
+    formula_of_string "p cnf 6 4\nc ind 2 1 0\n3 -3 1 0\n2 2 -5 0\nx -1 6 0\n1 -5 2 0\n"
+  in
+  let once = Registry.canonical f in
+  let twice = Registry.canonical once in
+  Alcotest.(check string) "canonical is idempotent"
+    (Cnf.Dimacs.to_string once) (Cnf.Dimacs.to_string twice);
+  Alcotest.(check string) "serialize matches canonical"
+    (Registry.serialize f) (Registry.serialize once)
+
+let test_registry_interning () =
+  let r = Registry.create () in
+  let a = formula_of_string "p cnf 3 2\n1 2 0\n-1 3 0\n" in
+  let b = formula_of_string "p cnf 3 2\n-1 3 0\n2 1 0\n" in
+  let fp_a, can_a = Registry.intern r a in
+  let fp_b, can_b = Registry.intern r b in
+  Alcotest.(check string) "same address" fp_a fp_b;
+  Alcotest.(check bool) "physically shared canonical" true (can_a == can_b);
+  Alcotest.(check int) "one entry" 1 (Registry.length r);
+  Alcotest.(check bool) "find" true
+    (match Registry.find r fp_a with Some f -> f == can_a | None -> false)
+
+(* The DIMACS round-trip property: parse ∘ print is the identity up to
+   canonical ordering — which is exactly fingerprint equality. This is
+   the specification the registry's canonicalization is held to,
+   XOR (`x`-line) clauses and sampling sets included. *)
+let prop_dimacs_roundtrip_canonical =
+  QCheck2.Test.make ~count:300 ~name:"dimacs roundtrip = id modulo canonical order"
+    Test_util.Gen.formula_spec (fun spec ->
+      let f = Test_util.Gen.build_spec spec in
+      let f = Cnf.Formula.with_sampling_set f [ 1 ] in
+      let reparsed = Cnf.Dimacs.parse_string (Cnf.Dimacs.to_string f) in
+      String.equal (Registry.fingerprint f) (Registry.fingerprint reparsed))
+
+let prop_canonical_preserves_models =
+  QCheck2.Test.make ~count:120 ~name:"canonicalization preserves the model set"
+    Test_util.Gen.formula_spec (fun spec ->
+      let f = Test_util.Gen.build_spec spec in
+      let g = Registry.canonical f in
+      (* enumerate by brute force over all assignments (num_vars <= 12) *)
+      let n = f.Cnf.Formula.num_vars in
+      let ok = ref true in
+      for mask = 0 to (1 lsl n) - 1 do
+        let value v = mask land (1 lsl (v - 1)) <> 0 in
+        if Cnf.Formula.eval f value <> Cnf.Formula.eval g value then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec *)
+
+let test_wire_framing_incremental () =
+  let payloads = [ "hello"; ""; String.make 100_000 'x'; "{\"op\":\"status\"}" ] in
+  let stream = String.concat "" (List.map Wire.encode_frame payloads) in
+  let d = Wire.Decoder.create () in
+  let out = ref [] in
+  (* feed a byte at a time: frames must reassemble across chunk splits *)
+  String.iter
+    (fun ch ->
+      Wire.Decoder.feed d (Bytes.make 1 ch) 1;
+      let rec drain () =
+        match Wire.Decoder.next d with
+        | Some p ->
+            out := p :: !out;
+            drain ()
+        | None -> ()
+      in
+      drain ())
+    stream;
+  Alcotest.(check (list string)) "frames reassemble" payloads (List.rev !out);
+  Alcotest.(check int) "fully consumed" 0 (Wire.Decoder.buffered d);
+  (* an oversized length prefix is rejected before buffering *)
+  let d2 = Wire.Decoder.create () in
+  Wire.Decoder.feed d2 (Bytes.of_string "\xff\xff\xff\xff") 4;
+  Alcotest.check_raises "oversized frame" (Wire.Frame_error "frame exceeds max_frame")
+    (fun () -> ignore (Wire.Decoder.next d2 : string option))
+
+let test_wire_json_roundtrip () =
+  let reqs =
+    [
+      Wire.Sample
+        {
+          Wire.formula_text = "p cnf 2 1\n1 -2 0\n";
+          n = 5;
+          seed = 42;
+          prepare_seed = 7;
+          epsilon = 3.5;
+          count_iterations = Some 9;
+          timeout_s = Some 1.5;
+          max_attempts = 11;
+          pin = true;
+          tag = Some "job-\"1\"\n";
+        };
+      Wire.Sample Wire.default_sample_req;
+      Wire.Cancel "t1";
+      Wire.Status;
+      Wire.Shutdown;
+    ]
+  in
+  List.iter
+    (fun r ->
+      let r' =
+        Wire.request_of_json (Json.of_string (Json.to_string (Wire.request_to_json r)))
+      in
+      Alcotest.(check bool) "request roundtrip" true (r = r'))
+    reqs;
+  let resps =
+    [
+      Wire.Ok_sample
+        {
+          Wire.fingerprint = "abc";
+          cache_hit = true;
+          witnesses = [ [ 1; -2; 3 ]; [ -1; 2; -3 ] ];
+          produced = 2;
+          requested = 3;
+          queue_wait_s = 0.25;
+          rsp_tag = Some "t";
+        };
+      Wire.Rejected { reason = Wire.Queue_full; retry_after_s = 0.5 };
+      Wire.Rejected { reason = Wire.Batch_too_large; retry_after_s = 0.0 };
+      Wire.Rejected { reason = Wire.Draining; retry_after_s = 0.0 };
+      Wire.Deadline_miss { rsp_tag = None };
+      Wire.Cancelled { rsp_tag = Some "x" };
+      Wire.Cancel_result true;
+      Wire.Unsat { rsp_tag = None };
+      Wire.Error_msg "boom";
+      Wire.Metrics [ ("service.requests", 3.0); ("service.queue_depth", 0.0) ];
+      Wire.Bye;
+    ]
+  in
+  List.iter
+    (fun r ->
+      let r' =
+        Wire.response_of_json (Json.of_string (Json.to_string (Wire.response_to_json r)))
+      in
+      Alcotest.(check bool) "response roundtrip" true (r = r'))
+    resps
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler helpers *)
+
+let sample_request ?(n = 3) ?(seed = 1) ?(prepare_seed = 1) ?(epsilon = 6.0)
+    ?count_iterations ?timeout_s ?(pin = false) ?tag formula =
+  {
+    Scheduler.formula;
+    n;
+    seed;
+    prepare_seed;
+    epsilon;
+    count_iterations;
+    timeout_s;
+    max_attempts = 20;
+    pin;
+    tag;
+  }
+
+let submit_ok sched req =
+  match Scheduler.submit sched req with
+  | Ok id -> id
+  | Error _ -> Alcotest.fail "submission unexpectedly rejected"
+
+let step_ok sched =
+  match Scheduler.step sched with
+  | Some c -> c
+  | None -> Alcotest.fail "expected a pending request"
+
+let with_sched ?(config = Scheduler.default_config) f =
+  let sched = Scheduler.create ~config () in
+  Fun.protect ~finally:(fun () -> Scheduler.shutdown sched) (fun () -> f sched)
+
+let formula_a = "p cnf 4 2\nc ind 1 2 3 0\n1 2 3 0\n-1 4 0\n"
+let formula_b = "p cnf 4 2\nc ind 1 2 3 0\n-1 -2 0\n2 3 4 0\n"
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler policy *)
+
+let test_scheduler_backpressure () =
+  with_sched ~config:{ Scheduler.default_config with Scheduler.queue_capacity = 2 }
+  @@ fun sched ->
+  let f = formula_of_string formula_a in
+  ignore (submit_ok sched (sample_request f) : int);
+  ignore (submit_ok sched (sample_request f) : int);
+  Alcotest.(check int) "queue full" 2 (Scheduler.pending sched);
+  (* third submission exceeds the admission queue: reject-with-retry *)
+  (match Scheduler.submit sched (sample_request f) with
+  | Ok _ -> Alcotest.fail "expected rejection"
+  | Error { Scheduler.reason; retry_after_s } ->
+      Alcotest.(check string) "reason" "queue_full"
+        (Wire.reject_reason_to_string reason);
+      Alcotest.(check bool) "retry hint positive" true (retry_after_s > 0.0));
+  (* draining one slot re-opens admission *)
+  ignore (step_ok sched);
+  (match Scheduler.submit sched (sample_request f) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "admission should re-open after step");
+  (* sample budget cap *)
+  match
+    Scheduler.submit sched
+      (sample_request ~n:(Scheduler.default_config.Scheduler.max_batch + 1) f)
+  with
+  | Ok _ -> Alcotest.fail "expected budget rejection"
+  | Error { Scheduler.reason; _ } ->
+      Alcotest.(check string) "budget reason" "batch_too_large"
+        (Wire.reject_reason_to_string reason)
+
+let test_scheduler_deadline_miss () =
+  with_sched @@ fun sched ->
+  let f = formula_of_string formula_a in
+  let id = submit_ok sched (sample_request ~timeout_s:(-0.001) ~tag:"late" f) in
+  let id', resp = step_ok sched in
+  Alcotest.(check int) "same id" id id';
+  (match resp with
+  | Wire.Deadline_miss { rsp_tag } ->
+      Alcotest.(check (option string)) "tag echoed" (Some "late") rsp_tag
+  | _ -> Alcotest.fail "expected a deadline miss");
+  (* a generous deadline sails through *)
+  ignore (submit_ok sched (sample_request ~timeout_s:600.0 f) : int);
+  match step_ok sched with
+  | _, Wire.Ok_sample r ->
+      Alcotest.(check int) "produced within deadline" 3 r.Wire.produced
+  | _ -> Alcotest.fail "expected witnesses"
+
+let test_scheduler_round_robin () =
+  with_sched @@ fun sched ->
+  let fa = formula_of_string formula_a in
+  let fb = formula_of_string formula_b in
+  let a1 = submit_ok sched (sample_request ~n:1 fa) in
+  let a2 = submit_ok sched (sample_request ~n:1 fa) in
+  let a3 = submit_ok sched (sample_request ~n:1 fa) in
+  let b1 = submit_ok sched (sample_request ~n:1 fb) in
+  (* one heavy formula (three queued requests) must not starve the
+     other: dispatch alternates fingerprints *)
+  let order = List.map fst (Scheduler.drain sched) in
+  Alcotest.(check (list int)) "fair interleaving" [ a1; b1; a2; a3 ] order
+
+let test_scheduler_cancellation () =
+  with_sched @@ fun sched ->
+  let f = formula_of_string formula_a in
+  let id1 = submit_ok sched (sample_request ~tag:"one" f) in
+  let id2 = submit_ok sched (sample_request ~tag:"two" f) in
+  Alcotest.(check bool) "cancel pending" true (Scheduler.cancel sched id1);
+  Alcotest.(check bool) "cancel is once" false (Scheduler.cancel sched id1);
+  Alcotest.(check int) "one left" 1 (Scheduler.pending sched);
+  let id', _ = step_ok sched in
+  Alcotest.(check int) "cancelled request skipped" id2 id';
+  Alcotest.(check bool) "drained" true (Scheduler.step sched = None);
+  Alcotest.(check bool) "cancel after completion" false (Scheduler.cancel sched id2)
+
+let test_scheduler_draining () =
+  with_sched @@ fun sched ->
+  let f = formula_of_string formula_a in
+  ignore (submit_ok sched (sample_request f) : int);
+  Scheduler.set_draining sched;
+  (match Scheduler.submit sched (sample_request f) with
+  | Error { Scheduler.reason = Wire.Draining; _ } -> ()
+  | _ -> Alcotest.fail "expected draining rejection");
+  (* already-admitted work still completes *)
+  match Scheduler.drain sched with
+  | [ (_, Wire.Ok_sample _) ] -> ()
+  | _ -> Alcotest.fail "pending request should drain to completion"
+
+let test_scheduler_unsat_and_bad_epsilon () =
+  with_sched @@ fun sched ->
+  let unsat = formula_of_string "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n" in
+  ignore (submit_ok sched (sample_request unsat) : int);
+  (match step_ok sched with
+  | _, Wire.Unsat _ -> ()
+  | _ -> Alcotest.fail "expected unsat response");
+  let f = formula_of_string formula_a in
+  ignore (submit_ok sched (sample_request ~epsilon:1.0 f) : int);
+  match step_ok sched with
+  | _, Wire.Error_msg _ -> ()
+  | _ -> Alcotest.fail "epsilon <= 1.71 must surface as a structured error"
+
+(* ------------------------------------------------------------------ *)
+(* Determinism contract: the differential test. Service-path witnesses
+   must be bit-identical to an offline [Unigen.sample_batch] with the
+   same seeds on the canonical formula — on the cache miss (first
+   request), on the cache hit (second request), and after an explicit
+   eviction (cold again). *)
+
+let offline_witnesses ~prepare_seed ~seed ~epsilon ~n formula =
+  let f = Registry.canonical formula in
+  let rng = Rng.create prepare_seed in
+  match Sampling.Unigen.prepare ~rng ~epsilon f with
+  | Error _ -> None
+  | Ok prepared ->
+      let outcomes =
+        Sampling.Unigen.sample_batch ~max_attempts:20 ~seed prepared n
+      in
+      Some
+        (Array.to_list outcomes
+        |> List.filter_map (function
+             | Ok m -> Some (Cnf.Model.to_dimacs m)
+             | Error _ -> None))
+
+let service_witnesses sched req =
+  ignore (submit_ok sched req : int);
+  match step_ok sched with
+  | _, Wire.Ok_sample r -> (r.Wire.cache_hit, r.Wire.witnesses)
+  | _ -> Alcotest.fail "expected witnesses from the service path"
+
+let test_differential_service_vs_offline () =
+  (* a formula with enough witnesses to leave the easy case, so the
+     ApproxMC-derived hash-size window is part of what must match *)
+  let text =
+    "p cnf 12 3\nc ind 1 2 3 4 5 6 7 8 9 10 0\n1 2 3 0\n-4 5 6 0\n7 -8 0\n"
+  in
+  let f = formula_of_string text in
+  let n = 8 and seed = 33 and prepare_seed = 5 and epsilon = 6.0 in
+  let reference =
+    match offline_witnesses ~prepare_seed ~seed ~epsilon ~n f with
+    | Some w -> w
+    | None -> Alcotest.fail "offline preparation failed"
+  in
+  with_sched @@ fun sched ->
+  let req = sample_request ~n ~seed ~prepare_seed ~epsilon f in
+  let hit1, w1 = service_witnesses sched req in
+  Alcotest.(check bool) "first request is a cold miss" false hit1;
+  Alcotest.(check (list (list int))) "miss path bit-identical" reference w1;
+  let hit2, w2 = service_witnesses sched req in
+  Alcotest.(check bool) "second request hits the cache" true hit2;
+  Alcotest.(check (list (list int))) "hit path bit-identical" reference w2;
+  (* explicit eviction forces a re-preparation; still bit-identical *)
+  (match Cache.keys_mru (Scheduler.cache sched) with
+  | [ key ] -> Alcotest.(check bool) "evict" true (Cache.remove (Scheduler.cache sched) key)
+  | _ -> Alcotest.fail "expected exactly one cached preparation");
+  let hit3, w3 = service_witnesses sched req in
+  Alcotest.(check bool) "cold again after eviction" false hit3;
+  Alcotest.(check (list (list int))) "post-eviction bit-identical" reference w3;
+  (* a different draw seed shares the preparation but draws new
+     streams — matching its own offline run *)
+  let seed' = 34 in
+  let reference' =
+    match offline_witnesses ~prepare_seed ~seed:seed' ~epsilon ~n f with
+    | Some w -> w
+    | None -> Alcotest.fail "offline preparation failed"
+  in
+  let hit4, w4 = service_witnesses sched (sample_request ~n ~seed:seed' ~prepare_seed ~epsilon f) in
+  Alcotest.(check bool) "seed change still hits" true hit4;
+  Alcotest.(check (list (list int))) "other seed bit-identical" reference' w4
+
+(* qcheck property: for random formulas, cache hit and cold miss give
+   identical draws for fixed seeds (and both match offline). *)
+let prop_cache_hit_equals_cold_miss =
+  QCheck2.Test.make ~count:15 ~name:"cache hit = cold miss draw results"
+    QCheck2.Gen.(pair Test_util.Gen.formula_spec (int_bound 10_000))
+    (fun (spec, seed) ->
+      let f = Test_util.Gen.build_spec spec in
+      let config =
+        { Scheduler.default_config with Scheduler.cache_capacity = 2 }
+      in
+      let sched = Scheduler.create ~config () in
+      Fun.protect ~finally:(fun () -> Scheduler.shutdown sched) @@ fun () ->
+      let req = sample_request ~n:4 ~seed ~count_iterations:5 f in
+      ignore (Scheduler.submit sched req |> Result.get_ok : int);
+      let r1 = Scheduler.step sched in
+      ignore (Scheduler.submit sched req |> Result.get_ok : int);
+      let r2 = Scheduler.step sched in
+      match (r1, r2) with
+      | Some (_, Wire.Ok_sample a), Some (_, Wire.Ok_sample b) ->
+          (not a.Wire.cache_hit) && b.Wire.cache_hit
+          && a.Wire.witnesses = b.Wire.witnesses
+      | Some (_, Wire.Unsat _), Some (_, Wire.Unsat _) -> true
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end over a real Unix socket: daemon in a forked child, two
+   requests on one connection, a tagged cancel race, clean shutdown. *)
+
+let test_socket_end_to_end () =
+  let dir = Filename.temp_file "unigen_service" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let socket_path = Filename.concat dir "daemon.sock" in
+  match Unix.fork () with
+  | 0 ->
+      (* child: the daemon. [_exit] skips at_exit so the test runner's
+         buffers are not flushed twice. *)
+      (try
+         Service.Server.run (Service.Server.default_config ~socket_path)
+       with _ -> ());
+      Unix._exit 0
+  | pid ->
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          (* the happy path has already reaped the child *)
+          (try ignore (Unix.waitpid [] pid : int * Unix.process_status)
+           with Unix.Unix_error (Unix.ECHILD, _, _) -> ());
+          (try Sys.remove socket_path with Sys_error _ -> ());
+          try Unix.rmdir dir with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while
+        (not (Sys.file_exists socket_path)) && Unix.gettimeofday () < deadline
+      do
+        ignore (Unix.select [] [] [] 0.02)
+      done;
+      Alcotest.(check bool) "daemon came up" true (Sys.file_exists socket_path);
+      let req =
+        Wire.Sample
+          { Wire.default_sample_req with Wire.formula_text = formula_a; n = 4; seed = 9 }
+      in
+      Service.Client.with_connection ~socket_path @@ fun conn ->
+      let r1 = Service.Client.request conn req in
+      let r2 = Service.Client.request conn req in
+      (match (r1, r2) with
+      | Wire.Ok_sample a, Wire.Ok_sample b ->
+          Alcotest.(check bool) "first cold" false a.Wire.cache_hit;
+          Alcotest.(check bool) "second warm" true b.Wire.cache_hit;
+          Alcotest.(check bool) "same witnesses over the wire" true
+            (a.Wire.witnesses = b.Wire.witnesses);
+          Alcotest.(check int) "produced" 4 a.Wire.produced
+      | _ -> Alcotest.fail "expected two witness responses");
+      (match Service.Client.request conn Wire.Status with
+      | Wire.Metrics values ->
+          Alcotest.(check bool) "cache hit visible in metrics" true
+            (match List.assoc_opt "service.cache_hits" values with
+            | Some v -> v >= 1.0
+            | None -> false)
+      | _ -> Alcotest.fail "expected a metrics response");
+      (match Service.Client.request conn Wire.Shutdown with
+      | Wire.Bye -> ()
+      | _ -> Alcotest.fail "expected bye");
+      let _, status = Unix.waitpid [] pid in
+      Alcotest.(check bool) "daemon exited cleanly" true
+        (match status with Unix.WEXITED 0 -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "pinning" `Quick test_lru_pinning;
+          Alcotest.test_case "capacity edge cases" `Quick test_lru_capacity_edge_cases;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "fingerprint invariance" `Quick
+            test_registry_fingerprint_invariance;
+          Alcotest.test_case "canonical idempotent" `Quick
+            test_registry_canonical_idempotent;
+          Alcotest.test_case "interning" `Quick test_registry_interning;
+          QCheck_alcotest.to_alcotest prop_dimacs_roundtrip_canonical;
+          QCheck_alcotest.to_alcotest prop_canonical_preserves_models;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "framing incremental" `Quick test_wire_framing_incremental;
+          Alcotest.test_case "json roundtrip" `Quick test_wire_json_roundtrip;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "backpressure" `Quick test_scheduler_backpressure;
+          Alcotest.test_case "deadline miss" `Quick test_scheduler_deadline_miss;
+          Alcotest.test_case "round robin" `Quick test_scheduler_round_robin;
+          Alcotest.test_case "cancellation" `Quick test_scheduler_cancellation;
+          Alcotest.test_case "draining" `Quick test_scheduler_draining;
+          Alcotest.test_case "unsat and bad epsilon" `Quick
+            test_scheduler_unsat_and_bad_epsilon;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "differential vs offline" `Quick
+            test_differential_service_vs_offline;
+          QCheck_alcotest.to_alcotest prop_cache_hit_equals_cold_miss;
+        ] );
+      ( "daemon",
+        [ Alcotest.test_case "socket end to end" `Quick test_socket_end_to_end ] );
+    ]
