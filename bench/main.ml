@@ -806,27 +806,19 @@ let run_obs ~budget () =
    so the gap is the amortised ApproxMC cost), then queue wait under
    concurrent pipelined clients. Writes BENCH_service.json. *)
 
-let run_service ~budget () =
-  section
-    "Sampling service daemon (cold vs warm latency, queue wait under load, \
-     writes BENCH_service.json)";
-  let instance =
-    match Workload.Suite.by_name "case_m1" with
-    | Some i -> i
-    | None -> failwith "instance missing"
-  in
-  let formula_text =
-    Cnf.Dimacs.to_string (Lazy.force instance.Workload.Suite.formula)
-  in
-  let n = min budget.unigen_samples 20 in
-  let clients = 4 and per_client = 5 in
+let with_service_daemon ~scheduler f =
   let dir = Filename.temp_file "unigen_bench_service" "" in
   Sys.remove dir;
   Unix.mkdir dir 0o700;
   let socket_path = Filename.concat dir "bench.sock" in
   match Unix.fork () with
   | 0 ->
-      (try Service.Server.run (Service.Server.default_config ~socket_path)
+      (try
+         Service.Server.run
+           {
+             (Service.Server.default_config ~socket_path) with
+             Service.Server.scheduler;
+           }
        with _ -> ());
       Unix._exit 0
   | pid ->
@@ -845,100 +837,189 @@ let run_service ~budget () =
         ignore (Unix.select [] [] [] 0.02)
       done;
       if not (Sys.file_exists socket_path) then failwith "daemon did not start";
-      let sample_req seed =
-        Service.Wire.Sample
-          { Service.Wire.default_sample_req with Service.Wire.formula_text; n; seed }
-      in
-      let queue_wait = function
-        | Service.Wire.Ok_sample ok -> ok.Service.Wire.queue_wait_s
-        | _ -> failwith "service bench: unexpected response"
-      in
-      (* cold, then repeated warm draws with fresh draw seeds (all share
-         the one cached preparation) on a single connection *)
-      let cold_s, warm_median_s =
-        Service.Client.with_connection ~socket_path @@ fun conn ->
-        let timed seed =
-          let t0 = Unix.gettimeofday () in
-          let resp = Service.Client.request conn (sample_req seed) in
-          ignore (queue_wait resp : float);
-          Unix.gettimeofday () -. t0
-        in
-        let cold = timed 1 in
-        let warm = List.init 5 (fun i -> timed (2 + i)) in
-        let sorted = List.sort compare warm in
-        (cold, List.nth sorted (List.length sorted / 2))
-      in
-      Printf.printf "  cold request:        %8.1f ms (prepare + %d draws)\n%!"
-        (cold_s *. 1000.) n;
-      Printf.printf "  warm request median: %8.1f ms (%d draws, cache hit)\n%!"
-        (warm_median_s *. 1000.) n;
-      Printf.printf "  amortisation factor: %8.1fx\n%!" (cold_s /. warm_median_s);
-      (* concurrent load: [clients] connections each pipeline
-         [per_client] requests before reading anything back, so the
-         daemon's admission queue genuinely fills *)
-      let fds =
-        List.init clients (fun _ ->
-            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-            Unix.connect fd (Unix.ADDR_UNIX socket_path);
-            fd)
-      in
-      let t0 = Unix.gettimeofday () in
-      List.iteri
-        (fun ci fd ->
-          for r = 0 to per_client - 1 do
-            Service.Wire.write_frame fd
-              (Service.Json.to_string
-                 (Service.Wire.request_to_json
-                    (sample_req (100 + (ci * per_client) + r))))
-          done)
-        fds;
-      let waits = ref [] in
-      List.iter
-        (fun fd ->
-          for _ = 1 to per_client do
-            match Service.Wire.read_frame fd with
-            | Some payload ->
-                waits :=
-                  queue_wait
-                    (Service.Wire.response_of_json (Service.Json.of_string payload))
-                  :: !waits
-            | None -> failwith "service bench: daemon closed mid-burst"
-          done)
-        fds;
-      let burst_s = Unix.gettimeofday () -. t0 in
-      List.iter Unix.close fds;
-      let wait_avg =
-        List.fold_left ( +. ) 0.0 !waits /. float_of_int (List.length !waits)
-      in
-      let wait_max = List.fold_left Float.max 0.0 !waits in
-      Printf.printf
-        "  burst: %d clients x %d requests in %.1f ms (queue wait avg %.1f ms, \
-         max %.1f ms)\n%!"
-        clients per_client (burst_s *. 1000.) (wait_avg *. 1000.)
-        (wait_max *. 1000.);
+      let result = f socket_path in
       (match Service.Client.call ~socket_path Service.Wire.Shutdown with
       | Service.Wire.Bye -> ()
       | _ -> failwith "service bench: shutdown refused");
       (match Unix.waitpid [] pid with
       | _, Unix.WEXITED 0 -> ()
       | _ -> failwith "service bench: daemon exited uncleanly");
-      let report = Obs.Report.create () in
-      Obs.Report.add_section report "service"
+      result
+
+let queue_wait_of_response = function
+  | Service.Wire.Ok_sample ok -> ok.Service.Wire.queue_wait_s
+  | _ -> failwith "service bench: unexpected response"
+
+(* [clients] connections each pipeline [per_client] requests before
+   reading anything back, so the daemon's admission queue genuinely
+   fills. [request_for ci r] names client [ci]'s [r]-th request.
+   Returns (wall seconds, queue waits). *)
+let pipelined_burst ~socket_path ~clients ~per_client request_for =
+  let fds =
+    List.init clients (fun _ ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX socket_path);
+        fd)
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iteri
+    (fun ci fd ->
+      for r = 0 to per_client - 1 do
+        Service.Wire.write_frame fd
+          (Service.Json.to_string
+             (Service.Wire.request_to_json (request_for ci r)))
+      done)
+    fds;
+  let waits = ref [] in
+  List.iter
+    (fun fd ->
+      for _ = 1 to per_client do
+        match Service.Wire.read_frame fd with
+        | Some payload ->
+            waits :=
+              queue_wait_of_response
+                (Service.Wire.response_of_json (Service.Json.of_string payload))
+              :: !waits
+        | None -> failwith "service bench: daemon closed mid-burst"
+      done)
+    fds;
+  let burst_s = Unix.gettimeofday () -. t0 in
+  List.iter Unix.close fds;
+  (burst_s, !waits)
+
+let wait_stats waits =
+  let n = List.length waits in
+  let avg = List.fold_left ( +. ) 0.0 waits /. float_of_int (max 1 n) in
+  let sorted = List.sort compare waits in
+  let p90 = if n = 0 then 0.0 else List.nth sorted (min (n - 1) (n * 9 / 10)) in
+  let max_w = List.fold_left Float.max 0.0 waits in
+  (avg, p90, max_w)
+
+let run_service ~budget () =
+  section
+    "Sampling service daemon (cold vs warm latency, scaling by worker \
+     domains, writes BENCH_service.json)";
+  let instance =
+    match Workload.Suite.by_name "case_m1" with
+    | Some i -> i
+    | None -> failwith "instance missing"
+  in
+  let formula_text =
+    Cnf.Dimacs.to_string (Lazy.force instance.Workload.Suite.formula)
+  in
+  let n = min budget.unigen_samples 20 in
+  let clients = 4 and per_client = 5 in
+  let sample_req seed =
+    Service.Wire.Sample
+      { Service.Wire.default_sample_req with Service.Wire.formula_text; n; seed }
+  in
+  let report = Obs.Report.create () in
+  (* cold, then repeated warm draws with fresh draw seeds (all share
+     the one cached preparation) on a single connection, plus the
+     historical one-formula burst — all against the serial daemon *)
+  let cold_s, warm_median_s, base_burst_s, base_waits =
+    with_service_daemon ~scheduler:Service.Scheduler.default_config
+    @@ fun socket_path ->
+    let cold_s, warm_median_s =
+      Service.Client.with_connection ~socket_path @@ fun conn ->
+      let timed seed =
+        let t0 = Unix.gettimeofday () in
+        let resp = Service.Client.request conn (sample_req seed) in
+        ignore (queue_wait_of_response resp : float);
+        Unix.gettimeofday () -. t0
+      in
+      let cold = timed 1 in
+      let warm = List.init 5 (fun i -> timed (2 + i)) in
+      let sorted = List.sort compare warm in
+      (cold, List.nth sorted (List.length sorted / 2))
+    in
+    let burst_s, waits =
+      pipelined_burst ~socket_path ~clients ~per_client (fun ci r ->
+          sample_req (100 + (ci * per_client) + r))
+    in
+    (cold_s, warm_median_s, burst_s, waits)
+  in
+  Printf.printf "  cold request:        %8.1f ms (prepare + %d draws)\n%!"
+    (cold_s *. 1000.) n;
+  Printf.printf "  warm request median: %8.1f ms (%d draws, cache hit)\n%!"
+    (warm_median_s *. 1000.) n;
+  Printf.printf "  amortisation factor: %8.1fx\n%!" (cold_s /. warm_median_s);
+  let wait_avg, _, wait_max = wait_stats base_waits in
+  Printf.printf
+    "  burst: %d clients x %d requests in %.1f ms (queue wait avg %.1f ms, \
+     max %.1f ms)\n%!"
+    clients per_client (base_burst_s *. 1000.) (wait_avg *. 1000.)
+    (wait_max *. 1000.);
+  Obs.Report.add_section report "service"
+    Obs.Report.
+      [
+        ("instance", String instance.Workload.Suite.name);
+        ("samples_per_request", Int n);
+        ("jobs", Int Service.Scheduler.default_config.Service.Scheduler.jobs);
+        ("cold_ms", Float (cold_s *. 1000.));
+        ("warm_ms_median", Float (warm_median_s *. 1000.));
+        ("amortisation_factor", Float (cold_s /. warm_median_s));
+        ("concurrent_clients", Int clients);
+        ("requests_per_client", Int per_client);
+        ("burst_wall_ms", Float (base_burst_s *. 1000.));
+        ("queue_wait_ms_avg", Float (wait_avg *. 1000.));
+        ("queue_wait_ms_max", Float (wait_max *. 1000.));
+      ];
+  (* scaling by worker domains: each client hammers its own formula
+     (distinct fingerprints — the sharded-parallelism regime), one
+     fresh daemon per jobs level. On a 1-core host the series
+     degenerates to a scheduling-overhead check: jobs=1 must not
+     regress, and higher jobs levels must stay within noise. *)
+  section "Service scaling by worker domains (one formula per client)";
+  let scaling_instances = Workload.Suite.quick in
+  if List.length scaling_instances < clients then
+    failwith "service bench: quick suite too small for the scaling series";
+  let texts =
+    Array.of_list
+      (List.map
+         (fun i -> Cnf.Dimacs.to_string (Lazy.force i.Workload.Suite.formula))
+         scaling_instances)
+  in
+  let scaling_n = min n 10 in
+  List.iter
+    (fun jobs ->
+      let scheduler =
+        { Service.Scheduler.default_config with Service.Scheduler.jobs }
+      in
+      let burst_s, waits =
+        with_service_daemon ~scheduler @@ fun socket_path ->
+        pipelined_burst ~socket_path ~clients ~per_client (fun ci r ->
+            Service.Wire.Sample
+              {
+                Service.Wire.default_sample_req with
+                Service.Wire.formula_text = texts.(ci mod Array.length texts);
+                n = scaling_n;
+                seed = 500 + (ci * per_client) + r;
+              })
+      in
+      let wait_avg, wait_p90, wait_max = wait_stats waits in
+      Printf.printf
+        "  jobs=%d: %d clients x %d requests in %8.1f ms (queue wait avg \
+         %.1f ms, p90 %.1f ms, max %.1f ms)\n%!"
+        jobs clients per_client (burst_s *. 1000.) (wait_avg *. 1000.)
+        (wait_p90 *. 1000.) (wait_max *. 1000.);
+      Obs.Report.add_section report
+        (Printf.sprintf "service_scaling_jobs_%d" jobs)
         Obs.Report.
           [
-            ("instance", String instance.Workload.Suite.name);
-            ("samples_per_request", Int n);
-            ("cold_ms", Float (cold_s *. 1000.));
-            ("warm_ms_median", Float (warm_median_s *. 1000.));
-            ("amortisation_factor", Float (cold_s /. warm_median_s));
+            ("jobs", Int jobs);
             ("concurrent_clients", Int clients);
             ("requests_per_client", Int per_client);
+            ("distinct_formulas", Int (Array.length texts));
+            ("samples_per_request", Int scaling_n);
             ("burst_wall_ms", Float (burst_s *. 1000.));
             ("queue_wait_ms_avg", Float (wait_avg *. 1000.));
+            ("queue_wait_ms_p90", Float (wait_p90 *. 1000.));
             ("queue_wait_ms_max", Float (wait_max *. 1000.));
-          ];
-      Obs.Report.write_json "BENCH_service.json" report;
-      Printf.printf "\nwrote BENCH_service.json\n"
+          ])
+    [ 1; 2; 4 ];
+  Obs.Report.write_json "BENCH_service.json" report;
+  Printf.printf "\nwrote BENCH_service.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro benchmarks *)

@@ -581,8 +581,10 @@ let serve_cmd =
   let jobs =
     Arg.(value & opt int 1
          & info [ "j"; "jobs" ]
-             ~doc:"Worker domains for preparation and draws (witnesses are \
-                   bit-identical for every value).")
+             ~doc:"Worker domains executing requests in parallel, sharded \
+                   by formula fingerprint — concurrent clients on distinct \
+                   formulas never contend. Witnesses are bit-identical to \
+                   --jobs 1 for every value.")
   in
   let no_incremental =
     Arg.(value & flag

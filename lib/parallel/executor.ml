@@ -1,0 +1,172 @@
+(* Worker domains drain [queue]; each finished job parks a finish
+   thunk in [completed] and writes one byte to the self-pipe so a
+   select loop watching [notify_r] wakes up. One mutex/condition pair
+   guards both queues; jobs are request-grained (a whole prepare or a
+   batch of draws), so the lock is never hot. *)
+
+type job = unit -> unit -> unit
+(* runs on a worker (must not raise), returns the finish thunk *)
+
+type t = {
+  n_workers : int;
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  queue : job Queue.t;
+  completed : (unit -> unit) Queue.t;
+  mutable queued_count : int;
+  mutable busy_count : int;  (* under [lock] *)
+  mutable stopping : bool;
+  mutable domains : unit Domain.t array;
+  mutable alive : bool;
+  notify_r : Unix.file_descr;
+  notify_w : Unix.file_descr;
+  owner : Audit.Ownership.t;
+}
+
+let notify t =
+  (* the pipe is a level trigger, not a counter: a full pipe already
+     guarantees the owner will wake, so EAGAIN is success *)
+  try ignore (Unix.write t.notify_w (Bytes.make 1 '!') 0 1 : int)
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _) -> ()
+
+let worker_loop t =
+  Obs.Trace.span ~cat:"parallel" "executor.worker" @@ fun () ->
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.work_ready t.lock
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.lock
+      (* stopping with an empty queue: exit *)
+    else begin
+      let job = Queue.pop t.queue in
+      t.queued_count <- t.queued_count - 1;
+      t.busy_count <- t.busy_count + 1;
+      Mutex.unlock t.lock;
+      let fin = job () in
+      Mutex.lock t.lock;
+      Queue.push fin t.completed;
+      t.busy_count <- t.busy_count - 1;
+      Mutex.unlock t.lock;
+      notify t;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~workers =
+  if workers < 1 then invalid_arg "Executor.create: workers must be >= 1";
+  let notify_r, notify_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock notify_r;
+  Unix.set_nonblock notify_w;
+  let t =
+    {
+      n_workers = workers;
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      queue = Queue.create ();
+      completed = Queue.create ();
+      queued_count = 0;
+      busy_count = 0;
+      stopping = false;
+      domains = [||];
+      alive = true;
+      notify_r;
+      notify_w;
+      owner = Audit.Ownership.create "Executor.t";
+    }
+  in
+  t.domains <- Array.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let workers t = t.n_workers
+
+let check_alive t =
+  if not t.alive then invalid_arg "Executor: already shut down"
+
+let submit t ~work ~finish =
+  Audit.Ownership.check t.owner;
+  check_alive t;
+  let job () =
+    let result =
+      try Ok (work ())
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Error (e, bt)
+    in
+    fun () -> finish result
+  in
+  Mutex.lock t.lock;
+  Queue.push job t.queue;
+  t.queued_count <- t.queued_count + 1;
+  Condition.signal t.work_ready;
+  Mutex.unlock t.lock
+
+let queued t =
+  Mutex.lock t.lock;
+  let n = t.queued_count in
+  Mutex.unlock t.lock;
+  n
+
+let busy t =
+  Mutex.lock t.lock;
+  let n = t.busy_count in
+  Mutex.unlock t.lock;
+  n
+
+let notify_fd t = t.notify_r
+
+let drain_pipe t =
+  if t.alive then begin
+    let buf = Bytes.create 64 in
+    let rec go () =
+      match Unix.read t.notify_r buf 0 64 with
+      | 0 -> ()
+      | _ -> go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    in
+    go ()
+  end
+
+(* Take the parked thunks in one swap so finish code that submits new
+   jobs (or runs [poll] recursively) cannot deadlock on [lock]. *)
+let take_completed t =
+  Mutex.lock t.lock;
+  let ready = Queue.create () in
+  Queue.transfer t.completed ready;
+  Mutex.unlock t.lock;
+  ready
+
+let poll t =
+  Audit.Ownership.check t.owner;
+  drain_pipe t;
+  let ready = take_completed t in
+  let n = Queue.length ready in
+  Queue.iter (fun fin -> fin ()) ready;
+  n
+
+let wait ?(timeout_s = 0.25) t =
+  if t.alive then
+    match Unix.select [ t.notify_r ] [] [] timeout_s with
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+let shutdown t =
+  Audit.Ownership.check t.owner;
+  if t.alive then begin
+    Mutex.lock t.lock;
+    t.stopping <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.lock;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||];
+    (* workers have drained the whole queue: run the remaining finish
+       thunks so no continuation (pin release, response accounting) is
+       lost, then tear the pipe down *)
+    let ready = take_completed t in
+    t.alive <- false;
+    (try Unix.close t.notify_r with Unix.Unix_error _ -> ());
+    (try Unix.close t.notify_w with Unix.Unix_error _ -> ());
+    Obs.Metrics.compact_shards ();
+    Queue.iter (fun fin -> fin ()) ready
+  end

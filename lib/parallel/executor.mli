@@ -1,0 +1,71 @@
+(** Asynchronous job executor over a fixed set of worker domains, with
+    completion notification designed for a [Unix.select] loop.
+
+    {!Domain_pool} is batch-synchronous: the submitting domain blocks
+    until the whole batch drains, which is the right shape for
+    data-parallel leaf work (a batch of UniGen draws) but the wrong
+    shape for a daemon — the select loop cannot block on solver work
+    without going deaf to its sockets. The executor inverts control:
+
+    - {!submit} enqueues a job and returns immediately; any idle
+      worker domain picks it up.
+    - when a job finishes, the worker parks a {e finish thunk} (the
+      caller's continuation closed over the job's result) and writes
+      one byte to a self-pipe.
+    - the owner watches {!notify_fd} in its [select] set and calls
+      {!poll}, which drains the pipe and runs every parked finish
+      thunk {b on the owning domain} — so continuations may freely
+      touch single-owner state (the scheduler's cache, queues,
+      connection tables) without any locking.
+
+    Exceptions raised by [work] never escape the worker: they are
+    captured with their backtrace and handed to [finish] as an
+    [Error]. Exceptions raised by a finish thunk propagate out of
+    {!poll} on the owner.
+
+    Single-owner: {!submit}, {!poll} and {!shutdown} must be called
+    from the creating domain (enforced by an {!Audit.Ownership} tag
+    when audit mode is on). Workers only touch the internal queues,
+    under the executor's private lock. *)
+
+type t
+
+val create : workers:int -> t
+(** Spawn [workers] worker domains (all distinct from the caller: the
+    owner is expected to keep servicing its event loop, not to execute
+    jobs). @raise Invalid_argument when [workers < 1]. *)
+
+val workers : t -> int
+
+val submit :
+  t -> work:(unit -> 'a) -> finish:(('a, exn * Printexc.raw_backtrace) result -> unit) -> unit
+(** [submit t ~work ~finish] queues [work] for any idle worker; once it
+    completes, the next {!poll} runs [finish result] on the owner.
+    Jobs start in submission order; completion order depends on
+    relative running times. *)
+
+val queued : t -> int
+(** Jobs submitted but not yet claimed by a worker. *)
+
+val busy : t -> int
+(** Workers currently executing a job. *)
+
+val notify_fd : t -> Unix.file_descr
+(** Read end of the self-pipe: readable whenever completions may be
+    waiting. Put it in the [select] read set; never read from it
+    directly — {!poll} drains it. *)
+
+val poll : t -> int
+(** Drain the notification pipe and run every parked finish thunk on
+    the calling (owner) domain; returns how many ran. Non-blocking:
+    returns 0 when nothing has completed. *)
+
+val wait : ?timeout_s:float -> t -> unit
+(** Block (via [select] on {!notify_fd}) until a completion is likely
+    available or the timeout elapses — a convenience for synchronous
+    drains; event loops should select on {!notify_fd} themselves. *)
+
+val shutdown : t -> unit
+(** Let workers finish every already-queued job, join them, run any
+    remaining finish thunks on the owner, and close the pipe.
+    Idempotent; {!submit} afterwards raises [Invalid_argument]. *)

@@ -21,10 +21,24 @@ let c_hits = Obs.Metrics.counter "service.cache_hits"
 let c_misses = Obs.Metrics.counter "service.cache_misses"
 let c_evictions = Obs.Metrics.counter "service.cache_evictions"
 
-type t = { lru : (key, entry) Lru.t }
+type t = {
+  lru : (key, entry) Lru.t;
+  user_pins : (key, unit) Hashtbl.t;
+      (* keys holding exactly one of the LRU's counted pins on behalf
+         of clients' [pin] requests — so the client-facing operation
+         stays idempotent while execution pins stack underneath *)
+  mutable exec_pins : int;  (* outstanding acquire-release pairs *)
+}
+
+let set_pins_gauge t =
+  Obs.Metrics.set_gauge "service.cache_pins" (float_of_int t.exec_pins)
 
 let create ~capacity =
-  { lru = Lru.create ~on_evict:(fun _ _ -> Obs.Metrics.incr c_evictions) ~capacity () }
+  {
+    lru = Lru.create ~on_evict:(fun _ _ -> Obs.Metrics.incr c_evictions) ~capacity ();
+    user_pins = Hashtbl.create 8;
+    exec_pins = 0;
+  }
 
 let capacity t = Lru.capacity t.lru
 let length t = Lru.length t.lru
@@ -41,8 +55,47 @@ let find t k =
 let peek t k = Lru.peek t.lru k
 
 let put t k e = Lru.put t.lru k e
-let pin t k = Lru.pin t.lru k
-let unpin t k = Lru.unpin t.lru k
+
+let pin t k =
+  if Hashtbl.mem t.user_pins k then Lru.is_pinned t.lru k
+  else if Lru.pin t.lru k then begin
+    Hashtbl.replace t.user_pins k ();
+    true
+  end
+  else false
+
+let unpin t k =
+  if Hashtbl.mem t.user_pins k then begin
+    Hashtbl.remove t.user_pins k;
+    Lru.unpin t.lru k
+  end
+  else false
+
 let is_pinned t k = Lru.is_pinned t.lru k
-let remove t k = Lru.remove t.lru k
+
+let acquire t k =
+  if Lru.pin t.lru k then begin
+    t.exec_pins <- t.exec_pins + 1;
+    set_pins_gauge t;
+    true
+  end
+  else false
+
+let release t k =
+  let released = Lru.unpin t.lru k in
+  if released then begin
+    t.exec_pins <- t.exec_pins - 1;
+    set_pins_gauge t
+  end;
+  released
+
+let pin_count t k = Lru.pin_count t.lru k
+
+let total_pin_count t =
+  List.fold_left (fun acc k -> acc + Lru.pin_count t.lru k) 0 (Lru.keys_mru t.lru)
+
+let remove t k =
+  Hashtbl.remove t.user_pins k;
+  Lru.remove t.lru k
+
 let keys_mru t = Lru.keys_mru t.lru

@@ -4,7 +4,7 @@
 type ('k, 'v) node = {
   key : 'k;
   mutable value : 'v;
-  mutable pinned : bool;
+  mutable pins : int;  (* eviction-exempt while > 0 *)
   mutable prev : ('k, 'v) node option;  (* towards MRU *)
   mutable next : ('k, 'v) node option;  (* towards LRU *)
 }
@@ -56,7 +56,7 @@ let touch t n =
    the protected just-inserted node). *)
 let rec oldest_unpinned ?protect = function
   | None -> None
-  | Some n when n.pinned -> oldest_unpinned ?protect n.prev
+  | Some n when n.pins > 0 -> oldest_unpinned ?protect n.prev
   | Some n when (match protect with Some p -> p == n | None -> false) ->
       oldest_unpinned ?protect n.prev
   | some -> some
@@ -92,7 +92,7 @@ let put t k v =
       touch t n;
       enforce_capacity t
   | None ->
-      let n = { key = k; value = v; pinned = false; prev = None; next = None } in
+      let n = { key = k; value = v; pins = 0; prev = None; next = None } in
       Hashtbl.replace t.table k n;
       push_front t n;
       t.length <- t.length + 1;
@@ -104,20 +104,24 @@ let pin t k =
   match Hashtbl.find_opt t.table k with
   | None -> false
   | Some n ->
-      n.pinned <- true;
+      n.pins <- n.pins + 1;
       true
 
 let unpin t k =
   match Hashtbl.find_opt t.table k with
   | None -> false
+  | Some n when n.pins = 0 -> false
   | Some n ->
-      n.pinned <- false;
-      (* releasing a pin may re-enable a deferred eviction *)
-      enforce_capacity t;
+      n.pins <- n.pins - 1;
+      (* releasing the last pin may re-enable a deferred eviction *)
+      if n.pins = 0 then enforce_capacity t;
       true
 
 let is_pinned t k =
-  match Hashtbl.find_opt t.table k with Some n -> n.pinned | None -> false
+  match Hashtbl.find_opt t.table k with Some n -> n.pins > 0 | None -> false
+
+let pin_count t k =
+  match Hashtbl.find_opt t.table k with Some n -> n.pins | None -> 0
 
 let remove t k =
   match Hashtbl.find_opt t.table k with

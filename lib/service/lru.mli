@@ -16,9 +16,16 @@
       reach it.
     - {!remove} is explicit eviction and overrides pinning.
 
+    Pins are {e counted}: several independent holders (a client's
+    explicit pin request, each in-flight draw executing against the
+    entry) stack, and the entry becomes evictable again only when
+    every holder has released — the invariant the daemon's chaos tests
+    check (pin counts return to zero once work drains).
+
     Not thread-safe by design: the scheduler owns its cache from a
     single domain (enforced by an {!Audit.Ownership} tag one level
-    up). *)
+    up); worker domains never touch the LRU — they receive the entry
+    value from the owner and hand results back to it. *)
 
 type ('k, 'v) t
 
@@ -43,12 +50,19 @@ val put : ('k, 'v) t -> 'k -> 'v -> unit
 (** Insert or replace; replacement keeps the entry's pin state. *)
 
 val pin : ('k, 'v) t -> 'k -> bool
-(** Exempt the entry from automatic eviction; [false] when absent.
-    Idempotent. *)
+(** Increment the entry's pin count, exempting it from automatic
+    eviction; [false] when absent. *)
 
 val unpin : ('k, 'v) t -> 'k -> bool
+(** Decrement the pin count; [false] when absent or not pinned. The
+    entry becomes evictable (and a deferred eviction may fire) only
+    when the count reaches zero. *)
 
 val is_pinned : ('k, 'v) t -> 'k -> bool
+(** [pin_count > 0]. *)
+
+val pin_count : ('k, 'v) t -> 'k -> int
+(** Current pin count; 0 when absent. *)
 
 val remove : ('k, 'v) t -> 'k -> bool
 (** Explicit eviction, effective even on pinned entries; [false] when

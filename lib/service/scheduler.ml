@@ -58,16 +58,23 @@ type t = {
   cfg : config;
   registry : Registry.t;
   prep_cache : Cache.t;
-  pool : Parallel.Domain_pool.t option;
+  exec : Parallel.Executor.t option;  (* jobs > 1: request-level parallelism *)
   queues : (string, pending_req Queue.t) Hashtbl.t;
   rotation : string Queue.t;  (* fingerprints with pending work, RR order *)
-  by_id : (int, pending_req) Hashtbl.t;
+  by_id : (int, pending_req) Hashtbl.t;  (* admitted, not yet dispatched *)
+  running : (int, pending_req) Hashtbl.t;  (* dispatched to a worker domain *)
+  busy_fps : (string, unit) Hashtbl.t;
+      (* fingerprints with an in-flight request: prepared-state
+         ownership is sharded by fingerprint, so a second request for
+         the same formula waits rather than racing the first *)
+  completed : (int * Wire.response) Queue.t;  (* ready for pickup *)
   mutable next_id : int;
-  mutable pending_count : int;
+  mutable queued_count : int;
+  mutable inflight_count : int;
   mutable draining : bool;
   mutable avg_exec_s : float;  (* EWMA of request execution time *)
   mutable executed : int;
-  mutable pool_down : bool;
+  mutable exec_down : bool;
   owner : Audit.Ownership.t;
 }
 
@@ -79,7 +86,8 @@ let h_queue_wait = Obs.Metrics.histogram "service.queue_wait_seconds"
 let h_request = Obs.Metrics.histogram "service.request_seconds"
 
 let set_depth t =
-  Obs.Metrics.set_gauge "service.queue_depth" (float_of_int t.pending_count)
+  Obs.Metrics.set_gauge "service.queue_depth" (float_of_int t.queued_count);
+  Obs.Metrics.set_gauge "service.in_flight" (float_of_int t.inflight_count)
 
 let create ?(config = default_config) () =
   if config.queue_capacity < 1 then
@@ -89,22 +97,27 @@ let create ?(config = default_config) () =
     invalid_arg "Scheduler.create: cache_capacity must be >= 0";
   if config.max_batch < 0 then
     invalid_arg "Scheduler.create: max_batch must be >= 0";
+  Obs.Metrics.set_gauge "service.jobs" (float_of_int config.jobs);
   {
     cfg = config;
     registry = Registry.create ();
     prep_cache = Cache.create ~capacity:config.cache_capacity;
-    pool =
-      (if config.jobs > 1 then Some (Parallel.Domain_pool.create ~jobs:config.jobs)
+    exec =
+      (if config.jobs > 1 then Some (Parallel.Executor.create ~workers:config.jobs)
        else None);
     queues = Hashtbl.create 16;
     rotation = Queue.create ();
     by_id = Hashtbl.create 64;
+    running = Hashtbl.create 8;
+    busy_fps = Hashtbl.create 8;
+    completed = Queue.create ();
     next_id = 1;
-    pending_count = 0;
+    queued_count = 0;
+    inflight_count = 0;
     draining = false;
     avg_exec_s = 0.05;
     executed = 0;
-    pool_down = false;
+    exec_down = false;
     owner = Audit.Ownership.create "service scheduler";
   }
 
@@ -114,13 +127,22 @@ let registry t = t.registry
 
 let pending t =
   Audit.Ownership.check t.owner;
-  t.pending_count
+  t.queued_count + t.inflight_count
+
+let queued t = t.queued_count
+let in_flight t = t.inflight_count
+let notify_fd t = Option.map Parallel.Executor.notify_fd t.exec
+let is_parallel t = Option.is_some t.exec
 
 let is_draining t = t.draining
 
 let set_draining t =
   Audit.Ownership.check t.owner;
   t.draining <- true
+
+let retry_hint t =
+  let hint = t.avg_exec_s *. float_of_int (t.queued_count + t.inflight_count + 1) in
+  if Float.is_finite hint && hint >= 0.0 then hint else 0.0
 
 let submit t req =
   Audit.Ownership.check t.owner;
@@ -132,15 +154,11 @@ let submit t req =
     Obs.Metrics.incr c_rejected;
     Error { reason = Wire.Batch_too_large; retry_after_s = 0.0 }
   end
-  else if t.pending_count >= t.cfg.queue_capacity then begin
+  else if t.queued_count + t.inflight_count >= t.cfg.queue_capacity then begin
     Obs.Metrics.incr c_rejected;
     (* the hint assumes the backlog drains at the observed mean
        request time; clients treat it as advisory *)
-    Error
-      {
-        reason = Wire.Queue_full;
-        retry_after_s = t.avg_exec_s *. float_of_int (t.pending_count + 1);
-      }
+    Error { reason = Wire.Queue_full; retry_after_s = retry_hint t }
   end
   else begin
     let fingerprint, canonical = Registry.intern t.registry req.formula in
@@ -166,7 +184,7 @@ let submit t req =
         Hashtbl.replace t.queues fingerprint q;
         Queue.push fingerprint t.rotation);
     Hashtbl.replace t.by_id id p;
-    t.pending_count <- t.pending_count + 1;
+    t.queued_count <- t.queued_count + 1;
     Obs.Metrics.incr c_requests;
     set_depth t;
     Ok id
@@ -175,52 +193,83 @@ let submit t req =
 let cancel t id =
   Audit.Ownership.check t.owner;
   match Hashtbl.find_opt t.by_id id with
-  | None -> false
   | Some p ->
+      (* still queued: drop it before it reaches a worker *)
       p.cancelled <- true;
       Hashtbl.remove t.by_id id;
-      t.pending_count <- t.pending_count - 1;
+      t.queued_count <- t.queued_count - 1;
       Obs.Metrics.incr c_cancelled;
       set_depth t;
       true
+  | None -> (
+      match Hashtbl.find_opt t.running id with
+      | Some p when not p.cancelled ->
+          (* in flight on a worker: the work itself cannot be recalled,
+             but its response is suppressed at completion and its pins
+             are still released there *)
+          p.cancelled <- true;
+          Obs.Metrics.incr c_cancelled;
+          true
+      | _ -> false)
 
-(* Next request in fairness order: pop the head fingerprint of the
-   rotation, take its oldest live request, and re-enqueue the
-   fingerprint at the rotation tail while it still has work. *)
-let rec next_pending t =
-  if Queue.is_empty t.rotation then None
-  else begin
-    let fp = Queue.pop t.rotation in
-    match Hashtbl.find_opt t.queues fp with
-    | None -> next_pending t
-    | Some q ->
-        let rec take () =
-          if Queue.is_empty q then None
-          else
-            let p = Queue.pop q in
-            if p.cancelled then take () else Some p
-        in
-        let taken = take () in
-        if Queue.is_empty q then Hashtbl.remove t.queues fp
-        else Queue.push fp t.rotation;
-        (match taken with None -> next_pending t | Some p -> Some p)
-  end
-
-let execute t ~queue_wait_s p =
-  let key =
-    {
-      Cache.fingerprint = p.fingerprint;
-      epsilon = p.req.epsilon;
-      prepare_seed = p.req.prepare_seed;
-      count_iterations = p.req.count_iterations;
-      incremental = t.cfg.incremental;
-    }
+(* Next dispatchable request in fairness order: pop the head
+   fingerprint of the rotation, take its oldest live request, and
+   re-enqueue the fingerprint at the rotation tail while it still has
+   work. Fingerprints with an in-flight request are skipped (kept in
+   the rotation) so one formula's stream of requests serialises on its
+   prepared state while other formulas run in parallel. *)
+let next_runnable t =
+  let rec scan tries =
+    if tries <= 0 || Queue.is_empty t.rotation then None
+    else begin
+      let fp = Queue.pop t.rotation in
+      match Hashtbl.find_opt t.queues fp with
+      | None -> scan (tries - 1)  (* stale rotation entry *)
+      | Some q ->
+          if Hashtbl.mem t.busy_fps fp then begin
+            Queue.push fp t.rotation;
+            scan (tries - 1)
+          end
+          else begin
+            let rec take () =
+              if Queue.is_empty q then None
+              else
+                let p = Queue.pop q in
+                if p.cancelled then take () else Some p
+            in
+            let taken = take () in
+            if Queue.is_empty q then Hashtbl.remove t.queues fp
+            else Queue.push fp t.rotation;
+            match taken with None -> scan (tries - 1) | Some p -> Some p
+          end
+    end
   in
-  let cached = Cache.find t.prep_cache key in
-  let cache_hit = Option.is_some cached in
-  let prep_result =
+  scan (Queue.length t.rotation)
+
+let key_of t p =
+  {
+    Cache.fingerprint = p.fingerprint;
+    epsilon = p.req.epsilon;
+    prepare_seed = p.req.prepare_seed;
+    count_iterations = p.req.count_iterations;
+    incremental = t.cfg.incremental;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Request execution. [run_request] is the worker-domain half: it
+   touches only the request itself, the (immutable) canonical formula
+   and — on a cache hit — the prepared state, whose solver sessions are
+   per-domain (Domain.DLS), so concurrent requests on different
+   fingerprints never share mutable state. All cache bookkeeping stays
+   on the owning domain. Witnesses are bit-identical to the offline
+   [Unigen.sample_batch] path at any [jobs] level because every draw
+   consumes the splittable stream [(seed, index)] regardless of which
+   domain executes it. *)
+
+let run_request ~incremental ~queue_wait_s ~cached (p : pending_req) =
+  let prep_result, newly =
     match cached with
-    | Some entry -> Ok entry
+    | Some entry -> (Ok entry, None)
     | None -> (
         let rng = Rng.create p.req.prepare_seed in
         match
@@ -228,95 +277,250 @@ let execute t ~queue_wait_s p =
             ~args:[ ("fingerprint", p.fingerprint) ]
             (fun () ->
               Sampling.Unigen.prepare ?deadline:p.deadline
-                ?count_iterations:p.req.count_iterations
-                ~incremental:t.cfg.incremental ?pool:t.pool ~rng
+                ?count_iterations:p.req.count_iterations ~incremental ~rng
                 ~epsilon:p.req.epsilon p.canonical)
         with
         | Ok prepared ->
             let entry =
               { Cache.prepared; formula = p.canonical; draws_served = 0 }
             in
-            Cache.put t.prep_cache key entry;
-            Ok entry
-        | Error e -> Error e)
+            (Ok entry, Some entry)
+        | Error e -> (Error e, None))
   in
-  if p.req.pin then ignore (Cache.pin t.prep_cache key : bool);
   match prep_result with
-  | Error Sampling.Unigen.Unsat_formula -> Wire.Unsat { rsp_tag = p.req.tag }
+  | Error Sampling.Unigen.Unsat_formula -> (Wire.Unsat { rsp_tag = p.req.tag }, None)
   | Error Sampling.Unigen.Prepare_timeout ->
-      Obs.Metrics.incr c_deadline_misses;
-      Wire.Deadline_miss { rsp_tag = p.req.tag }
+      (Wire.Deadline_miss { rsp_tag = p.req.tag }, None)
+  | Error Sampling.Unigen.Count_failed
+    when (match p.deadline with
+         | Some d -> Unix.gettimeofday () > d
+         | None -> false) ->
+      (* the approximate count aborted because this request's deadline
+         expired mid-count: a deadline miss, not an internal failure *)
+      (Wire.Deadline_miss { rsp_tag = p.req.tag }, None)
   | Error Sampling.Unigen.Count_failed ->
-      Wire.Error_msg "approximate count failed within budget"
+      (Wire.Error_msg "approximate count failed within budget", None)
   | Ok entry ->
       let outcomes =
         Obs.Trace.span ~cat:"service" "service.draw"
           ~args:[ ("fingerprint", p.fingerprint); ("n", string_of_int p.req.n) ]
           (fun () ->
             Sampling.Unigen.sample_batch ?deadline:p.deadline
-              ~max_attempts:(max 1 p.req.max_attempts) ?pool:t.pool
-              ~seed:p.req.seed entry.Cache.prepared p.req.n)
+              ~max_attempts:(max 1 p.req.max_attempts) ~seed:p.req.seed
+              entry.Cache.prepared p.req.n)
       in
-      entry.Cache.draws_served <- entry.Cache.draws_served + p.req.n;
       let witnesses =
         Array.to_list outcomes
         |> List.filter_map (function
              | Ok m -> Some (Cnf.Model.to_dimacs m)
              | Error _ -> None)
       in
-      Wire.Ok_sample
-        {
-          fingerprint = p.fingerprint;
-          cache_hit;
-          witnesses;
-          produced = List.length witnesses;
-          requested = p.req.n;
-          queue_wait_s;
-          rsp_tag = p.req.tag;
-        }
+      if
+        witnesses = [] && p.req.n > 0
+        && Array.for_all
+             (function Error Sampling.Sampler.Timed_out -> true | _ -> false)
+             outcomes
+      then
+        (* every draw was cut off by the deadline: nothing sampled,
+           report the miss rather than an empty success *)
+        (Wire.Deadline_miss { rsp_tag = p.req.tag }, newly)
+      else
+      ( Wire.Ok_sample
+          {
+            fingerprint = p.fingerprint;
+            cache_hit = Option.is_some cached;
+            witnesses;
+            produced = List.length witnesses;
+            requested = p.req.n;
+            queue_wait_s;
+            rsp_tag = p.req.tag;
+          },
+        newly )
+
+let response_of_exn = function
+  | Invalid_argument m -> Wire.Error_msg ("invalid request: " ^ m)
+  | Failure m -> Wire.Error_msg m
+  | e -> Wire.Error_msg ("internal error: " ^ Printexc.to_string e)
+
+(* Owner-domain bookkeeping once a request's response is known:
+   install a freshly prepared entry, charge the draw accounting, apply
+   the client pin. *)
+let finalize_cache t p key ~cached ~newly response =
+  (match newly with Some entry -> Cache.put t.prep_cache key entry | None -> ());
+  (match response with
+  | Wire.Ok_sample _ -> (
+      let entry = match newly with Some e -> Some e | None -> cached in
+      match entry with
+      | Some e -> e.Cache.draws_served <- e.Cache.draws_served + p.req.n
+      | None -> ())
+  | _ -> ());
+  if p.req.pin then ignore (Cache.pin t.prep_cache key : bool)
+
+(* The single funnel every finished request passes through, worker-side
+   or inline — deadline misses are counted here and nowhere else, so a
+   miss detected on a worker domain (a [Prepare_timeout] surfacing as
+   [Deadline_miss]) is counted exactly once. *)
+let account t ~started_at response =
+  (match response with
+  | Wire.Deadline_miss _ -> Obs.Metrics.incr c_deadline_misses
+  | _ -> ());
+  let dt = Unix.gettimeofday () -. started_at in
+  Obs.Metrics.observe h_request dt;
+  (* the EWMA feeds the retry-after hint: floor sub-microsecond
+     completions (e.g. an immediate deadline miss) and reject
+     non-finite samples so the hint stays finite and non-negative *)
+  let sample =
+    if Float.is_finite dt then Float.max 1e-6 dt else t.avg_exec_s
+  in
+  t.avg_exec_s <-
+    (if t.executed = 0 then sample
+     else (0.8 *. t.avg_exec_s) +. (0.2 *. sample));
+  t.executed <- t.executed + 1
+
+let dequeue t p =
+  Hashtbl.remove t.by_id p.id;
+  t.queued_count <- t.queued_count - 1;
+  let now = Unix.gettimeofday () in
+  let queue_wait_s = now -. p.submitted_at in
+  Obs.Metrics.observe h_queue_wait queue_wait_s;
+  (now, queue_wait_s)
+
+let deadline_passed p now =
+  match p.deadline with Some d -> now > d | None -> false
 
 let step t =
   Audit.Ownership.check t.owner;
-  match next_pending t with
+  match next_runnable t with
   | None -> None
   | Some p ->
-      Hashtbl.remove t.by_id p.id;
-      t.pending_count <- t.pending_count - 1;
+      let now, queue_wait_s = dequeue t p in
       set_depth t;
-      let now = Unix.gettimeofday () in
-      let queue_wait_s = now -. p.submitted_at in
-      Obs.Metrics.observe h_queue_wait queue_wait_s;
       let response =
         Obs.Trace.span ~cat:"service" "service.request"
           ~args:[ ("fingerprint", p.fingerprint); ("id", string_of_int p.id) ]
           (fun () ->
-            match p.deadline with
-            | Some d when now > d ->
-                Obs.Metrics.incr c_deadline_misses;
-                Wire.Deadline_miss { rsp_tag = p.req.tag }
-            | _ -> (
-                try execute t ~queue_wait_s p with
-                | Invalid_argument m -> Wire.Error_msg ("invalid request: " ^ m)
-                | Failure m -> Wire.Error_msg m))
+            if deadline_passed p now then
+              Wire.Deadline_miss { rsp_tag = p.req.tag }
+            else
+              let key = key_of t p in
+              let cached = Cache.find t.prep_cache key in
+              match
+                run_request ~incremental:t.cfg.incremental ~queue_wait_s
+                  ~cached p
+              with
+              | response, newly ->
+                  finalize_cache t p key ~cached ~newly response;
+                  response
+              | exception e -> response_of_exn e)
       in
-      let dt = Unix.gettimeofday () -. now in
-      Obs.Metrics.observe h_request dt;
-      t.avg_exec_s <-
-        (if t.executed = 0 then dt else (0.8 *. t.avg_exec_s) +. (0.2 *. dt));
-      t.executed <- t.executed + 1;
+      account t ~started_at:now response;
       Some (p.id, response)
 
-let drain t =
+(* ------------------------------------------------------------------ *)
+(* Parallel dispatch: hand whole requests to worker domains through the
+   executor, at most [jobs] in flight and at most one per fingerprint.
+   The owner keeps every cache touch: it resolves hit/miss and takes an
+   execution pin before the worker starts, and installs / releases at
+   completion — the worker only computes. *)
+
+let dispatch_one t ex p =
+  let now, queue_wait_s = dequeue t p in
+  if deadline_passed p now then begin
+    (* no worker needed; completes immediately *)
+    let response = Wire.Deadline_miss { rsp_tag = p.req.tag } in
+    account t ~started_at:now response;
+    set_depth t;
+    if not p.cancelled then Queue.push (p.id, response) t.completed
+  end
+  else begin
+    Hashtbl.replace t.running p.id p;
+    Hashtbl.replace t.busy_fps p.fingerprint ();
+    t.inflight_count <- t.inflight_count + 1;
+    set_depth t;
+    let key = key_of t p in
+    let cached = Cache.find t.prep_cache key in
+    (* pin for the whole flight: a concurrent completion's [put] may
+       evict, and it must never evict state a worker is reading *)
+    (match cached with
+    | Some _ -> ignore (Cache.acquire t.prep_cache key : bool)
+    | None -> ());
+    let incremental = t.cfg.incremental in
+    Parallel.Executor.submit ex
+      ~work:(fun () ->
+        Obs.Trace.span ~cat:"service" "service.request"
+          ~args:[ ("fingerprint", p.fingerprint); ("id", string_of_int p.id) ]
+          (fun () -> run_request ~incremental ~queue_wait_s ~cached p))
+      ~finish:(fun result ->
+        Hashtbl.remove t.running p.id;
+        Hashtbl.remove t.busy_fps p.fingerprint;
+        t.inflight_count <- t.inflight_count - 1;
+        (match cached with
+        | Some _ -> ignore (Cache.release t.prep_cache key : bool)
+        | None -> ());
+        let response =
+          match result with
+          | Ok (response, newly) ->
+              finalize_cache t p key ~cached ~newly response;
+              response
+          | Error (e, _bt) -> response_of_exn e
+        in
+        account t ~started_at:now response;
+        set_depth t;
+        if not p.cancelled then Queue.push (p.id, response) t.completed)
+  end
+
+let dispatch t =
+  Audit.Ownership.check t.owner;
+  match t.exec with
+  | None -> 0
+  | Some ex ->
+      let started = ref 0 in
+      let continue = ref true in
+      while !continue && t.inflight_count < t.cfg.jobs do
+        match next_runnable t with
+        | None -> continue := false
+        | Some p ->
+            dispatch_one t ex p;
+            incr started
+      done;
+      !started
+
+let completions t =
+  Audit.Ownership.check t.owner;
+  (match t.exec with
+  | Some ex when not t.exec_down -> ignore (Parallel.Executor.poll ex : int)
+  | _ -> ());
   let rec go acc =
-    match step t with None -> List.rev acc | Some c -> go (c :: acc)
+    if Queue.is_empty t.completed then List.rev acc
+    else go (Queue.pop t.completed :: acc)
   in
   go []
 
+let drain t =
+  Audit.Ownership.check t.owner;
+  match t.exec with
+  | None ->
+      let rec go acc =
+        match step t with None -> List.rev acc | Some c -> go (c :: acc)
+      in
+      go []
+  | Some ex ->
+      let acc = ref [] in
+      let continue = ref true in
+      while !continue do
+        List.iter (fun c -> acc := c :: !acc) (completions t);
+        ignore (dispatch t : int);
+        if t.inflight_count > 0 then Parallel.Executor.wait ~timeout_s:0.1 ex
+        else if t.queued_count = 0 && Queue.is_empty t.completed then
+          continue := false
+      done;
+      List.rev !acc
+
 let shutdown t =
   Audit.Ownership.check t.owner;
-  if not t.pool_down then begin
-    t.pool_down <- true;
-    match t.pool with
-    | Some pool -> Parallel.Domain_pool.shutdown pool
+  if not t.exec_down then begin
+    t.exec_down <- true;
+    match t.exec with
+    | Some ex -> Parallel.Executor.shutdown ex
     | None -> ()
   end

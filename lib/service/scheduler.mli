@@ -9,36 +9,58 @@
       (backpressure instead of unbounded buffering). Requests whose
       sample budget exceeds [max_batch] are rejected outright.
     - {b fairness}: pending requests are kept in one FIFO per formula
-      fingerprint, and {!step} round-robins across fingerprints — a
+      fingerprint, and dispatch round-robins across fingerprints — a
       client spraying thousands of requests at one formula delays its
       own queue, not other formulas'.
     - {b deadlines}: a request admitted with [timeout_s] carries an
       absolute deadline; if it is already past when the request is
       dispatched, the request completes as [Deadline_miss] without
       touching a solver, and an in-flight preparation respects the
-      same deadline through [Unigen.prepare ~deadline].
-    - {b cancellation}: {!cancel} removes a pending request by id;
-      cancelled requests are skipped at dispatch.
+      same deadline through [Unigen.prepare ~deadline]. Every finished
+      request — inline, worker-side, or immediately missed — passes
+      through one accounting funnel, so a miss is counted exactly once
+      no matter where it is detected.
+    - {b cancellation}: {!cancel} removes a queued request by id; a
+      request already running on a worker domain is marked cancelled
+      and its response suppressed at completion (its cache pins are
+      still released).
     - {b determinism}: execution reuses the {!Cache} when possible and
       prepares on a miss with [Rng.create prepare_seed]; either way
       the drawn witnesses are bit-identical to an offline
-      [Unigen.sample_batch ~seed] on the canonical formula (the
-      differential test in [test_service.ml] enforces this on both
-      paths).
+      [Unigen.sample_batch ~seed] on the canonical formula, {e at any
+      [jobs] level} — each draw consumes the splittable stream
+      [(seed, index)], so results are independent of which domain
+      executes them (the differential tests in [test_service.ml]
+      enforce this on miss, hit and post-eviction paths).
+
+    {b Parallel execution} ([jobs > 1]): whole requests are dispatched
+    to a private {!Parallel.Executor}; at most [jobs] run concurrently
+    and at most one per formula fingerprint, sharding prepared-state
+    ownership so concurrent clients on different formulas never
+    contend while one formula's requests serialise on its prepared
+    state (whose solver sessions are per-domain via [Domain.DLS], and
+    whose statistics merge assumes a single concurrent reader). The
+    owning domain keeps every cache and queue touch: it resolves
+    hit/miss and takes an execution pin before handing off, and
+    installs fresh preparations / releases pins in the completion
+    callback — worker domains only compute. Completions surface
+    through {!completions}; {!notify_fd} exposes the executor's
+    self-pipe so a select loop can sleep until a worker finishes.
 
     Single-owner: every entry point checks an {!Audit.Ownership} tag,
     so with audit mode on, a cross-domain touch raises a structured
     violation instead of racing. Metrics: [service.requests],
     [service.rejected], [service.deadline_misses], [service.cancelled],
-    cache hit/miss/eviction counts, [service.queue_depth] gauge, and
-    [service.queue_wait_seconds] / [service.request_seconds]
-    histograms. *)
+    cache hit/miss/eviction counts, [service.queue_depth] /
+    [service.in_flight] / [service.jobs] / [service.cache_pins]
+    gauges, and [service.queue_wait_seconds] /
+    [service.request_seconds] histograms. *)
 
 type config = {
   queue_capacity : int;  (** max pending requests before rejection *)
   max_batch : int;  (** per-request sample budget *)
   cache_capacity : int;  (** prepared-state LRU size *)
-  jobs : int;  (** worker domains for prepare/draw; 1 = inline *)
+  jobs : int;  (** worker domains executing requests; 1 = inline *)
   incremental : bool;  (** warm solver sessions (the default path) *)
 }
 
@@ -68,9 +90,10 @@ type t
 
 val create : ?config:config -> unit -> t
 (** Builds the registry, the cache and (when [jobs > 1]) a private
-    {!Parallel.Domain_pool}. @raise Invalid_argument on non-positive
-    capacities where required ([queue_capacity >= 1], [jobs >= 1],
-    [cache_capacity >= 0], [max_batch >= 0]). *)
+    {!Parallel.Executor} with [jobs] worker domains.
+    @raise Invalid_argument on non-positive capacities where required
+    ([queue_capacity >= 1], [jobs >= 1], [cache_capacity >= 0],
+    [max_batch >= 0]). *)
 
 val config : t -> config
 val cache : t -> Cache.t
@@ -78,13 +101,32 @@ val registry : t -> Registry.t
 
 val submit : t -> request -> (int, reject) result
 (** Admission control only — never solves. [Ok id] hands back the
-    dispatch handle used by {!cancel} and returned by {!step}. *)
+    dispatch handle used by {!cancel} and returned with the
+    response. *)
 
 val cancel : t -> int -> bool
-(** [true] iff the id was still pending. *)
+(** [true] iff the id was queued (removed outright) or in flight
+    (marked: its response is suppressed when the worker finishes, its
+    pins released as usual). [false] for unknown or already-finished
+    ids. *)
 
 val pending : t -> int
-(** Admitted, not yet dispatched, not cancelled. *)
+(** Admitted and not yet completed: queued plus in flight. *)
+
+val queued : t -> int
+(** Admitted, not yet dispatched. *)
+
+val in_flight : t -> int
+(** Dispatched to a worker domain, not yet completed. Always 0 in
+    serial mode. *)
+
+val is_parallel : t -> bool
+(** [jobs > 1]. *)
+
+val notify_fd : t -> Unix.file_descr option
+(** The executor's completion-notification pipe (readable when a
+    worker finished since the last {!completions}); [None] in serial
+    mode. Select on it; never read it directly. *)
 
 val set_draining : t -> unit
 (** Further {!submit}s reject with [Draining]; pending requests still
@@ -93,13 +135,30 @@ val set_draining : t -> unit
 val is_draining : t -> bool
 
 val step : t -> (int * Wire.response) option
-(** Dispatch and fully execute the next request in fairness order;
-    [None] when nothing is pending. *)
+(** Dispatch and fully execute the next request in fairness order on
+    the calling domain; [None] when nothing is runnable. Works in
+    either mode (in parallel mode it respects fingerprints currently
+    in flight). *)
+
+val dispatch : t -> int
+(** Parallel mode: start as many runnable requests as free worker
+    slots allow (at most [jobs] in flight, at most one per
+    fingerprint); returns how many were started. Requests whose
+    deadline already passed complete immediately as [Deadline_miss]
+    without occupying a worker. Always 0 in serial mode. *)
+
+val completions : t -> (int * Wire.response) list
+(** Poll the executor and return every finished request since the last
+    call, in completion order. Cancelled requests are omitted. Also
+    drains {!notify_fd}. *)
 
 val drain : t -> (int * Wire.response) list
-(** {!step} to exhaustion, in completion order. *)
+(** Run to exhaustion — serial: {!step} in a loop; parallel:
+    dispatch/await/collect until no request is queued or in flight —
+    and return completions in order. *)
 
 val shutdown : t -> unit
-(** Join the private worker pool (if any). Idempotent. Pending
-    requests are not executed; callers wanting a graceful stop call
-    {!set_draining} and {!drain} first. *)
+(** Stop the executor (workers finish their queued jobs, completion
+    callbacks run, pins are released) and join its domains. Idempotent.
+    Queued requests are not executed; callers wanting a graceful stop
+    call {!set_draining} and {!drain} first. *)

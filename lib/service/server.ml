@@ -66,9 +66,25 @@ let deliver st id response =
 let handle_request st c = function
   | Wire.Status ->
       let snap = Obs.Metrics.snapshot () in
+      (* service histograms surface as factor-of-2 percentile fields so
+         clients can watch queue-wait degradation without scraping a
+         metrics report (e.g. service.queue_wait_seconds.p90) *)
+      let percentiles =
+        List.concat_map
+          (fun (name, data) ->
+            if String.length name >= 8 && String.sub name 0 8 = "service." then
+              [
+                (name ^ ".count", float_of_int data.Obs.Metrics.Hist.count);
+                (name ^ ".p50", Obs.Metrics.Hist.quantile data 0.5);
+                (name ^ ".p90", Obs.Metrics.Hist.quantile data 0.9);
+                (name ^ ".p99", Obs.Metrics.Hist.quantile data 0.99);
+              ]
+            else [])
+          snap.Obs.Metrics.histograms
+      in
       let values =
         List.map (fun (k, v) -> (k, float_of_int v)) snap.Obs.Metrics.counters
-        @ snap.Obs.Metrics.gauges
+        @ snap.Obs.Metrics.gauges @ percentiles
       in
       send st c (Wire.Metrics values)
   | Wire.Shutdown ->
@@ -196,9 +212,21 @@ let run cfg =
     end;
     let fds =
       (if !listening then [ listen_fd ] else [])
+      @ (match Scheduler.notify_fd sched with
+        | Some fd -> [ fd ]  (* worker-completion self-pipe *)
+        | None -> [])
       @ List.map (fun c -> c.fd) st.conns
     in
-    let timeout = if Scheduler.pending sched > 0 then 0.0 else 0.25 in
+    (* serial mode spins through the backlog; parallel mode sleeps —
+       the notify pipe wakes the select the moment a worker finishes,
+       and queued work only becomes dispatchable on a completion (a
+       free slot or a freed fingerprint) or a new request, both of
+       which make an fd readable *)
+    let timeout =
+      if Scheduler.is_parallel sched then 0.25
+      else if Scheduler.pending sched > 0 then 0.0
+      else 0.25
+    in
     (match Unix.select fds [] [] timeout with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | readable, _, _ ->
@@ -222,8 +250,20 @@ let run cfg =
               | Some c -> handle_readable st c
               | None -> ())
           readable);
-    (match Scheduler.step sched with
-    | None -> ()
-    | Some (id, response) -> deliver st id response)
+    if Scheduler.is_parallel sched then begin
+      let flush () =
+        List.iter
+          (fun (id, response) -> deliver st id response)
+          (Scheduler.completions sched)
+      in
+      flush ();
+      ignore (Scheduler.dispatch sched : int);
+      (* dispatch completes already-missed deadlines inline *)
+      flush ()
+    end
+    else
+      match Scheduler.step sched with
+      | None -> ()
+      | Some (id, response) -> deliver st id response
   done;
   cfg.log "drained; exiting"

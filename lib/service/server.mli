@@ -4,9 +4,18 @@
     Single-threaded by construction — one [select] loop owns the
     listening socket, every client connection, and the scheduler (so
     the {!Audit.Ownership} single-owner discipline holds without
-    locks). Between I/O rounds the loop dispatches one scheduled
-    request at a time; connection reads are buffered through
-    {!Wire.Decoder}, so a slow writer never blocks the loop.
+    locks). Connection reads are buffered through {!Wire.Decoder}, so
+    a slow writer never blocks the loop.
+
+    With [scheduler.jobs = 1] the loop executes one scheduled request
+    inline between I/O rounds. With [jobs > 1] it dispatches runnable
+    requests to the scheduler's worker domains and keeps serving I/O;
+    the executor's completion self-pipe joins the [select] set, so the
+    loop sleeps until a client writes {e or} a worker finishes, then
+    delivers completed responses. Requests on distinct formulas run
+    concurrently (prepared-state ownership is sharded by fingerprint);
+    witnesses stay bit-identical to serial execution at any [jobs]
+    level.
 
     Graceful shutdown (a [shutdown] request, SIGINT or SIGTERM):
     admission switches to [Draining] rejections, the listening socket

@@ -62,7 +62,8 @@ client() {
     dune exec bin/unigen_cli.exe -- client "$smoke_dir/smoke.cnf" \
         --socket "$sock" -n 3 -s 7 "$@"
 }
-client | grep -q 'cache=miss' || { echo "error: first request should miss" >&2; exit 1; }
+client > "$smoke_dir/serial1.out"
+grep -q 'cache=miss' "$smoke_dir/serial1.out" || { echo "error: first request should miss" >&2; exit 1; }
 client | grep -q 'cache=hit'  || { echo "error: second request should hit the cache" >&2; exit 1; }
 client --shutdown > /dev/null
 wait "$serve_pid"
@@ -75,5 +76,45 @@ grep -q '"service.cache_misses": 1' "$metrics" || {
     echo "error: metrics JSON should record exactly one cache miss" >&2
     exit 1
 }
+
+echo "== service smoke (--jobs 2, audit mode)"
+# Same end-to-end flow against a daemon that executes requests on
+# worker domains, with the correctness audit live so Audit.Ownership
+# single-owner tags are checked on the parallel path. Witnesses must
+# stay bit-identical to the serial daemon's for the same seeds.
+sock2="$smoke_dir/unigen2.sock"
+UNIGEN_AUDIT=1 UNIGEN_AUDIT_PERIOD=16 dune exec bin/unigen_cli.exe -- serve \
+    --socket "$sock2" --jobs 2 > "$smoke_dir/serve2.log" 2>&1 &
+serve2_pid=$!
+trap 'kill "$serve_pid" "$serve2_pid" 2>/dev/null || true; rm -rf "$smoke_dir"' EXIT
+for _ in $(seq 1 100); do
+    [ -S "$sock2" ] && break
+    sleep 0.1
+done
+[ -S "$sock2" ] || { echo "error: parallel daemon did not create $sock2" >&2; cat "$smoke_dir/serve2.log" >&2; exit 1; }
+client2() {
+    dune exec bin/unigen_cli.exe -- client "$smoke_dir/smoke.cnf" \
+        --socket "$sock2" -n 3 -s 7 "$@"
+}
+client2 > "$smoke_dir/par1.out"
+grep -q 'cache=miss' "$smoke_dir/par1.out" || { echo "error: first parallel request should miss" >&2; exit 1; }
+client2 > "$smoke_dir/par2.out"
+grep -q 'cache=hit' "$smoke_dir/par2.out" || { echo "error: second parallel request should hit" >&2; exit 1; }
+# determinism across daemons and cache states: the parallel daemon's
+# witnesses (miss and hit path alike) must be bit-identical to the
+# serial daemon's for the same formula and seeds
+grep '^v ' "$smoke_dir/serial1.out" > "$smoke_dir/serial.witness"
+grep '^v ' "$smoke_dir/par1.out" > "$smoke_dir/par1.witness"
+grep '^v ' "$smoke_dir/par2.out" > "$smoke_dir/par2.witness"
+cmp -s "$smoke_dir/serial.witness" "$smoke_dir/par1.witness" || {
+    echo "error: parallel daemon's witnesses differ from the serial daemon's" >&2
+    exit 1
+}
+cmp -s "$smoke_dir/par1.witness" "$smoke_dir/par2.witness" || {
+    echo "error: parallel daemon's miss and hit paths disagree on witnesses" >&2
+    exit 1
+}
+client2 --shutdown > /dev/null
+wait "$serve2_pid"
 
 echo "ok"

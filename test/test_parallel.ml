@@ -85,6 +85,90 @@ let test_pool_shutdown_idempotent () =
      with Invalid_argument _ -> true)
 
 (* ------------------------------------------------------------------ *)
+(* Executor: the async counterpart of the pool, driving the daemon's
+   parallel path. Completions must surface through the self-pipe and
+   run their finish thunks on the owning domain, exceptions included. *)
+
+let test_executor_basic_completion () =
+  let ex = Parallel.Executor.create ~workers:2 in
+  Fun.protect ~finally:(fun () -> Parallel.Executor.shutdown ex) @@ fun () ->
+  Alcotest.(check int) "workers" 2 (Parallel.Executor.workers ex);
+  let n = 20 in
+  let results = Array.make n (-1) in
+  let done_count = ref 0 in
+  for i = 0 to n - 1 do
+    Parallel.Executor.submit ex
+      ~work:(fun () -> i * i)
+      ~finish:(fun r ->
+        (match r with
+        | Ok v -> results.(i) <- v
+        | Error _ -> Alcotest.fail "unexpected job failure");
+        incr done_count)
+  done;
+  (* drive completions the way the daemon does: select on the notify
+     pipe, then poll on the owner *)
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while !done_count < n && Unix.gettimeofday () < deadline do
+    (match
+       Unix.select [ Parallel.Executor.notify_fd ex ] [] [] 0.2
+     with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | _ -> ());
+    ignore (Parallel.Executor.poll ex : int)
+  done;
+  Alcotest.(check int) "all jobs completed" n !done_count;
+  Array.iteri
+    (fun i v -> Alcotest.(check int) (Printf.sprintf "job %d" i) (i * i) v)
+    results
+
+let test_executor_captures_exceptions () =
+  let ex = Parallel.Executor.create ~workers:2 in
+  Fun.protect ~finally:(fun () -> Parallel.Executor.shutdown ex) @@ fun () ->
+  let outcomes = ref [] in
+  for i = 0 to 7 do
+    Parallel.Executor.submit ex
+      ~work:(fun () -> if i mod 2 = 0 then raise (Boom i) else i)
+      ~finish:(fun r -> outcomes := (i, r) :: !outcomes)
+  done;
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while List.length !outcomes < 8 && Unix.gettimeofday () < deadline do
+    Parallel.Executor.wait ~timeout_s:0.2 ex;
+    ignore (Parallel.Executor.poll ex : int)
+  done;
+  Alcotest.(check int) "all finished" 8 (List.length !outcomes);
+  List.iter
+    (fun (i, r) ->
+      match r with
+      | Ok v ->
+          Alcotest.(check bool) "odd jobs succeed" true (i mod 2 = 1);
+          Alcotest.(check int) "value" i v
+      | Error (Boom j, _) ->
+          Alcotest.(check bool) "even jobs fail" true (i mod 2 = 0);
+          Alcotest.(check int) "own exception" i j
+      | Error _ -> Alcotest.fail "wrong exception captured")
+    !outcomes
+
+let test_executor_shutdown_flushes () =
+  (* shutdown must finish queued jobs and run their thunks — nothing
+     is lost or duplicated *)
+  let ex = Parallel.Executor.create ~workers:1 in
+  let seen = ref 0 in
+  for _ = 1 to 10 do
+    Parallel.Executor.submit ex
+      ~work:(fun () -> Unix.sleepf 0.002)
+      ~finish:(fun _ -> incr seen)
+  done;
+  Parallel.Executor.shutdown ex;
+  Alcotest.(check int) "every finish thunk ran" 10 !seen;
+  Parallel.Executor.shutdown ex;
+  Alcotest.(check int) "shutdown idempotent" 10 !seen;
+  Alcotest.(check bool) "submit after shutdown rejected" true
+    (try
+       Parallel.Executor.submit ex ~work:(fun () -> ()) ~finish:ignore;
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
 (* Deterministic seeding: jobs-count invariance *)
 
 let prepare ?(seed = 42) f =
@@ -259,6 +343,13 @@ let () =
           Alcotest.test_case "exception graceful shutdown" `Quick
             test_pool_exception_graceful_shutdown;
           Alcotest.test_case "shutdown idempotent" `Quick test_pool_shutdown_idempotent;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "basic completion" `Quick test_executor_basic_completion;
+          Alcotest.test_case "captures exceptions" `Quick
+            test_executor_captures_exceptions;
+          Alcotest.test_case "shutdown flushes" `Quick test_executor_shutdown_flushes;
         ] );
       ( "determinism",
         [

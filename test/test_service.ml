@@ -278,6 +278,7 @@ let with_sched ?(config = Scheduler.default_config) f =
 
 let formula_a = "p cnf 4 2\nc ind 1 2 3 0\n1 2 3 0\n-1 4 0\n"
 let formula_b = "p cnf 4 2\nc ind 1 2 3 0\n-1 -2 0\n2 3 4 0\n"
+let formula_c = "p cnf 4 2\nc ind 1 2 3 0\n1 -2 0\n-3 4 0\n"
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler policy *)
@@ -473,6 +474,337 @@ let prop_cache_hit_equals_cold_miss =
       | _ -> false)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel execution: the concurrency battery. Worker domains execute
+   whole requests behind the scheduler; prepared-state ownership is
+   sharded by fingerprint. Everything observable — witnesses, response
+   multiplicity, pins, counters — must be indistinguishable from the
+   serial path. *)
+
+let parallel_config jobs =
+  { Scheduler.default_config with Scheduler.jobs }
+
+(* Submit one request and run the scheduler to exhaustion; works in
+   serial and parallel mode. *)
+let service_witnesses_drained sched req =
+  let id = submit_ok sched req in
+  match List.assoc_opt id (Scheduler.drain sched) with
+  | Some (Wire.Ok_sample r) -> (r.Wire.cache_hit, r.Wire.witnesses)
+  | Some _ -> Alcotest.fail "expected witnesses from the service path"
+  | None -> Alcotest.fail "request drained without a response"
+
+let test_parallel_stress_many_clients () =
+  (* many clients x many formulas against a 3-domain scheduler: no
+     response lost, none duplicated, and every single response
+     bit-identical to its own offline run *)
+  with_sched ~config:(parallel_config 3) @@ fun sched ->
+  let formulas =
+    List.map formula_of_string [ formula_a; formula_b; formula_c ]
+  in
+  let expected = Hashtbl.create 16 in
+  let submitted = ref [] in
+  (* interleave submissions across formulas, like concurrent clients *)
+  for k = 0 to 3 do
+    List.iteri
+      (fun j f ->
+        let seed = 100 + (4 * j) + k in
+        let id = submit_ok sched (sample_request ~n:2 ~seed f) in
+        let reference =
+          match offline_witnesses ~prepare_seed:1 ~seed ~epsilon:6.0 ~n:2 f with
+          | Some w -> w
+          | None -> Alcotest.fail "offline preparation failed"
+        in
+        Hashtbl.replace expected id reference;
+        submitted := id :: !submitted)
+      formulas
+  done;
+  let completions = Scheduler.drain sched in
+  Alcotest.(check int) "no response lost or duplicated" 12
+    (List.length completions);
+  let ids = List.map fst completions in
+  Alcotest.(check int) "distinct ids" 12
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun (id, resp) ->
+      match resp with
+      | Wire.Ok_sample r ->
+          Alcotest.(check (list (list int)))
+            (Printf.sprintf "request %d bit-identical to offline" id)
+            (Hashtbl.find expected id) r.Wire.witnesses
+      | _ -> Alcotest.fail "expected witnesses for every request")
+    completions;
+  (* requests on one formula serialise on its prepared state, so each
+     of the three fingerprints pays exactly one cold preparation *)
+  let misses =
+    List.fold_left
+      (fun n (_, resp) ->
+        match resp with
+        | Wire.Ok_sample r when not r.Wire.cache_hit -> n + 1
+        | _ -> n)
+      0 completions
+  in
+  Alcotest.(check int) "one cold miss per fingerprint" 3 misses;
+  Alcotest.(check int) "all pins released" 0
+    (Cache.total_pin_count (Scheduler.cache sched))
+
+let test_parallel_dispatch_shards_and_interleaves () =
+  (* dispatch starts at most one request per fingerprint and rotates
+     fairly: with a1 a2 a3 queued before b1, the two free workers take
+     a1 and b1 — never two requests of one formula *)
+  with_sched ~config:(parallel_config 2) @@ fun sched ->
+  let fa = formula_of_string formula_a in
+  let fb = formula_of_string formula_b in
+  let a1 = submit_ok sched (sample_request ~n:1 fa) in
+  let a2 = submit_ok sched (sample_request ~n:1 fa) in
+  let a3 = submit_ok sched (sample_request ~n:1 fa) in
+  let b1 = submit_ok sched (sample_request ~n:1 fb) in
+  let started = Scheduler.dispatch sched in
+  Alcotest.(check int) "both workers busy" 2 started;
+  Alcotest.(check int) "in flight" 2 (Scheduler.in_flight sched);
+  Alcotest.(check int) "rest still queued" 2 (Scheduler.queued sched);
+  Alcotest.(check int) "pending counts both" 4 (Scheduler.pending sched);
+  let completions = Scheduler.drain sched in
+  let ids = List.map fst completions in
+  Alcotest.(check (list int)) "all four complete" [ a1; a2; a3; b1 ]
+    (List.sort compare ids);
+  (* b1 was dispatched in the first wave despite three earlier
+     requests on formula A: it completes before A's tail *)
+  let pos id =
+    let rec go i = function
+      | [] -> Alcotest.fail "id missing from completions"
+      | x :: tl -> if x = id then i else go (i + 1) tl
+    in
+    go 0 ids
+  in
+  Alcotest.(check bool) "fair interleaving across fingerprints" true
+    (pos b1 < pos a3)
+
+let test_differential_every_jobs_level () =
+  (* the acceptance criterion: witnesses bit-identical to offline
+     sampling at every jobs level, on the cache miss, the cache hit,
+     and the post-eviction re-preparation *)
+  let text =
+    "p cnf 12 3\nc ind 1 2 3 4 5 6 7 8 9 10 0\n1 2 3 0\n-4 5 6 0\n7 -8 0\n"
+  in
+  let f = formula_of_string text in
+  let n = 8 and seed = 33 and prepare_seed = 5 and epsilon = 6.0 in
+  let reference =
+    match offline_witnesses ~prepare_seed ~seed ~epsilon ~n f with
+    | Some w -> w
+    | None -> Alcotest.fail "offline preparation failed"
+  in
+  List.iter
+    (fun jobs ->
+      let label s = Printf.sprintf "jobs=%d: %s" jobs s in
+      with_sched ~config:(parallel_config jobs) @@ fun sched ->
+      let req = sample_request ~n ~seed ~prepare_seed ~epsilon f in
+      let hit1, w1 = service_witnesses_drained sched req in
+      Alcotest.(check bool) (label "cold miss") false hit1;
+      Alcotest.(check (list (list int))) (label "miss bit-identical") reference w1;
+      let hit2, w2 = service_witnesses_drained sched req in
+      Alcotest.(check bool) (label "cache hit") true hit2;
+      Alcotest.(check (list (list int))) (label "hit bit-identical") reference w2;
+      (match Cache.keys_mru (Scheduler.cache sched) with
+      | [ key ] ->
+          Alcotest.(check bool) (label "evict") true
+            (Cache.remove (Scheduler.cache sched) key)
+      | _ -> Alcotest.fail (label "expected exactly one cached preparation"));
+      let hit3, w3 = service_witnesses_drained sched req in
+      Alcotest.(check bool) (label "cold after eviction") false hit3;
+      Alcotest.(check (list (list int)))
+        (label "post-eviction bit-identical") reference w3)
+    [ 1; 2; 3 ]
+
+let test_chaos_cancellation_under_parallelism () =
+  with_sched ~config:(parallel_config 2) @@ fun sched ->
+  let fa = formula_of_string formula_a in
+  let fb = formula_of_string formula_b in
+  let a1 = submit_ok sched (sample_request ~n:2 ~seed:1 fa) in
+  let a2 = submit_ok sched (sample_request ~n:2 ~seed:2 fa) in
+  let a3 = submit_ok sched (sample_request ~n:2 ~seed:3 fa) in
+  let b1 = submit_ok sched (sample_request ~n:2 ~seed:4 fb) in
+  let b2 = submit_ok sched (sample_request ~n:2 ~seed:5 fb) in
+  ignore (Scheduler.dispatch sched : int);
+  (* a1 and b1 are now on worker domains; a1's client disconnects *)
+  Alcotest.(check bool) "cancel in-flight" true (Scheduler.cancel sched a1);
+  Alcotest.(check bool) "cancel in-flight once" false (Scheduler.cancel sched a1);
+  Alcotest.(check bool) "cancel queued" true (Scheduler.cancel sched a2);
+  let completions = Scheduler.drain sched in
+  let ids = List.sort compare (List.map fst completions) in
+  Alcotest.(check (list int)) "cancelled responses suppressed, rest intact"
+    (List.sort compare [ a3; b1; b2 ])
+    ids;
+  List.iter
+    (fun (_, resp) ->
+      match resp with
+      | Wire.Ok_sample _ -> ()
+      | _ -> Alcotest.fail "survivors must complete normally")
+    completions;
+  Alcotest.(check int) "no leaked pins after drain" 0
+    (Cache.total_pin_count (Scheduler.cache sched));
+  (* cancel a request in flight on the cache-hit path: its execution
+     pin must be released when the worker finishes, even though the
+     response is discarded *)
+  let a4 = submit_ok sched (sample_request ~n:2 ~seed:6 fa) in
+  ignore (Scheduler.dispatch sched : int);
+  Alcotest.(check int) "execution pin held in flight" 1
+    (Cache.total_pin_count (Scheduler.cache sched));
+  Alcotest.(check bool) "cancel hit-path flight" true (Scheduler.cancel sched a4);
+  Alcotest.(check (list int)) "cancelled hit suppressed" []
+    (List.map fst (Scheduler.drain sched));
+  Alcotest.(check int) "pin count returns to zero" 0
+    (Cache.total_pin_count (Scheduler.cache sched));
+  (* the cache survived the chaos: a fresh request still hits *)
+  let hit, _ = service_witnesses_drained sched (sample_request ~n:2 ~seed:7 fa) in
+  Alcotest.(check bool) "cache intact after cancellations" true hit
+
+let metric_counter name =
+  let snap = Obs.Metrics.snapshot () in
+  Option.value ~default:0 (List.assoc_opt name snap.Obs.Metrics.counters)
+
+let test_deadline_miss_counted_once_parallel () =
+  (* misses detected on a worker domain (Prepare_timeout) and misses
+     detected at dispatch (deadline already past) both funnel through
+     one accounting point: exactly one count per missed request *)
+  Obs.Metrics.enable ();
+  let before = metric_counter "service.deadline_misses" in
+  let text =
+    "p cnf 12 3\nc ind 1 2 3 4 5 6 7 8 9 10 0\n1 2 3 0\n-4 5 6 0\n7 -8 0\n"
+  in
+  let f = formula_of_string text in
+  with_sched ~config:(parallel_config 2) @@ fun sched ->
+  for seed = 1 to 3 do
+    ignore (submit_ok sched (sample_request ~n:2 ~seed ~timeout_s:0.0005 f) : int)
+  done;
+  let completions = Scheduler.drain sched in
+  Alcotest.(check int) "all three complete" 3 (List.length completions);
+  List.iter
+    (fun (_, resp) ->
+      match resp with
+      | Wire.Deadline_miss _ -> ()
+      | _ -> Alcotest.fail "expected every request to miss its deadline")
+    completions;
+  Alcotest.(check int) "each miss counted exactly once" 3
+    (metric_counter "service.deadline_misses" - before)
+
+(* retry_after_s must stay finite and non-negative no matter how the
+   EWMA was seeded — in particular after instantly-completing requests
+   (a 0-duration first sample must not zero or poison the hint). *)
+let prop_retry_hint_sane =
+  QCheck2.Test.make ~count:25 ~name:"retry_after_s finite and non-negative"
+    QCheck2.Gen.(int_bound 4)
+    (fun instant_misses ->
+      let config =
+        { Scheduler.default_config with Scheduler.queue_capacity = 2 }
+      in
+      let sched = Scheduler.create ~config () in
+      Fun.protect ~finally:(fun () -> Scheduler.shutdown sched) @@ fun () ->
+      let f = formula_of_string formula_a in
+      for _ = 1 to instant_misses do
+        (match Scheduler.submit sched (sample_request ~timeout_s:(-1.0) f) with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.fail "admission unexpectedly closed");
+        match Scheduler.step sched with
+        | Some (_, Wire.Deadline_miss _) -> ()
+        | _ -> Alcotest.fail "expected an instant deadline miss"
+      done;
+      (* fill the admission queue, then overflow it *)
+      ignore (Scheduler.submit sched (sample_request f));
+      ignore (Scheduler.submit sched (sample_request f));
+      match Scheduler.submit sched (sample_request f) with
+      | Ok _ -> false
+      | Error { Scheduler.reason = Wire.Queue_full; retry_after_s } ->
+          Float.is_finite retry_after_s && retry_after_s >= 0.0
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Wire.Decoder fuzz: arbitrary payloads, arbitrary chunking, hostile
+   length prefixes. Every malformed input must surface as a structured
+   protocol error ([Frame_error] / [Json.Decode_error]) — never as an
+   arbitrary exception escaping towards the select loop. *)
+
+let prop_decoder_chunked_reassembly =
+  QCheck2.Test.make ~count:100
+    ~name:"decoder reassembles arbitrary frames under arbitrary chunking"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 5) (string_size ~gen:char (int_range 0 300)))
+        (int_range 1 9))
+    (fun (payloads, chunk) ->
+      let stream = String.concat "" (List.map Wire.encode_frame payloads) in
+      let d = Wire.Decoder.create () in
+      let out = ref [] in
+      let len = String.length stream in
+      let pos = ref 0 in
+      while !pos < len do
+        let k = min chunk (len - !pos) in
+        Wire.Decoder.feed d (Bytes.of_string (String.sub stream !pos k)) k;
+        pos := !pos + k;
+        let rec drain () =
+          match Wire.Decoder.next d with
+          | Some p ->
+              out := p :: !out;
+              drain ()
+          | None -> ()
+        in
+        drain ()
+      done;
+      List.rev !out = payloads && Wire.Decoder.buffered d = 0)
+
+let prop_decoder_truncated_frame =
+  QCheck2.Test.make ~count:100
+    ~name:"any strict prefix of a frame waits for more input"
+    QCheck2.Gen.(
+      pair (string_size ~gen:char (int_range 0 500)) (int_range 0 99))
+    (fun (payload, pct) ->
+      let frame = Wire.encode_frame payload in
+      let keep = max 0 (min (String.length frame * pct / 100) (String.length frame - 1)) in
+      let d = Wire.Decoder.create () in
+      Wire.Decoder.feed d (Bytes.of_string (String.sub frame 0 keep)) keep;
+      match Wire.Decoder.next d with
+      | None -> true
+      | Some _ -> false
+      | exception _ -> false)
+
+let be32 n =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  b
+
+let test_decoder_frame_cap () =
+  (* a header announcing exactly max_frame is legal: the decoder waits
+     for the body *)
+  let d = Wire.Decoder.create () in
+  Wire.Decoder.feed d (be32 Wire.max_frame) 4;
+  Alcotest.(check (option string)) "at cap: awaiting body" None
+    (Wire.Decoder.next d);
+  (* one byte past the cap is a protocol error, raised before any
+     buffering *)
+  let d2 = Wire.Decoder.create () in
+  Wire.Decoder.feed d2 (be32 (Wire.max_frame + 1)) 4;
+  Alcotest.check_raises "over cap" (Wire.Frame_error "frame exceeds max_frame")
+    (fun () -> ignore (Wire.Decoder.next d2 : string option))
+
+let prop_decoder_garbage_payload =
+  QCheck2.Test.make ~count:200
+    ~name:"garbage payload decodes as a frame, fails as a clean request error"
+    QCheck2.Gen.(string_size ~gen:char (int_range 0 120))
+    (fun garbage ->
+      let frame = Wire.encode_frame garbage in
+      let d = Wire.Decoder.create () in
+      Wire.Decoder.feed d (Bytes.of_string frame) (String.length frame);
+      match Wire.Decoder.next d with
+      | Some payload ->
+          (* framing is content-agnostic; the JSON layer must reject
+             garbage with Decode_error and nothing else *)
+          String.equal payload garbage
+          && (match Wire.request_of_json (Json.of_string payload) with
+             | (_ : Wire.request) -> true
+             | exception Json.Decode_error _ -> true
+             | exception _ -> false)
+      | None -> false
+      | exception _ -> false)
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end over a real Unix socket: daemon in a forked child, two
    requests on one connection, a tagged cancel race, clean shutdown. *)
 
@@ -536,6 +868,114 @@ let test_socket_end_to_end () =
         (match status with Unix.WEXITED 0 -> true | _ -> false)
 
 (* ------------------------------------------------------------------ *)
+(* Socket-level chaos against a parallel daemon: one client pipelines
+   requests and disconnects without reading a byte; its work must be
+   cancelled, its pins released, and a concurrent client's framing
+   left untouched. *)
+
+let with_daemon ?(scheduler = Scheduler.default_config) f =
+  let dir = Filename.temp_file "unigen_service" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let socket_path = Filename.concat dir "daemon.sock" in
+  match Unix.fork () with
+  | 0 ->
+      (try
+         Service.Server.run
+           {
+             (Service.Server.default_config ~socket_path) with
+             Service.Server.scheduler;
+           }
+       with _ -> ());
+      Unix._exit 0
+  | pid ->
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          (try ignore (Unix.waitpid [] pid : int * Unix.process_status)
+           with Unix.Unix_error (Unix.ECHILD, _, _) -> ());
+          (try Sys.remove socket_path with Sys_error _ -> ());
+          try Unix.rmdir dir with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while
+        (not (Sys.file_exists socket_path)) && Unix.gettimeofday () < deadline
+      do
+        ignore (Unix.select [] [] [] 0.02)
+      done;
+      Alcotest.(check bool) "daemon came up" true (Sys.file_exists socket_path);
+      f ~socket_path ~pid
+
+let test_chaos_abrupt_disconnect_socket () =
+  with_daemon ~scheduler:(parallel_config 2) @@ fun ~socket_path ~pid ->
+  (* connection A: pipeline three requests on three formulas, then
+     vanish mid-flight without reading a single response *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket_path);
+  List.iteri
+    (fun i text ->
+      Wire.write_frame fd
+        (Json.to_string
+           (Wire.request_to_json
+              (Wire.Sample
+                 {
+                   Wire.default_sample_req with
+                   Wire.formula_text = text;
+                   n = 4;
+                   seed = 10 + i;
+                   tag = Some (Printf.sprintf "doomed-%d" i);
+                 }))))
+    [ formula_a; formula_b; formula_c ];
+  Unix.close fd;
+  (* connection B keeps working: two requests on one formula (the
+     second exercises the cache-hit execution-pin path), each response
+     correctly framed and correctly tagged *)
+  Service.Client.with_connection ~socket_path @@ fun conn ->
+  let ask tag =
+    match
+      Service.Client.request conn
+        (Wire.Sample
+           {
+             Wire.default_sample_req with
+             Wire.formula_text = formula_a;
+             n = 4;
+             seed = 77;
+             tag = Some tag;
+           })
+    with
+    | Wire.Ok_sample r ->
+        Alcotest.(check (option string)) "own tag echoed" (Some tag)
+          r.Wire.rsp_tag;
+        Alcotest.(check int) "witnesses delivered" 4 r.Wire.produced;
+        r.Wire.witnesses
+    | _ -> Alcotest.fail "survivor connection must get clean responses"
+  in
+  let w1 = ask "b-cold" in
+  let w2 = ask "b-warm" in
+  Alcotest.(check bool) "deterministic across A's chaos" true (w1 = w2);
+  (* give the daemon a beat to finish any in-flight doomed work, then
+     check nothing stayed pinned *)
+  let rec pins_settle tries =
+    match Service.Client.request conn Wire.Status with
+    | Wire.Metrics values -> (
+        match List.assoc_opt "service.cache_pins" values with
+        | Some 0.0 -> ()
+        | Some _ when tries > 0 ->
+            ignore (Unix.select [] [] [] 0.05);
+            pins_settle (tries - 1)
+        | Some v -> Alcotest.failf "leaked execution pins: %g" v
+        | None -> Alcotest.fail "service.cache_pins gauge missing")
+    | _ -> Alcotest.fail "expected a metrics response"
+  in
+  pins_settle 40;
+  (match Service.Client.request conn Wire.Shutdown with
+  | Wire.Bye -> ()
+  | _ -> Alcotest.fail "expected bye");
+  let _, status = Unix.waitpid [] pid in
+  Alcotest.(check bool) "daemon exited cleanly" true
+    (match status with Unix.WEXITED 0 -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "service"
@@ -560,6 +1000,10 @@ let () =
         [
           Alcotest.test_case "framing incremental" `Quick test_wire_framing_incremental;
           Alcotest.test_case "json roundtrip" `Quick test_wire_json_roundtrip;
+          Alcotest.test_case "frame size cap" `Quick test_decoder_frame_cap;
+          QCheck_alcotest.to_alcotest prop_decoder_chunked_reassembly;
+          QCheck_alcotest.to_alcotest prop_decoder_truncated_frame;
+          QCheck_alcotest.to_alcotest prop_decoder_garbage_payload;
         ] );
       ( "scheduler",
         [
@@ -570,13 +1014,35 @@ let () =
           Alcotest.test_case "draining" `Quick test_scheduler_draining;
           Alcotest.test_case "unsat and bad epsilon" `Quick
             test_scheduler_unsat_and_bad_epsilon;
+          QCheck_alcotest.to_alcotest prop_retry_hint_sane;
+        ] );
+      (* the daemon tests fork, and OCaml 5 forbids Unix.fork once any
+         domain has ever been spawned in the process — so they must run
+         before every jobs>1 test below (alcotest runs suites in
+         order) *)
+      ( "daemon",
+        [
+          Alcotest.test_case "socket end to end" `Quick test_socket_end_to_end;
+          Alcotest.test_case "chaos: abrupt disconnect under parallelism" `Quick
+            test_chaos_abrupt_disconnect_socket;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "stress: many clients x many formulas" `Quick
+            test_parallel_stress_many_clients;
+          Alcotest.test_case "dispatch shards by fingerprint" `Quick
+            test_parallel_dispatch_shards_and_interleaves;
+          Alcotest.test_case "chaos: cancellation under parallelism" `Quick
+            test_chaos_cancellation_under_parallelism;
+          Alcotest.test_case "deadline miss counted once" `Quick
+            test_deadline_miss_counted_once_parallel;
         ] );
       ( "determinism",
         [
           Alcotest.test_case "differential vs offline" `Quick
             test_differential_service_vs_offline;
+          Alcotest.test_case "differential at every jobs level" `Quick
+            test_differential_every_jobs_level;
           QCheck_alcotest.to_alcotest prop_cache_hit_equals_cold_miss;
         ] );
-      ( "daemon",
-        [ Alcotest.test_case "socket end to end" `Quick test_socket_end_to_end ] );
     ]
