@@ -187,8 +187,8 @@ let in_hot f = starts_with "lib/sat/" f || starts_with "lib/cnf/" f
 (* Inner-loop modules where even buffered formatting is off-budget. *)
 let print_hot_files =
   [ "lib/sat/solver.ml"; "lib/sat/vec.ml"; "lib/sat/order_heap.ml";
-    "lib/sat/bsat.ml"; "lib/cnf/lit.ml"; "lib/cnf/clause.ml";
-    "lib/cnf/model.ml" ]
+    "lib/sat/gauss.ml"; "lib/sat/bsat.ml"; "lib/cnf/lit.ml";
+    "lib/cnf/clause.ml"; "lib/cnf/model.ml" ]
 
 let rule_random file masked src =
   if (in_lib file || starts_with "bin/" file) && not (in_prng file) then

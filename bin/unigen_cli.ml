@@ -77,12 +77,25 @@ let audit_arg =
            state dump. Equivalent to setting UNIGEN_AUDIT=1; tune the \
            sweep sampling period with UNIGEN_AUDIT_PERIOD (default 64).")
 
+let no_gauss_arg =
+  Cmdliner.Arg.(
+    value
+    & flag
+    & info [ "no-gauss" ]
+        ~doc:
+          "Disable in-search Gauss-Jordan elimination over the XOR hash \
+           rows and fall back to a static row reduction followed by \
+           parity 2-watch propagation (the differential reference \
+           engine). Witnesses and counts are bit-identical either way.")
+
+let xor_engine_name ~gauss = if gauss then "gauss" else "2watch"
+
 (* ------------------------------------------------------------------ *)
 (* unigen sample *)
 
 let sample_cmd =
   let run file num epsilon seed timeout project_only jobs show_stats
-      no_incremental audit trace metrics_json =
+      no_incremental no_gauss audit trace metrics_json =
     if audit then Audit.enable ();
     if jobs < 0 then begin
       Printf.eprintf "error: --jobs must be >= 1\n";
@@ -97,13 +110,16 @@ let sample_cmd =
           with_observability ~trace ~metrics_json ~show_stats @@ fun () ->
           let rng = Rng.create seed in
           let incremental = not no_incremental in
+          let gauss = not no_gauss in
           let deadline = Unix.gettimeofday () +. timeout in
           let prep =
             if jobs > 1 then
               Parallel.Domain_pool.with_pool ~jobs (fun pool ->
-                  Sampling.Unigen.prepare ~deadline ~incremental ~pool ~rng
-                    ~epsilon f)
-            else Sampling.Unigen.prepare ~deadline ~incremental ~rng ~epsilon f
+                  Sampling.Unigen.prepare ~deadline ~incremental ~gauss ~pool
+                    ~rng ~epsilon f)
+            else
+              Sampling.Unigen.prepare ~deadline ~incremental ~gauss ~rng
+                ~epsilon f
           in
           (match prep with
           | Error Sampling.Unigen.Unsat_formula ->
@@ -173,6 +189,10 @@ let sample_cmd =
                         ("jobs", Int jobs);
                         ( "incremental",
                           Bool (Sampling.Unigen.is_incremental prepared) );
+                        ( "xor_engine",
+                          String
+                            (xor_engine_name
+                               ~gauss:(Sampling.Unigen.is_gauss prepared)) );
                       ] );
                   ("run", Sampling.Sampler.report_fields st);
                 ];
@@ -217,14 +237,15 @@ let sample_cmd =
   Cmd.v
     (Cmd.info "sample" ~doc:"Draw almost-uniform witnesses of a DIMACS CNF file")
     Term.(const run $ file $ num $ epsilon $ seed $ timeout $ project $ jobs
-          $ show_stats $ no_incremental $ audit_arg $ trace_arg $ metrics_json_arg)
+          $ show_stats $ no_incremental $ no_gauss_arg $ audit_arg $ trace_arg
+          $ metrics_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* unigen count *)
 
 let count_cmd =
-  let run file epsilon delta seed timeout jobs show_stats no_incremental audit
-      trace metrics_json =
+  let run file epsilon delta seed timeout jobs show_stats no_incremental
+      no_gauss audit trace metrics_json =
     if audit then Audit.enable ();
     match read_formula file with
     | Error msg ->
@@ -234,12 +255,14 @@ let count_cmd =
         with_observability ~trace ~metrics_json ~show_stats @@ fun () ->
         let rng = Rng.create seed in
         let incremental = not no_incremental in
+        let gauss = not no_gauss in
         let deadline = Unix.gettimeofday () +. timeout in
         let result =
           if jobs >= 1 then
-            Counting.Approxmc.count ~deadline ~incremental ~jobs ~rng ~epsilon
-              ~delta f
-          else Counting.Approxmc.count ~deadline ~incremental ~rng ~epsilon
+            Counting.Approxmc.count ~deadline ~incremental ~gauss ~jobs ~rng
+              ~epsilon ~delta f
+          else
+            Counting.Approxmc.count ~deadline ~incremental ~gauss ~rng ~epsilon
               ~delta f
         in
         (match result with
@@ -268,6 +291,7 @@ let count_cmd =
                       ("seed", Int seed);
                       ("jobs", Int jobs);
                       ("incremental", Bool incremental);
+                      ("xor_engine", String (xor_engine_name ~gauss));
                     ] );
                 ( "count",
                   Obs.Report.
@@ -327,7 +351,8 @@ let count_cmd =
   Cmd.v
     (Cmd.info "count" ~doc:"Approximately count witnesses (ApproxMC)")
     Term.(const run $ file $ epsilon $ delta $ seed $ timeout $ jobs
-          $ show_stats $ no_incremental $ audit_arg $ trace_arg $ metrics_json_arg)
+          $ show_stats $ no_incremental $ no_gauss_arg $ audit_arg $ trace_arg
+          $ metrics_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* unigen support *)
@@ -521,7 +546,7 @@ let socket_arg =
 
 let serve_cmd =
   let run socket queue_capacity max_batch cache_capacity jobs no_incremental
-      audit show_stats trace metrics_json =
+      no_gauss audit show_stats trace metrics_json =
     if audit then Audit.enable ();
     with_observability ~trace ~metrics_json ~show_stats @@ fun () ->
     let config =
@@ -534,6 +559,7 @@ let serve_cmd =
             cache_capacity;
             jobs;
             incremental = not no_incremental;
+            gauss = not no_gauss;
           };
         log = (fun msg -> Printf.printf "c %s\n%!" msg);
       }
@@ -552,6 +578,8 @@ let serve_cmd =
                   ("cache_capacity", Int cache_capacity);
                   ("jobs", Int jobs);
                   ("incremental", Bool (not no_incremental));
+                  ( "xor_engine",
+                    String (xor_engine_name ~gauss:(not no_gauss)) );
                 ] );
           ];
         0
@@ -604,8 +632,8 @@ let serve_cmd =
              registry, prepared-state cache and deadline-aware scheduler \
              behind a Unix-socket JSON protocol")
     Term.(const run $ socket_arg $ queue_capacity $ max_batch $ cache_capacity
-          $ jobs $ no_incremental $ audit_arg $ show_stats $ trace_arg
-          $ metrics_json_arg)
+          $ jobs $ no_incremental $ no_gauss_arg $ audit_arg $ show_stats
+          $ trace_arg $ metrics_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* unigen client: talk to a running daemon *)

@@ -169,6 +169,40 @@ let check_reasons view ctbl xtbl =
               if !parity <> x.x_rhs then
                 fail view ~invariant:"reason-consistency"
                   ~detail:"reason XOR is not satisfied by the current assignment" ctx)
+      | R_gauss (g, row) -> (
+          match List.find_opt (fun m -> m.g_group = g) view.matrices with
+          | None ->
+              fail view ~invariant:"reason-consistency"
+                ~detail:"reason Gauss matrix is not live"
+                [ ("var", itos v); ("matrix_group", itos g) ]
+          | Some gv ->
+              if row < 0 || row >= Array.length gv.g_rows then
+                fail view ~invariant:"reason-consistency"
+                  ~detail:"reason Gauss row id is out of range"
+                  [ ("var", itos v); ("matrix_group", itos g); ("row", itos row) ];
+              let r = gv.g_rows.(row) in
+              let ctx =
+                [ ("var", itos v);
+                  ("matrix_group", itos g);
+                  ("row", itos row);
+                  ("vars", xvars_to_string view r.g_vars) ]
+              in
+              if not (Array.exists (fun u -> u = v) r.g_vars) then
+                fail view ~invariant:"reason-consistency"
+                  ~detail:"implied variable is not in its reason Gauss row" ctx;
+              let parity = ref false in
+              Array.iter
+                (fun u ->
+                  if view.assigns.(u) = 0 || view.level.(u) > lvl then
+                    fail view ~invariant:"reason-consistency"
+                      ~detail:"reason Gauss row has an unassigned or later-level variable"
+                      ctx;
+                  if view.assigns.(u) > 0 then parity := not !parity)
+                r.g_vars;
+              if !parity <> r.g_rhs then
+                fail view ~invariant:"reason-consistency"
+                  ~detail:"reason Gauss row is not satisfied by the current assignment"
+                  ctx)
       | R_none ->
           if lvl > 0 then begin
             let pos = trail_pos.(v) in
@@ -340,6 +374,96 @@ let check_xor_fixpoint view =
       end)
     view.xors
 
+(* In-search Gauss matrices. Checked per matrix and only when it is
+   clean (no repair pending): a dirty matrix deliberately carries stale
+   watches, basics and detach marks until the next [repair]. The
+   Jordan-form invariants below are exactly what makes row-local
+   propagation complete, so together with [gauss-fixpoint] they play
+   the role [check_xor_fixpoint] plays for the 2-watch engine. *)
+let check_gauss view =
+  List.iter
+    (fun g ->
+      if not g.g_dirty then begin
+        let mctx = [ ("matrix_group", itos g.g_group) ] in
+        (* pass 1: per-row shape; collect basic-column ownership *)
+        let owners = Hashtbl.create 16 in
+        Array.iteri
+          (fun i r ->
+            let ctx =
+              ("row", itos i) :: ("vars", xvars_to_string view r.g_vars) :: mctx
+            in
+            let member c = Array.exists (fun v -> v = c) r.g_vars in
+            if r.g_active then begin
+              if r.g_basic < 0 || not (member r.g_basic) then
+                fail view ~invariant:"gauss-basic"
+                  ~detail:"active row's basic column is missing or not a member"
+                  (("basic", itos r.g_basic) :: ctx);
+              if view.assigns.(r.g_basic) <> 0 && view.at_fixpoint && view.ok then
+                fail view ~invariant:"gauss-basic"
+                  ~detail:"active row's basic column is assigned at a clean fixpoint"
+                  (("basic", itos r.g_basic) :: ctx);
+              (match Hashtbl.find_opt owners r.g_basic with
+              | Some j ->
+                  fail view ~invariant:"gauss-basic"
+                    ~detail:"two rows claim the same basic column"
+                    (("basic", itos r.g_basic) :: ("other_row", itos j) :: ctx)
+              | None -> Hashtbl.replace owners r.g_basic i);
+              if r.g_w1 <> r.g_basic then
+                fail view ~invariant:"gauss-watch"
+                  ~detail:"active row's first watch is not its basic column"
+                  (("w1", itos r.g_w1) :: ("basic", itos r.g_basic) :: ctx);
+              if r.g_w2 < 0 || r.g_w2 = r.g_w1 || not (member r.g_w2) then
+                fail view ~invariant:"gauss-watch"
+                  ~detail:"active row's second watch is missing, duplicate or not a member"
+                  (("w1", itos r.g_w1) :: ("w2", itos r.g_w2) :: ctx);
+              if view.ok && view.at_fixpoint then begin
+                let unassigned =
+                  Array.fold_left
+                    (fun n v -> if view.assigns.(v) = 0 then n + 1 else n)
+                    0 r.g_vars
+                in
+                if unassigned < 2 then
+                  fail view ~invariant:"gauss-fixpoint"
+                    ~detail:
+                      "active row is unit or fully assigned at a clean fixpoint (propagation incomplete)"
+                    (("unassigned", itos unassigned) :: ctx)
+              end
+            end
+            else begin
+              (* detached = satisfied: fully assigned with matching parity *)
+              let parity = ref false in
+              Array.iter
+                (fun v ->
+                  if view.assigns.(v) = 0 then
+                    fail view ~invariant:"gauss-detached"
+                      ~detail:"detached row still has an unassigned variable"
+                      (("unassigned_var", itos v) :: ctx);
+                  if view.assigns.(v) > 0 then parity := not !parity)
+                r.g_vars;
+              if !parity <> r.g_rhs then
+                fail view ~invariant:"gauss-detached"
+                  ~detail:"detached row is not satisfied by the current assignment"
+                  (("rhs", string_of_bool r.g_rhs) :: ctx)
+            end)
+          g.g_rows;
+        (* pass 2: Jordan exclusivity — a basic column appears in no
+           row but its owner (linear via the ownership table) *)
+        Array.iteri
+          (fun i r ->
+            Array.iter
+              (fun v ->
+                match Hashtbl.find_opt owners v with
+                | Some j when j <> i ->
+                    fail view ~invariant:"gauss-basic"
+                      ~detail:"basic column is not eliminated from every other row"
+                      (("basic", itos v) :: ("owner_row", itos j) :: ("row", itos i)
+                       :: mctx)
+                | _ -> ())
+              r.g_vars)
+          g.g_rows
+      end)
+    view.matrices
+
 let check_heap view =
   let size = Array.length view.heap in
   Array.iteri
@@ -395,6 +519,13 @@ let check_groups view =
           ~detail:"live XOR is tagged with a retracted or unknown group"
           [ ("xor", itos x.x_id); ("group", itos x.x_group) ])
     view.xors;
+  List.iter
+    (fun g ->
+      if bad_group g.g_group then
+        fail view ~invariant:"group-hygiene"
+          ~detail:"live Gauss matrix is tagged with a retracted or unknown group"
+          [ ("matrix_group", itos g.g_group) ])
+    view.matrices;
   for v = 1 to view.nvars do
     if view.assigns.(v) <> 0 && view.level.(v) = 0 && bad_group view.assign_group.(v) then
       fail view ~invariant:"group-hygiene"
@@ -432,6 +563,7 @@ let check view =
   check_clause_watches view ctbl;
   check_xor_watches view xtbl;
   check_heap view;
+  check_gauss view;
   if view.ok then begin
     check_trail view;
     check_reasons view ctbl xtbl;
@@ -459,4 +591,19 @@ let check_model view ~value =
         fail view ~invariant:"model-audit"
           ~detail:"returned model violates an attached XOR's parity"
           [ ("xor", itos x.x_id); ("vars", xvars_to_string view x.x_vars) ])
-    view.xors
+    view.xors;
+  List.iter
+    (fun g ->
+      Array.iteri
+        (fun i r ->
+          let parity =
+            Array.fold_left (fun p v -> if value v then not p else p) false r.g_vars
+          in
+          if parity <> r.g_rhs then
+            fail view ~invariant:"model-audit"
+              ~detail:"returned model violates a Gauss matrix row's parity"
+              [ ("matrix_group", itos g.g_group);
+                ("row", itos i);
+                ("vars", xvars_to_string view r.g_vars) ])
+        g.g_rows)
+    view.matrices

@@ -11,8 +11,10 @@
       [trail_lim] marks; [qhead] stays inside the trail.
     - [reason-consistency]: every implied assignment's reason is live,
       implies exactly that literal, and uses only earlier-or-equal
-      level antecedents; reasonless assignments above level 0 sit at
-      their level's first trail slot (decisions).
+      level antecedents; a lazy Gauss reason row must contain the
+      implied variable, be fully assigned at earlier-or-equal levels,
+      and satisfy its parity; reasonless assignments above level 0 sit
+      at their level's first trail slot (decisions).
     - [watch-attached] / [lazy-deletion] / [clause-width]: every live
       clause has >= 2 literals and is watched exactly once from each
       of its first two literals; anything else found in a watch list
@@ -25,14 +27,25 @@
       are distinct and registered; at a fixpoint a partially assigned
       XOR watches two unassigned variables, and a fully assigned one
       satisfies its parity.
+    - [gauss-basic] / [gauss-watch] / [gauss-detached] /
+      [gauss-fixpoint] (clean matrices only — a dirty matrix carries
+      stale state until its next repair): every active Gauss row owns
+      an exclusive basic column that is a member of the row, is
+      unassigned at fixpoints, and appears in no other row (Jordan
+      reduced form); its first watch is the basic column and its
+      second is a distinct member; detached rows are fully assigned
+      with satisfied parity; at a clean fixpoint every active row has
+      >= 2 unassigned columns (so no implied unit or conflict is
+      pending — the incremental elimination agrees with a from-scratch
+      RREF of the current assignment).
     - [heap-index] / [heap-property] / [heap-membership]: the order
       heap and its index map agree, parents dominate children by
       activity, and every unassigned variable is present.
-    - [group-hygiene]: no live clause, learnt, XOR, level-0
-      implication, lost-unit ledger entry, or undeleted watch record
-      carries a group beyond the current group count.
+    - [group-hygiene]: no live clause, learnt, XOR, Gauss matrix,
+      level-0 implication, lost-unit ledger entry, or undeleted watch
+      record carries a group beyond the current group count.
     - [model-audit] ([check_model]): the returned witness satisfies
-      every attached clause and XOR. *)
+      every attached clause, XOR, and Gauss matrix row. *)
 
 val check : State.solver_view -> unit
 (** Full sweep; raises {!Violation.Violation} on the first failure.

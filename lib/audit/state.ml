@@ -20,7 +20,27 @@ type watch_entry = {
   w_group : int;
 }
 
-type reason_view = R_none | R_clause of int | R_xor of int | R_dangling
+type reason_view =
+  | R_none
+  | R_clause of int
+  | R_xor of int
+  | R_gauss of int * int
+  | R_dangling
+
+type gauss_row_view = {
+  g_vars : int array;
+  g_rhs : bool;
+  g_active : bool;
+  g_basic : int;
+  g_w1 : int;
+  g_w2 : int;
+}
+
+type gauss_view = {
+  g_group : int;
+  g_dirty : bool;
+  g_rows : gauss_row_view array;
+}
 
 type vec_view = { v_name : string; v_size : int; v_capacity : int }
 
@@ -40,6 +60,7 @@ type solver_view = {
   trail_lim : int array;
   clauses : clause_view array;
   xors : xor_view array;
+  matrices : gauss_view list;
   watches : watch_entry list array;
   xwatches : watch_entry list array;
   heap : int array;

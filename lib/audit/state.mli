@@ -38,7 +38,27 @@ type reason_view =
   | R_none
   | R_clause of int
   | R_xor of int
+  | R_gauss of int * int  (** (matrix group, row id) of a lazy reason *)
   | R_dangling  (** reason points at a record no longer attached *)
+
+(** One row of an in-search Gauss matrix: variables ascending, watched
+    / basic columns reported as variable ids ([-1] = none). Detached
+    rows ([g_active = false]) are satisfied under the current trail. *)
+type gauss_row_view = {
+  g_vars : int array;
+  g_rhs : bool;
+  g_active : bool;
+  g_basic : int;
+  g_w1 : int;
+  g_w2 : int;
+}
+
+type gauss_view = {
+  g_group : int;
+  g_dirty : bool;
+      (** repair pending — watch / basic / detach checks are skipped *)
+  g_rows : gauss_row_view array;
+}
 
 type vec_view = { v_name : string; v_size : int; v_capacity : int }
 
@@ -60,6 +80,7 @@ type solver_view = {
   trail_lim : int array;
   clauses : clause_view array;  (** live problem + learnt clauses *)
   xors : xor_view array;  (** live XOR constraints *)
+  matrices : gauss_view list;  (** in-search Gauss matrices, one per group *)
   watches : watch_entry list array;  (** indexed by literal *)
   xwatches : watch_entry list array;  (** indexed by variable *)
   heap : int array;  (** order-heap contents, root first *)

@@ -14,6 +14,7 @@ type prepared = {
   hash_density : float;
   phase : phase;
   incremental : bool;
+  gauss : bool;
   session_key : Sat.Bsat.Session.t Domain.DLS.key;
       (* Each domain lazily materialises its own solver session, so
          the Domain_pool parallel path needs no locking and every
@@ -30,7 +31,7 @@ type prepare_error = Unsat_formula | Prepare_timeout | Count_failed
 let log2 x = Float.log x /. Float.log 2.0
 
 let prepare ?deadline ?count_iterations ?(hash_density = 0.5)
-    ?(incremental = true) ?jobs ?pool ~rng ~epsilon formula =
+    ?(incremental = true) ?(gauss = true) ?jobs ?pool ~rng ~epsilon formula =
   Obs.Trace.span ~cat:"sampling" "unigen.prepare" @@ fun () ->
   let kappa, pivot = Kappa_pivot.compute epsilon in
   let hi = Kappa_pivot.hi_thresh ~kappa ~pivot in
@@ -49,14 +50,15 @@ let prepare ?deadline ?count_iterations ?(hash_density = 0.5)
       hash_density;
       phase;
       incremental;
+      gauss;
       session_key =
         Domain.DLS.new_key (fun () ->
-            Sat.Bsat.Session.create ~blocking_vars:sampling formula);
+            Sat.Bsat.Session.create ~blocking_vars:sampling ~gauss formula);
       stats = Sampler.fresh_stats ();
     }
   in
   (* lines 4-7: the easy case *)
-  let out = Sat.Bsat.enumerate ?deadline ~limit:hi_limit formula in
+  let out = Sat.Bsat.enumerate ?deadline ~gauss ~limit:hi_limit formula in
   if out.Sat.Bsat.timed_out then Error Prepare_timeout
   else begin
     let models = Array.of_list out.Sat.Bsat.models in
@@ -67,7 +69,7 @@ let prepare ?deadline ?count_iterations ?(hash_density = 0.5)
       (* lines 9-10: approximate count, then q = ⌈log C + log 1.8 − log pivot⌉ *)
       match
         Counting.Approxmc.count ?deadline ?iterations:count_iterations
-          ~incremental ?jobs ?pool ~rng ~epsilon:0.8 ~delta:0.8 formula
+          ~incremental ~gauss ?jobs ?pool ~rng ~epsilon:0.8 ~delta:0.8 formula
       with
       | Error Counting.Approxmc.Unsat -> Error Unsat_formula
       | Error Counting.Approxmc.Timed_out -> Error Count_failed
@@ -111,7 +113,7 @@ let sample_once ?deadline ~rng ~stats t =
               let g =
                 Cnf.Formula.add_xors t.formula (Hashing.Hxor.constraints h)
               in
-              Sat.Bsat.enumerate ?deadline ~limit:t.hi_limit g
+              Sat.Bsat.enumerate ?deadline ~gauss:t.gauss ~limit:t.hi_limit g
           in
           Sampler.record_solve stats out;
           if out.Sat.Bsat.timed_out then begin
@@ -210,6 +212,7 @@ let q_range t =
 
 let is_easy t = match t.phase with Easy _ -> true | Hashed _ -> false
 let is_incremental t = t.incremental
+let is_gauss t = t.gauss
 
 let count_estimate t =
   match t.phase with

@@ -27,6 +27,7 @@ val prepare :
   ?count_iterations:int ->
   ?hash_density:float ->
   ?incremental:bool ->
+  ?gauss:bool ->
   ?jobs:int ->
   ?pool:Parallel.Domain_pool.t ->
   rng:Rng.t ->
@@ -51,6 +52,12 @@ val prepare :
     returned witness are identical to the fresh path
     ([~incremental:false], kept as the differential reference); only
     the work to re-learn base-formula clauses disappears.
+    [gauss] (default [true]) selects the solver's XOR engine for every
+    BSAT call of the preparation and of each later {!sample}: in-search
+    Gauss-Jordan elimination over the hash rows, or — with
+    [~gauss:false] — a static RREF followed by parity 2-watch
+    propagation (the differential reference engine). Witnesses are
+    bit-identical across the two engines.
     [jobs]/[pool] parallelise the ApproxMC counting iterations (each is
     an independent XOR-hashed count); see {!Counting.Approxmc.count}.
     @raise Invalid_argument when [epsilon <= 1.71]. *)
@@ -123,5 +130,10 @@ val q_range : prepared -> (int * int) option
 
 val is_easy : prepared -> bool
 val is_incremental : prepared -> bool
+
+val is_gauss : prepared -> bool
+(** [true] when BSAT calls run the in-search Gauss engine (see
+    {!prepare}'s [gauss]). *)
+
 val count_estimate : prepared -> float
 (** ApproxMC's estimate of |R_F| (exact in the easy case). *)

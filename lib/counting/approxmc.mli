@@ -38,6 +38,7 @@ val count :
   ?deadline:float ->
   ?leapfrog:bool ->
   ?incremental:bool ->
+  ?gauss:bool ->
   ?iterations:int ->
   ?jobs:int ->
   ?pool:Parallel.Domain_pool.t ->
@@ -53,6 +54,12 @@ val count :
     false], the differential reference) — hash draws and cell-size
     decisions are unchanged — but base-formula clauses are learnt once
     per iteration instead of once per hash size.
+
+    [gauss] (default [true]) selects the XOR engine of every BSAT call:
+    in-search Gauss-Jordan elimination, or — with [~gauss:false] — a
+    static RREF followed by parity 2-watch propagation (the
+    differential reference engine). The estimate is identical either
+    way.
 
     [leapfrog] (default [false]) starts each core iteration's search
     for the hash size near the previous success instead of from 1 —

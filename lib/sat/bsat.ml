@@ -97,7 +97,7 @@ let outcome_of ~reused ~stats (models, status) =
     reused;
   }
 
-let enumerate ?deadline ?blocking_vars ~limit (f : Cnf.Formula.t) =
+let enumerate ?deadline ?blocking_vars ?(gauss = true) ~limit (f : Cnf.Formula.t) =
   Obs.Trace.span ~cat:"sat" "bsat.enumerate"
     ~args:[ ("limit", string_of_int limit) ]
   @@ fun () ->
@@ -106,10 +106,13 @@ let enumerate ?deadline ?blocking_vars ~limit (f : Cnf.Formula.t) =
     | Some vs -> vs
     | None -> Cnf.Formula.sampling_vars f
   in
-  match reduce_xors f with
+  (* The in-search Gauss engine performs its own (incremental) Jordan
+     reduction as rows are added, so the static pre-pass would be
+     redundant work; it remains the 2-watch path's preparation. *)
+  match (if gauss then `Reduced f else reduce_xors f) with
   | `Unsat -> empty_outcome ~reused:false ~stats:Solver.stats_zero
   | `Reduced reduced ->
-      let solver = Solver.create reduced in
+      let solver = Solver.create ~gauss reduced in
       let res =
         enum_loop ?deadline ~limit ~blocking ~verify:f
           ~add_block:(Solver.add_clause solver)
@@ -118,8 +121,8 @@ let enumerate ?deadline ?blocking_vars ~limit (f : Cnf.Formula.t) =
       in
       outcome_of ~reused:false ~stats:(Solver.stats solver) res
 
-let count_upto ?deadline ~limit f =
-  List.length (enumerate ?deadline ~limit f).models
+let count_upto ?deadline ?gauss ~limit f =
+  List.length (enumerate ?deadline ?gauss ~limit f).models
 
 module Session = struct
   type t = {
@@ -127,23 +130,24 @@ module Session = struct
     blocking : int array;
     solver : Solver.t option; (* None: base XOR system inconsistent *)
     base_vars : int; (* formula width, before activation variables *)
+    gauss : bool; (* XOR engine: in-search matrix vs static RREF + 2-watch *)
     mutable calls : int;
     owner : Audit.Ownership.t; (* sessions are single-domain resources *)
   }
 
-  let create ?blocking_vars (f : Cnf.Formula.t) =
+  let create ?blocking_vars ?(gauss = true) (f : Cnf.Formula.t) =
     let blocking =
       match blocking_vars with
       | Some vs -> vs
       | None -> Cnf.Formula.sampling_vars f
     in
     let solver =
-      match reduce_xors f with
+      match (if gauss then `Reduced f else reduce_xors f) with
       | `Unsat -> None
-      | `Reduced reduced -> Some (Solver.create reduced)
+      | `Reduced reduced -> Some (Solver.create ~gauss reduced)
     in
     { formula = f; blocking; solver; base_vars = f.Cnf.Formula.num_vars;
-      calls = 0; owner = Audit.Ownership.create "Bsat.Session" }
+      gauss; calls = 0; owner = Audit.Ownership.create "Bsat.Session" }
 
   let calls s = s.calls
   let formula s = s.formula
@@ -180,7 +184,10 @@ module Session = struct
     | None -> empty_outcome ~reused ~stats:Solver.stats_zero
     | Some solver -> (
         let before = Solver.stats solver in
-        match reduce_layer xors with
+        (* Gauss engine: hand the raw layer to the matrix (a layer swap
+           is a matrix push/pop, not a re-RREF — the matrix reduces
+           each row against its basis as it arrives). *)
+        match (if s.gauss then `Rows xors else reduce_layer xors) with
         | `Unsat ->
             empty_outcome ~reused
               ~stats:(Solver.stats_diff (Solver.stats solver) before)

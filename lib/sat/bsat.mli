@@ -34,17 +34,24 @@ type outcome = {
 val enumerate :
   ?deadline:float ->
   ?blocking_vars:int array ->
+  ?gauss:bool ->
   limit:int ->
   Cnf.Formula.t ->
   outcome
-(** Every returned model is verified against the formula; a violation
+(** [gauss] (default [true]) selects the XOR engine: in-search
+    Gauss-Jordan elimination, or — when [false] — a one-shot static
+    RREF followed by parity 2-watch propagation (the differential
+    reference path). Both return equal outcomes; canonical model
+    ordering makes them bit-identical.
+
+    Every returned model is verified against the formula; a violation
     (a solver soundness bug) raises [Audit.Violation] with invariant
     [model-audit]. With audit mode on, each witness is additionally
     checked against the accumulated blocking-clause set (invariant
     [blocking-set]): a repeated projection is reported instead of
     silently skewing the enumeration. *)
 
-val count_upto : ?deadline:float -> limit:int -> Cnf.Formula.t -> int
+val count_upto : ?deadline:float -> ?gauss:bool -> limit:int -> Cnf.Formula.t -> int
 (** [count_upto ~limit f] is [min (number of distinct projected
     witnesses) limit]; convenience wrapper over {!enumerate}. *)
 
@@ -54,10 +61,13 @@ val count_upto : ?deadline:float -> limit:int -> Cnf.Formula.t -> int
 module Session : sig
   type t
 
-  val create : ?blocking_vars:int array -> Cnf.Formula.t -> t
+  val create : ?blocking_vars:int array -> ?gauss:bool -> Cnf.Formula.t -> t
   (** Load the base formula once (XORs row-reduced as in the one-shot
       path). [blocking_vars] defaults to the formula's sampling set
-      and is fixed for the session's lifetime. *)
+      and is fixed for the session's lifetime, as is the XOR engine
+      choice [gauss] (default [true], as in {!enumerate}: with the
+      Gauss engine an XOR-layer swap is a matrix push/pop; without it,
+      each layer is statically row-reduced before attachment). *)
 
   val enumerate :
     ?deadline:float ->

@@ -1,0 +1,408 @@
+(* Packed-bitset Gauss-Jordan matrix, one per solver constraint group.
+   See the .mli for the architecture; the load-bearing facts are:
+
+   - Jordan reduced form: every active row owns an exclusive basic
+     column, eliminated from all other rows. A combination of k >= 2
+     active rows therefore carries >= k unassigned columns (each
+     member's basic), so any unit implication of the row space is
+     visible on a single row — propagation is complete at fixpoints.
+   - Fully assigned rows are never elimination targets (a target must
+     contain the unassigned new pivot), so a reason row's contents are
+     frozen for as long as its implication is on the trail: reasons
+     can be materialized lazily.
+   - Backtracking needs no bit-level undo: eliminations preserve the
+     row space and any basis is valid. Only detachment is undone (via
+     the mark stack), and [repair] re-derives watches / basics /
+     pending units from current assignments. *)
+
+let c_row_reductions = Obs.Metrics.counter "solver.gauss_row_reductions"
+let c_lazy_reasons = Obs.Metrics.counter "solver.gauss_lazy_reasons"
+let c_detached_rows = Obs.Metrics.counter "solver.gauss_detached_rows"
+let c_matrix_pushes = Obs.Metrics.counter "solver.gauss_matrix_pushes"
+let c_matrix_pops = Obs.Metrics.counter "solver.gauss_matrix_pops"
+
+let word_bits = Sys.int_size
+
+type row = {
+  mutable bits : int array; (* packed columns, [word_bits] per word *)
+  mutable rhs : bool;
+  mutable active : bool; (* false = detached (satisfied) *)
+  mutable basic : int; (* exclusive basic column, -1 = none *)
+  mutable w1 : int; (* watched columns, -1 = none *)
+  mutable w2 : int;
+  mutable queued : bool; (* on the reprocessing worklist *)
+}
+
+let dummy_row =
+  { bits = [||]; rhs = false; active = false; basic = -1; w1 = -1; w2 = -1;
+    queued = false }
+
+type t = {
+  xgroup : int;
+  cols : int Vec.t; (* column -> variable *)
+  mutable col_of_var : int array; (* variable -> column, -1 = absent *)
+  rows : row Vec.t; (* never shrinks; rows die with the matrix *)
+  undo_mark : int Vec.t; (* detach-undo stack: trail size at detach... *)
+  undo_row : int Vec.t; (* ...and the detached row id (parallel) *)
+  queue : int Vec.t; (* scratch worklist of row ids *)
+  mutable dirty : bool;
+  mutable rebuilding : bool; (* next repair is a post-pop rebuild *)
+}
+
+let lit_of_var v positive = (v lsl 1) lor (if positive then 0 else 1)
+
+let create ~group =
+  Obs.Metrics.incr c_matrix_pushes;
+  { xgroup = group;
+    cols = Vec.create ~dummy:0 ();
+    col_of_var = Array.make 16 (-1);
+    rows = Vec.create ~dummy:dummy_row ();
+    undo_mark = Vec.create ~dummy:0 ();
+    undo_row = Vec.create ~dummy:0 ();
+    queue = Vec.create ~dummy:0 ();
+    dirty = false;
+    rebuilding = false }
+
+let group m = m.xgroup
+let num_rows m = Vec.size m.rows
+let is_dirty m = m.dirty
+let drop _m = Obs.Metrics.incr c_matrix_pops
+
+let col_for m v =
+  let n = Array.length m.col_of_var in
+  if v >= n then begin
+    let a = Array.make (max (v + 1) (2 * n)) (-1) in
+    Array.blit m.col_of_var 0 a 0 n;
+    m.col_of_var <- a
+  end;
+  match m.col_of_var.(v) with
+  | -1 ->
+      let c = Vec.size m.cols in
+      Vec.push m.cols v;
+      m.col_of_var.(v) <- c;
+      c
+  | c -> c
+
+(* ------------------------------------------------------------------ *)
+(* Row bit manipulation                                                *)
+
+let mem r c =
+  let w = c / word_bits in
+  w < Array.length r.bits && r.bits.(w) land (1 lsl (c mod word_bits)) <> 0
+
+let toggle_bit r c =
+  let w = c / word_bits in
+  if w >= Array.length r.bits then begin
+    let a = Array.make (w + 1) 0 in
+    Array.blit r.bits 0 a 0 (Array.length r.bits);
+    r.bits <- a
+  end;
+  r.bits.(w) <- r.bits.(w) lxor (1 lsl (c mod word_bits))
+
+let xor_into dst src =
+  let ns = Array.length src.bits in
+  if ns > Array.length dst.bits then begin
+    let a = Array.make ns 0 in
+    Array.blit dst.bits 0 a 0 (Array.length dst.bits);
+    dst.bits <- a
+  end;
+  for i = 0 to ns - 1 do
+    dst.bits.(i) <- dst.bits.(i) lxor src.bits.(i)
+  done;
+  dst.rhs <- dst.rhs <> src.rhs;
+  Obs.Metrics.incr c_row_reductions
+
+let iter_cols r f =
+  Array.iteri
+    (fun w word ->
+      let bits = ref word in
+      let c = ref (w * word_bits) in
+      while !bits <> 0 do
+        if !bits land 1 <> 0 then f !c;
+        incr c;
+        bits := !bits lsr 1
+      done)
+    r.bits
+
+(* Unassigned count (with the first two unassigned columns) and the
+   parity of the assigned-true variables of [r]. *)
+let scan m ~assigns r =
+  let n = ref 0 and u1 = ref (-1) and u2 = ref (-1) and parity = ref false in
+  iter_cols r (fun c ->
+      let a = assigns.(Vec.get m.cols c) in
+      if a = 0 then begin
+        incr n;
+        if !u1 < 0 then u1 := c else if !u2 < 0 then u2 := c
+      end
+      else if a = 1 then parity := not !parity);
+  (!n, !u1, !u2, !parity)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental elimination                                             *)
+
+let enqueue_row m i (r : row) =
+  if not r.queued then begin
+    r.queued <- true;
+    Vec.push m.queue i
+  end
+
+let detach m i r ~mark =
+  r.active <- false;
+  Vec.push m.undo_mark mark;
+  Vec.push m.undo_row i;
+  Obs.Metrics.incr c_detached_rows
+
+(* Eliminate [pr]'s basic column from every other row (queueing the
+   modified targets for reclassification). Detached rows never match:
+   they are fully assigned while the pivot column is unassigned. *)
+let eliminate m ~pivot_id pr =
+  let b = pr.basic in
+  for i = 0 to Vec.size m.rows - 1 do
+    if i <> pivot_id then begin
+      let r = Vec.get m.rows i in
+      if mem r b then begin
+        xor_into r pr;
+        enqueue_row m i r
+      end
+    end
+  done
+
+let basic_owner m ~except c =
+  let owner = ref (-1) in
+  for i = 0 to Vec.size m.rows - 1 do
+    if i <> except && !owner < 0 && (Vec.get m.rows i).basic = c then owner := i
+  done;
+  !owner
+
+(* Classify row [i] against the current assignment and restore its
+   share of the matrix invariant. The first conflicting row is
+   recorded in [conflict]; processing continues so the matrix stays
+   structurally consistent (extra implied units remain sound). *)
+let process_row m ~assigns ~trail_size ~enqueue ~conflict i r =
+  if r.active then begin
+    let n, u1, u2, parity = scan m ~assigns r in
+    if n = 0 then begin
+      if parity = r.rhs then detach m i r ~mark:(trail_size ())
+      else begin
+        (* violated: leave active, flag for repair after the backjump *)
+        if !conflict < 0 then conflict := i;
+        m.dirty <- true
+      end
+    end
+    else if n = 1 then begin
+      (* unit: propagate and detach as satisfied (the callback assigns
+         the variable, so the row is fully assigned from here on) *)
+      let v = Vec.get m.cols u1 in
+      enqueue (lit_of_var v (r.rhs <> parity)) i;
+      detach m i r ~mark:(trail_size ())
+    end
+    else begin
+      let basic_ok =
+        r.basic >= 0 && mem r r.basic && assigns.(Vec.get m.cols r.basic) = 0
+      in
+      if not basic_ok then begin
+        (* pivot change: claim a fresh unassigned basic column *)
+        (match basic_owner m ~except:i u1 with
+        | -1 -> ()
+        | j ->
+            (* stale exclusivity (possible across detach/reactivate):
+               dethrone the other claimant and reprocess it *)
+            let o = Vec.get m.rows j in
+            o.basic <- -1;
+            if o.active then enqueue_row m j o);
+        r.basic <- u1
+      end;
+      r.w1 <- r.basic;
+      r.w2 <- (if u1 <> r.basic then u1 else u2);
+      (* re-eliminate: a no-op scan when exclusivity already holds,
+         and the self-healing step when it was lost while the row (or
+         a later-added one) sat detached *)
+      eliminate m ~pivot_id:i r
+    end
+  end
+
+let drain m ~assigns ~trail_size ~enqueue ~conflict =
+  while Vec.size m.queue > 0 do
+    let i = Vec.pop m.queue in
+    let r = Vec.get m.rows i in
+    r.queued <- false;
+    process_row m ~assigns ~trail_size ~enqueue ~conflict i r
+  done
+
+let result_of conflict = if !conflict >= 0 then Some !conflict else None
+
+let add_row m ~assigns ~trail_size ~enqueue ~vars ~rhs =
+  let r =
+    { bits = [||]; rhs; active = true; basic = -1; w1 = -1; w2 = -1;
+      queued = false }
+  in
+  List.iter (fun v -> toggle_bit r (col_for m v)) vars;
+  (* reduce against the existing basis so the new row is expressed
+     over non-basic columns only (keeps exclusivity global) *)
+  for i = 0 to Vec.size m.rows - 1 do
+    let r' = Vec.get m.rows i in
+    if r'.active && r'.basic >= 0 && mem r r'.basic then xor_into r r'
+  done;
+  let id = Vec.size m.rows in
+  Vec.push m.rows r;
+  let conflict = ref (-1) in
+  enqueue_row m id r;
+  drain m ~assigns ~trail_size ~enqueue ~conflict;
+  result_of conflict
+
+let on_assign m ~assigns ~trail_size ~enqueue ~var =
+  if var < Array.length m.col_of_var && m.col_of_var.(var) >= 0 then begin
+    let c = m.col_of_var.(var) in
+    let conflict = ref (-1) in
+    for i = 0 to Vec.size m.rows - 1 do
+      let r = Vec.get m.rows i in
+      if r.active && (r.w1 = c || r.w2 = c) then enqueue_row m i r
+    done;
+    drain m ~assigns ~trail_size ~enqueue ~conflict;
+    result_of conflict
+  end
+  else None
+
+let repair m ~assigns ~trail_size ~enqueue =
+  if not m.dirty then None
+  else begin
+    let run () =
+      m.dirty <- false;
+      let conflict = ref (-1) in
+      for i = 0 to Vec.size m.rows - 1 do
+        let r = Vec.get m.rows i in
+        if r.active then enqueue_row m i r
+      done;
+      drain m ~assigns ~trail_size ~enqueue ~conflict;
+      (* a conflict re-flags the matrix: the backjump that consumes it
+         re-runs repair on a consistent footing *)
+      result_of conflict
+    in
+    if m.rebuilding then begin
+      m.rebuilding <- false;
+      Obs.Trace.span ~cat:"sat" "gauss.matrix_rebuild" run
+    end
+    else run ()
+  end
+
+let cancel_to m ~trail_size =
+  let changed = ref false in
+  while
+    Vec.size m.undo_mark > 0 && Vec.last m.undo_mark > trail_size
+  do
+    ignore (Vec.pop m.undo_mark);
+    let i = Vec.pop m.undo_row in
+    (Vec.get m.rows i).active <- true;
+    changed := true
+  done;
+  if !changed then m.dirty <- true
+
+let reset m =
+  Vec.clear m.undo_mark;
+  Vec.clear m.undo_row;
+  Vec.clear m.queue;
+  for i = 0 to Vec.size m.rows - 1 do
+    let r = Vec.get m.rows i in
+    r.active <- true;
+    r.queued <- false
+  done;
+  m.dirty <- true;
+  m.rebuilding <- true
+
+(* ------------------------------------------------------------------ *)
+(* Lazy reasons and snapshots                                          *)
+
+let row_vars m ~row =
+  let acc = ref [] in
+  iter_cols (Vec.get m.rows row) (fun c -> acc := Vec.get m.cols c :: !acc);
+  let a = Array.of_list !acc in
+  Array.sort Int.compare a;
+  a
+
+(* The literal of [v] that is FALSE under the current assignment. *)
+let false_lit ~assigns v = lit_of_var v (assigns.(v) <> 1)
+
+let reason_lits m ~assigns ~row ~implied =
+  Obs.Metrics.incr c_lazy_reasons;
+  let iv = implied lsr 1 in
+  let acc = ref [] in
+  iter_cols (Vec.get m.rows row) (fun c ->
+      let v = Vec.get m.cols c in
+      if v <> iv then acc := false_lit ~assigns v :: !acc);
+  Array.of_list (implied :: !acc)
+
+let conflict_lits m ~assigns ~row =
+  let acc = ref [] in
+  iter_cols (Vec.get m.rows row) (fun c ->
+      acc := false_lit ~assigns (Vec.get m.cols c) :: !acc);
+  Array.of_list !acc
+
+type row_dump = {
+  d_vars : int array;
+  d_rhs : bool;
+  d_active : bool;
+  d_basic : int;
+  d_w1 : int;
+  d_w2 : int;
+}
+
+let dump m =
+  let var_of c = if c < 0 then -1 else Vec.get m.cols c in
+  Array.init (Vec.size m.rows) (fun i ->
+      let r = Vec.get m.rows i in
+      { d_vars = row_vars m ~row:i;
+        d_rhs = r.rhs;
+        d_active = r.active;
+        d_basic = var_of r.basic;
+        d_w1 = var_of r.w1;
+        d_w2 = var_of r.w2 })
+
+(* ------------------------------------------------------------------ *)
+(* Test-only fault injection                                           *)
+
+module Corrupt = struct
+  let find_row m p =
+    let found = ref (-1) in
+    for i = 0 to Vec.size m.rows - 1 do
+      if !found < 0 && p (Vec.get m.rows i) then found := i
+    done;
+    if !found < 0 then None else Some (Vec.get m.rows !found)
+
+  let flip_rhs m =
+    match find_row m (fun r -> not r.active) with
+    | None -> false
+    | Some r ->
+        r.rhs <- not r.rhs;
+        true
+
+  let steal_basic m =
+    match find_row m (fun r -> r.active && r.basic >= 0) with
+    | None -> false
+    | Some r1 -> (
+        match
+          find_row m (fun r -> r.active && r.basic >= 0 && r != r1)
+        with
+        | None -> false
+        | Some r2 ->
+            r2.basic <- r1.basic;
+            true)
+
+  let false_detach m ~assigns =
+    let has_unassigned r =
+      let u = ref false in
+      iter_cols r (fun c -> if assigns.(Vec.get m.cols c) = 0 then u := true);
+      !u
+    in
+    match find_row m (fun r -> r.active && has_unassigned r) with
+    | None -> false
+    | Some r ->
+        r.active <- false;
+        true
+
+  let drop_watch m =
+    match find_row m (fun r -> r.active && r.w1 >= 0 && r.w1 <> r.w2) with
+    | None -> false
+    | Some r ->
+        r.w2 <- r.w1;
+        true
+end

@@ -32,9 +32,18 @@ type xor_constraint = {
   mutable wb : int;
 }
 
-type reason = No_reason | R_clause of clause | R_xor of xor_constraint
+type reason =
+  | No_reason
+  | R_clause of clause
+  | R_xor of xor_constraint
+  | R_gauss of Gauss.t * int
+      (* lazy parity reason: the clause is materialized from the row's
+         current contents only when the conflict analyzer asks *)
 
-type conflict = C_clause of clause | C_xor of xor_constraint
+type conflict =
+  | C_clause of clause
+  | C_xor of xor_constraint
+  | C_gauss of Gauss.t * int
 
 type result = Sat | Unsat | Unknown
 
@@ -91,6 +100,8 @@ type t = {
   clauses : clause Vec.t;
   learnts : clause Vec.t;
   xors : xor_constraint Vec.t;
+  use_gauss : bool; (* XOR engine: in-search Gauss-Jordan vs 2-watch *)
+  mutable matrices : Gauss.t list; (* one matrix per group, when gauss *)
   trail : int Vec.t; (* assigned literals, chronological *)
   trail_lim : int Vec.t; (* trail position at each decision *)
   mutable order : Order_heap.t;
@@ -170,7 +181,7 @@ let value_lit_upto t g l =
 
 let decision_level t = Vec.size t.trail_lim
 
-let create_empty nvars =
+let create_empty ?(gauss = true) nvars =
   let activity = Array.make (nvars + 1) 0. in
   let t =
     {
@@ -187,6 +198,8 @@ let create_empty nvars =
       clauses = Vec.create ~dummy:dummy_clause ();
       learnts = Vec.create ~dummy:dummy_clause ();
       xors = Vec.create ~dummy:dummy_xor ();
+      use_gauss = gauss;
+      matrices = [];
       trail = Vec.create ~dummy:0 ();
       trail_lim = Vec.create ~dummy:0 ();
       order = Order_heap.create nvars activity;
@@ -220,6 +233,7 @@ let create_empty nvars =
 
 let okay t = t.ok
 let num_vars t = t.nvars
+let uses_gauss t = t.use_gauss
 let conflicts t = t.n_conflicts
 let decisions t = t.n_decisions
 let propagations t = t.n_propagations
@@ -300,7 +314,24 @@ let audit_view t : Audit.State.solver_view =
           match t.reason.(v) with
           | No_reason -> S.R_none
           | R_clause c -> if c.deleted then S.R_dangling else S.R_clause c.cid
-          | R_xor x -> if x.xdeleted then S.R_dangling else S.R_xor x.xid)
+          | R_xor x -> if x.xdeleted then S.R_dangling else S.R_xor x.xid
+          | R_gauss (m, row) ->
+              if List.memq m t.matrices && row < Gauss.num_rows m then
+                S.R_gauss (Gauss.group m, row)
+              else S.R_dangling)
+  in
+  let matrices =
+    List.map
+      (fun m ->
+        { S.g_group = Gauss.group m;
+          g_dirty = Gauss.is_dirty m;
+          g_rows =
+            Array.map
+              (fun (r : Gauss.row_dump) ->
+                { S.g_vars = r.d_vars; g_rhs = r.d_rhs; g_active = r.d_active;
+                  g_basic = r.d_basic; g_w1 = r.d_w1; g_w2 = r.d_w2 })
+              (Gauss.dump m) })
+      t.matrices
   in
   let heap, heap_index = Order_heap.snapshot t.order in
   let vec_view name v = { S.v_name = name; v_size = Vec.size v; v_capacity = Vec.capacity v } in
@@ -336,6 +367,7 @@ let audit_view t : Audit.State.solver_view =
     trail_lim = Array.init (Vec.size t.trail_lim) (Vec.get t.trail_lim);
     clauses;
     xors;
+    matrices;
     watches;
     xwatches;
     heap;
@@ -394,7 +426,22 @@ let audit_model t =
               [ ("xor", itos x.xid);
                 ("group", itos x.xgroup);
                 ("vars", String.concat " " (Array.to_list (Array.map itos x.xvars))) ])
-        t.xors
+        t.xors;
+      List.iter
+        (fun m ->
+          Array.iteri
+            (fun row (r : Gauss.row_dump) ->
+              let parity =
+                Array.fold_left (fun p v -> if value v then not p else p) false r.d_vars
+              in
+              if parity <> r.d_rhs then
+                Audit.fail ~invariant:"model-audit"
+                  ~detail:"returned model violates a Gauss matrix row's parity"
+                  [ ("matrix_group", itos (Gauss.group m));
+                    ("row", itos row);
+                    ("vars", String.concat " " (Array.to_list (Array.map itos r.d_vars))) ])
+            (Gauss.dump m))
+        t.matrices
   | _ -> invalid_arg "Solver.audit_model: last solve was not Sat"
 
 (* Group hygiene is cheap enough to verify after every pop without
@@ -420,6 +467,13 @@ let check_group_hygiene_light t =
           ~detail:"live XOR is tagged with a retracted or unknown group"
           [ ("xor", itos x.xid); ("group", itos x.xgroup); ("num_groups", itos ng) ])
     t.xors;
+  List.iter
+    (fun m ->
+      if bad (Gauss.group m) then
+        Audit.fail ~invariant:"group-hygiene"
+          ~detail:"live Gauss matrix is tagged with a retracted or unknown group"
+          [ ("matrix_group", itos (Gauss.group m)); ("num_groups", itos ng) ])
+    t.matrices;
   for v = 1 to t.nvars do
     if t.assigns.(v) <> 0 && t.level.(v) = 0 && bad t.assign_group.(v) then
       Audit.fail ~invariant:"group-hygiene"
@@ -530,6 +584,11 @@ let enqueue ?(agroup = 0) t l reason =
               Array.fold_left
                 (fun acc u -> if u = v then acc else max acc t.assign_group.(u))
                 x.xgroup x.xvars
+          | R_gauss (m, row) ->
+              Array.fold_left
+                (fun acc u -> if u = v then acc else max acc t.assign_group.(u))
+                (Gauss.group m)
+                (Gauss.row_vars m ~row)
         in
         t.assign_group.(v) <- g
       end;
@@ -549,8 +608,26 @@ let cancel_until t lvl =
     done;
     Vec.shrink t.trail bound;
     Vec.shrink t.trail_lim lvl;
-    t.qhead <- Vec.size t.trail
+    t.qhead <- Vec.size t.trail;
+    (* re-activate Gauss rows detached above the new trail bound; the
+       matrices repair themselves at the next propagation *)
+    List.iter (fun m -> Gauss.cancel_to m ~trail_size:bound) t.matrices
   end
+
+(* ------------------------------------------------------------------ *)
+(* Gauss engine glue                                                   *)
+
+let gauss_enqueue t m lit row =
+  t.n_xor_propagations <- t.n_xor_propagations + 1;
+  ignore (enqueue t lit (R_gauss (m, row)))
+
+let matrix_for t g =
+  match List.find_opt (fun m -> Gauss.group m = g) t.matrices with
+  | Some m -> m
+  | None ->
+      let m = Gauss.create ~group:g in
+      t.matrices <- m :: t.matrices;
+      m
 
 (* ------------------------------------------------------------------ *)
 (* Clause attachment                                                   *)
@@ -689,14 +766,44 @@ let propagate_xors t p =
      Vec.shrink ws !j
    with Found_conflict _ as e -> raise e)
 
+let propagate_gauss t p =
+  let v = lit_var p in
+  List.iter
+    (fun m ->
+      match
+        Gauss.on_assign m ~assigns:t.assigns
+          ~trail_size:(fun () -> Vec.size t.trail)
+          ~enqueue:(gauss_enqueue t m) ~var:v
+      with
+      | None -> ()
+      | Some row -> raise (Found_conflict (C_gauss (m, row))))
+    t.matrices
+
+(* Dirty matrices (after a backtrack, a group pop, or a Gauss
+   conflict) re-establish their invariant before the queue drains. *)
+let repair_gauss t =
+  List.iter
+    (fun m ->
+      if Gauss.is_dirty m then
+        match
+          Gauss.repair m ~assigns:t.assigns
+            ~trail_size:(fun () -> Vec.size t.trail)
+            ~enqueue:(gauss_enqueue t m)
+        with
+        | None -> ()
+        | Some row -> raise (Found_conflict (C_gauss (m, row))))
+    t.matrices
+
 let propagate t =
   try
+    if t.matrices <> [] then repair_gauss t;
     while t.qhead < Vec.size t.trail do
       let p = Vec.get t.trail t.qhead in
       t.qhead <- t.qhead + 1;
       t.n_propagations <- t.n_propagations + 1;
       propagate_clauses t p;
-      propagate_xors t p
+      propagate_xors t p;
+      if t.matrices <> [] then propagate_gauss t p
     done;
     None
   with Found_conflict c ->
@@ -717,6 +824,11 @@ let conflict_group_of t = function
         c.group c.lits
   | C_xor x ->
       Array.fold_left (fun acc v -> max acc t.assign_group.(v)) x.xgroup x.xvars
+  | C_gauss (m, row) ->
+      Array.fold_left
+        (fun acc v -> max acc t.assign_group.(v))
+        (Gauss.group m)
+        (Gauss.row_vars m ~row)
 
 let mark_broken t g =
   if t.ok then begin
@@ -754,6 +866,7 @@ let xor_reason_lits t x ~implied =
 let conflict_lits t = function
   | C_clause c -> c.lits
   | C_xor x -> xor_reason_lits t x ~implied:(-1)
+  | C_gauss (m, row) -> Gauss.conflict_lits m ~assigns:t.assigns ~row
 
 let reason_lits t v =
   match t.reason.(v) with
@@ -763,6 +876,9 @@ let reason_lits t v =
       let a = t.assigns.(v) in
       let implied = lit_of_var v (a = 1) in
       xor_reason_lits t x ~implied
+  | R_gauss (m, row) ->
+      let implied = lit_of_var v (t.assigns.(v) = 1) in
+      Gauss.reason_lits m ~assigns:t.assigns ~row ~implied
 
 (* ------------------------------------------------------------------ *)
 (* Conflict analysis (first UIP) with simple clause minimization       *)
@@ -778,12 +894,17 @@ let analyze t confl =
   let index = ref (Vec.size t.trail - 1) in
   let current = decision_level t in
   let dgroup =
-    ref (match confl with C_clause c -> c.group | C_xor x -> x.xgroup)
+    ref
+      (match confl with
+      | C_clause c -> c.group
+      | C_xor x -> x.xgroup
+      | C_gauss (m, _) -> Gauss.group m)
   in
   let fold_reason_group = function
     | No_reason -> ()
     | R_clause c -> dgroup := max !dgroup c.group
     | R_xor x -> dgroup := max !dgroup x.xgroup
+    | R_gauss (m, _) -> dgroup := max !dgroup (Gauss.group m)
   in
   let bump_reason_clause = function
     | C_clause c when c.learnt -> clause_bump t c
@@ -1078,6 +1199,15 @@ let add_xor_general t ~group (x : Cnf.Xor_clause.t) =
     match vars with
     | [] -> if !rhs then mark_broken t group
     | [ v ] -> assert_unit_core t ~group (lit_of_var v !rhs)
+    | _ :: _ :: _ when t.use_gauss ->
+        let m = matrix_for t group in
+        (match
+           Gauss.add_row m ~assigns:t.assigns
+             ~trail_size:(fun () -> Vec.size t.trail)
+             ~enqueue:(gauss_enqueue t m) ~vars ~rhs:!rhs
+         with
+        | Some row -> mark_broken t (conflict_group_of t (C_gauss (m, row)))
+        | None -> if t.ok then propagate_or_break t)
     | _ :: _ :: _ ->
         install_xor t
           {
@@ -1098,8 +1228,8 @@ let add_xor t (x : Cnf.Xor_clause.t) =
     invalid_arg "Solver.add_xor: proof logging excludes XOR constraints";
   add_xor_general t ~group:0 x
 
-let create (f : Cnf.Formula.t) =
-  let t = create_empty f.num_vars in
+let create ?gauss (f : Cnf.Formula.t) =
+  let t = create_empty ?gauss f.num_vars in
   Array.iter (fun c -> add_clause t (Array.to_list c)) f.clauses;
   Array.iter (fun x -> add_xor t x) f.xors;
   t
@@ -1172,6 +1302,21 @@ let pop_group t =
       Vec.filter_in_place (fun (c : clause) -> not c.deleted) t.learnts;
       Vec.iter (fun (x : xor_constraint) -> if x.xgroup >= g then x.xdeleted <- true) t.xors;
       Vec.filter_in_place (fun (x : xor_constraint) -> not x.xdeleted) t.xors;
+      (* the popped group's matrix goes wholesale; survivors lose their
+         trail-based detach marks (the trail is about to be filtered and
+         re-propagated from qhead = 0), so they rebuild at next repair *)
+      t.matrices <-
+        List.filter
+          (fun m ->
+            if Gauss.group m >= g then begin
+              Gauss.drop m;
+              false
+            end
+            else begin
+              Gauss.reset m;
+              true
+            end)
+          t.matrices;
       (* drop level-0 facts that depended on the group *)
       Vec.filter_in_place
         (fun l ->
@@ -1395,11 +1540,17 @@ let model t =
 let enable_proof_logging t =
   if Vec.size t.xors > 0 then
     invalid_arg "Solver.enable_proof_logging: XOR constraints present";
+  if List.exists (fun m -> Gauss.num_rows m > 0) t.matrices then
+    invalid_arg "Solver.enable_proof_logging: XOR constraints present";
   if t.groups <> [] then
     invalid_arg "Solver.enable_proof_logging: groups present";
   if t.proof = None then t.proof <- Some []
 
 let proof t = match t.proof with None -> [] | Some steps -> List.rev steps
+
+(* Test hook: plain-data snapshot of every matrix, keyed by group. *)
+let gauss_dump t =
+  List.rev_map (fun m -> (Gauss.group m, Gauss.dump m)) t.matrices
 
 (* ------------------------------------------------------------------ *)
 (* Test-only fault injection (mutation tests for the sanitizer)        *)
@@ -1455,4 +1606,12 @@ module Corrupt = struct
         t.saved_model <- Some m';
         true
     | _ -> false
+
+  let gauss_flip_rhs t = List.exists Gauss.Corrupt.flip_rhs t.matrices
+  let gauss_steal_basic t = List.exists Gauss.Corrupt.steal_basic t.matrices
+
+  let gauss_false_detach t =
+    List.exists (fun m -> Gauss.Corrupt.false_detach m ~assigns:t.assigns) t.matrices
+
+  let gauss_drop_watch t = List.exists Gauss.Corrupt.drop_watch t.matrices
 end

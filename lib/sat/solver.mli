@@ -32,12 +32,20 @@ type t
 type result = Sat | Unsat | Unknown
 (** [Unknown] is returned when a conflict budget or deadline expires. *)
 
-val create : Cnf.Formula.t -> t
-(** Load a formula (clauses and XORs). *)
+val create : ?gauss:bool -> Cnf.Formula.t -> t
+(** Load a formula (clauses and XORs). [gauss] (default [true])
+    selects the XOR propagation engine: in-search Gauss-Jordan
+    elimination ({!Gauss}), or the parity 2-watch scheme when [false]
+    (the differential reference path, [--no-gauss] on the CLI). Both
+    engines produce identical verdicts and — through BSAT's canonical
+    model ordering — bit-identical witness streams. *)
 
-val create_empty : int -> t
+val create_empty : ?gauss:bool -> int -> t
 (** [create_empty n] is a solver over variables [1 .. n] with no
-    constraints yet. *)
+    constraints yet. [gauss] as in {!create}. *)
+
+val uses_gauss : t -> bool
+(** Which XOR engine multi-variable XORs route to. *)
 
 val okay : t -> bool
 (** [false] once the clause set is known unsatisfiable at level 0 —
@@ -167,7 +175,25 @@ module Corrupt : sig
 
   val flip_model_bit : t -> bool
   (** Flip variable 1 in the saved model of the last [Sat] solve. *)
+
+  val gauss_flip_rhs : t -> bool
+  (** Negate the right-hand side of a detached Gauss matrix row. *)
+
+  val gauss_steal_basic : t -> bool
+  (** Point one Gauss row's basic column at another's (breaks the
+      exclusive-pivot invariant). *)
+
+  val gauss_false_detach : t -> bool
+  (** Detach a Gauss row that still has unassigned variables. *)
+
+  val gauss_drop_watch : t -> bool
+  (** Collapse a Gauss row's two watches onto one column. *)
 end
+
+val gauss_dump : t -> (int * Gauss.row_dump array) list
+(** Plain-data snapshot of every in-search Gauss matrix, as
+    [(group, rows)] pairs (exposed for tests: session push/pop
+    round-trips compare these). *)
 
 (** {2 Statistics} *)
 
@@ -176,8 +202,9 @@ type stats = {
   decisions : int;
   propagations : int;
   xor_propagations : int;
-      (** implications enqueued by the XOR parity engine (a subset of
-          [propagations]'s trail pops, counted at the XOR watch) *)
+      (** implications enqueued by the XOR engine — Gauss matrix or
+          parity 2-watch, whichever is active (a subset of
+          [propagations]'s trail pops) *)
   restarts : int;
   learnts : int;  (** learnt clauses recorded, cumulative *)
 }

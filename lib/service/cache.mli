@@ -36,6 +36,7 @@ type key = {
           exact hash-size window a cold preparation would compute *)
   count_iterations : int option;
   incremental : bool;
+  gauss : bool;  (** XOR engine of the prepared sessions *)
 }
 
 val key_to_string : key -> string

@@ -4,6 +4,7 @@ type config = {
   cache_capacity : int;
   jobs : int;
   incremental : bool;
+  gauss : bool;
 }
 
 let default_config =
@@ -13,6 +14,7 @@ let default_config =
     cache_capacity = 16;
     jobs = 1;
     incremental = true;
+    gauss = true;
   }
 
 type request = {
@@ -253,6 +255,7 @@ let key_of t p =
     prepare_seed = p.req.prepare_seed;
     count_iterations = p.req.count_iterations;
     incremental = t.cfg.incremental;
+    gauss = t.cfg.gauss;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -266,7 +269,7 @@ let key_of t p =
    consumes the splittable stream [(seed, index)] regardless of which
    domain executes it. *)
 
-let run_request ~incremental ~queue_wait_s ~cached (p : pending_req) =
+let run_request ~incremental ~gauss ~queue_wait_s ~cached (p : pending_req) =
   let prep_result, newly =
     match cached with
     | Some entry -> (Ok entry, None)
@@ -277,8 +280,8 @@ let run_request ~incremental ~queue_wait_s ~cached (p : pending_req) =
             ~args:[ ("fingerprint", p.fingerprint) ]
             (fun () ->
               Sampling.Unigen.prepare ?deadline:p.deadline
-                ?count_iterations:p.req.count_iterations ~incremental ~rng
-                ~epsilon:p.req.epsilon p.canonical)
+                ?count_iterations:p.req.count_iterations ~incremental ~gauss
+                ~rng ~epsilon:p.req.epsilon p.canonical)
         with
         | Ok prepared ->
             let entry =
@@ -405,8 +408,8 @@ let step t =
               let key = key_of t p in
               let cached = Cache.find t.prep_cache key in
               match
-                run_request ~incremental:t.cfg.incremental ~queue_wait_s
-                  ~cached p
+                run_request ~incremental:t.cfg.incremental ~gauss:t.cfg.gauss
+                  ~queue_wait_s ~cached p
               with
               | response, newly ->
                   finalize_cache t p key ~cached ~newly response;
@@ -445,11 +448,12 @@ let dispatch_one t ex p =
     | Some _ -> ignore (Cache.acquire t.prep_cache key : bool)
     | None -> ());
     let incremental = t.cfg.incremental in
+    let gauss = t.cfg.gauss in
     Parallel.Executor.submit ex
       ~work:(fun () ->
         Obs.Trace.span ~cat:"service" "service.request"
           ~args:[ ("fingerprint", p.fingerprint); ("id", string_of_int p.id) ]
-          (fun () -> run_request ~incremental ~queue_wait_s ~cached p))
+          (fun () -> run_request ~incremental ~gauss ~queue_wait_s ~cached p))
       ~finish:(fun result ->
         Hashtbl.remove t.running p.id;
         Hashtbl.remove t.busy_fps p.fingerprint;

@@ -62,11 +62,16 @@ type config = {
   cache_capacity : int;  (** prepared-state LRU size *)
   jobs : int;  (** worker domains executing requests; 1 = inline *)
   incremental : bool;  (** warm solver sessions (the default path) *)
+  gauss : bool;
+      (** XOR engine of every solver the daemon runs: in-search
+          Gauss-Jordan elimination ([true], the default) or static
+          RREF + parity 2-watch ([false]); witnesses are bit-identical
+          either way. Part of the prepared-state cache key. *)
 }
 
 val default_config : config
 (** [queue_capacity = 64], [max_batch = 10_000], [cache_capacity = 16],
-    [jobs = 1], [incremental = true]. *)
+    [jobs = 1], [incremental = true], [gauss = true]. *)
 
 type request = {
   formula : Cnf.Formula.t;

@@ -42,8 +42,9 @@ let test_detects_stale_group () =
 let test_detects_flipped_xor_parity () =
   (* attach the xor while its variables are free (units added at build
      time would be substituted away), then force them at level 0: the
-     attached xor ends up fully assigned and satisfied *)
-  let s = Sat.Solver.create_empty 3 in
+     attached xor ends up fully assigned and satisfied; ~gauss:false
+     targets the 2-watch engine — the matrix has its own injectors *)
+  let s = Sat.Solver.create_empty ~gauss:false 3 in
   Sat.Solver.add_xor s (xor_c [ 1; 2; 3 ] false);
   Sat.Solver.add_clause s [ Cnf.Lit.pos 1 ];
   Sat.Solver.add_clause s [ Cnf.Lit.pos 2 ];
@@ -53,6 +54,43 @@ let test_detects_flipped_xor_parity () =
      satisfied, or as the xor-propagated variable's reason breaking *)
   expect_violation "flip_xor_parity" [ "xor-satisfied"; "reason-consistency" ]
     (fun () -> Sat.Solver.check_invariants s)
+
+(* Gauss-engine corruptions. Default solvers route multi-variable XORs
+   into the in-search matrix; at a root fixpoint the matrix is clean,
+   so the gauss-* checks are armed. *)
+
+let test_detects_gauss_flipped_rhs () =
+  (* force the row to unit-propagate: it ends up detached (satisfied),
+     which is the state flip_rhs corrupts *)
+  let s = Sat.Solver.create_empty 3 in
+  Sat.Solver.add_xor s (xor_c [ 1; 2; 3 ] true);
+  Sat.Solver.add_clause s [ Cnf.Lit.pos 1 ];
+  Sat.Solver.add_clause s [ Cnf.Lit.pos 2 ];
+  expect_applied "gauss_flip_rhs" (Sat.Solver.Corrupt.gauss_flip_rhs s);
+  expect_violation "gauss_flip_rhs" [ "gauss-detached"; "reason-consistency" ]
+    (fun () -> Sat.Solver.check_invariants s)
+
+let test_detects_gauss_stolen_basic () =
+  let s = Sat.Solver.create_empty 4 in
+  Sat.Solver.add_xor s (xor_c [ 1; 2; 3 ] true);
+  Sat.Solver.add_xor s (xor_c [ 2; 3; 4 ] false);
+  expect_applied "gauss_steal_basic" (Sat.Solver.Corrupt.gauss_steal_basic s);
+  expect_violation "gauss_steal_basic" [ "gauss-basic" ] (fun () ->
+      Sat.Solver.check_invariants s)
+
+let test_detects_gauss_false_detach () =
+  let s = Sat.Solver.create_empty 3 in
+  Sat.Solver.add_xor s (xor_c [ 1; 2; 3 ] true);
+  expect_applied "gauss_false_detach" (Sat.Solver.Corrupt.gauss_false_detach s);
+  expect_violation "gauss_false_detach" [ "gauss-detached" ] (fun () ->
+      Sat.Solver.check_invariants s)
+
+let test_detects_gauss_dropped_watch () =
+  let s = Sat.Solver.create_empty 3 in
+  Sat.Solver.add_xor s (xor_c [ 1; 2; 3 ] false);
+  expect_applied "gauss_drop_watch" (Sat.Solver.Corrupt.gauss_drop_watch s);
+  expect_violation "gauss_drop_watch" [ "gauss-watch" ] (fun () ->
+      Sat.Solver.check_invariants s)
 
 let test_detects_bumped_trail_level () =
   let f = Cnf.Formula.create ~num_vars:2 [ clause [ 1 ] ] in
@@ -102,11 +140,15 @@ let injectors =
     ("bump_trail_level", Sat.Solver.Corrupt.bump_trail_level, `Invariants);
     ("scramble_heap", Sat.Solver.Corrupt.scramble_heap, `Invariants);
     ("flip_model_bit", Sat.Solver.Corrupt.flip_model_bit, `Model);
+    ("gauss_flip_rhs", Sat.Solver.Corrupt.gauss_flip_rhs, `Gauss);
+    ("gauss_steal_basic", Sat.Solver.Corrupt.gauss_steal_basic, `Gauss);
+    ("gauss_false_detach", Sat.Solver.Corrupt.gauss_false_detach, `Gauss);
+    ("gauss_drop_watch", Sat.Solver.Corrupt.gauss_drop_watch, `Gauss);
   ]
 
 let prop_corruptions_detected =
   QCheck2.Test.make ~count:300 ~name:"every applicable corruption is caught"
-    QCheck2.Gen.(pair Test_util.Gen.formula_spec (int_bound 5))
+    QCheck2.Gen.(pair Test_util.Gen.formula_spec (int_bound 9))
     (fun (spec, which) ->
       let f = Test_util.Gen.build_spec spec in
       let s = Sat.Solver.create f in
@@ -117,18 +159,26 @@ let prop_corruptions_detected =
          broken solver (UNSAT) the sanitizer deliberately skips the
          trail / group / fixpoint checks *)
       if not (view.Audit.State.ok && view.Audit.State.at_fixpoint) then true
+      else if
+        (* gauss-* checks are armed only on clean matrices: a backjump
+           at the end of [solve] legitimately leaves repairs pending *)
+        checker = `Gauss
+        && List.exists
+             (fun g -> g.Audit.State.g_dirty)
+             view.Audit.State.matrices
+      then true
       else if not (inject s) then true (* not applicable to this state *)
       else
         (* flipping a don't-care model bit yields another genuine model
            of f: the auditor accepting it is correct, not a miss *)
         let detectable =
           match checker with
-          | `Invariants -> true
+          | `Invariants | `Gauss -> true
           | `Model -> not (Cnf.Model.satisfies f (Sat.Solver.model s))
         in
         let check () =
           match checker with
-          | `Invariants -> Sat.Solver.check_invariants s
+          | `Invariants | `Gauss -> Sat.Solver.check_invariants s
           | `Model -> Sat.Solver.audit_model s
         in
         match violation_of check with
@@ -201,6 +251,10 @@ let () =
           Alcotest.test_case "dropped watch" `Quick test_detects_dropped_watch;
           Alcotest.test_case "stale group tag" `Quick test_detects_stale_group;
           Alcotest.test_case "flipped xor parity" `Quick test_detects_flipped_xor_parity;
+          Alcotest.test_case "gauss flipped rhs" `Quick test_detects_gauss_flipped_rhs;
+          Alcotest.test_case "gauss stolen basic" `Quick test_detects_gauss_stolen_basic;
+          Alcotest.test_case "gauss false detach" `Quick test_detects_gauss_false_detach;
+          Alcotest.test_case "gauss dropped watch" `Quick test_detects_gauss_dropped_watch;
           Alcotest.test_case "bumped trail level" `Quick test_detects_bumped_trail_level;
           Alcotest.test_case "scrambled heap" `Quick test_detects_scrambled_heap;
           Alcotest.test_case "flipped model bit" `Quick test_detects_flipped_model_bit;
