@@ -829,12 +829,22 @@ let run_obs ~budget () =
   (* reference: observability fully off *)
   let off_s, off_estimate, off_digest = workload () in
   Printf.printf "  uninstrumented: %.2fs (estimate %.0f)\n%!" off_s off_estimate;
-  (* instrumented: metrics + trace on *)
+  (* instrumented: the full telemetry stack on — metrics, trace AND the
+     structured log, so the bit-identity claim covers every layer the
+     service daemon enables in production *)
   let trace_file = "BENCH_obs_trace.json" in
+  let log_file = "BENCH_obs_log.jsonl" in
   Obs.Metrics.reset ();
   Obs.Metrics.enable ();
   Obs.Trace.enable_file trace_file;
+  Obs.Log.enable_file log_file;
+  Obs.Log.event "bench.obs.start"
+    [ ("instance", Obs.Report.String instance.Workload.Suite.name) ];
   let on_s, on_estimate, on_digest = workload () in
+  Obs.Log.event "bench.obs.finish"
+    Obs.Report.
+      [ ("wall_s", Float on_s); ("witness_digest", String on_digest) ];
+  Obs.Log.close ();
   Obs.Trace.close ();
   Obs.Metrics.disable ();
   let snapshot = Obs.Metrics.snapshot () in
@@ -852,6 +862,69 @@ let run_obs ~budget () =
       | Obs.Report.Float s -> Printf.printf "  %-28s %12.4f\n" name s
       | _ -> ())
     phases;
+  (* roll the measured phase times through a rolling window, so the
+     window algebra is exercised on real data and its percentiles land
+     in the report like the daemon's `metrics` op would serve them *)
+  let lat_window = Obs.Window.create () in
+  let wnow = Unix.gettimeofday () in
+  Obs.Window.observe lat_window ~now:wnow on_s;
+  List.iter
+    (fun (_, v) ->
+      match v with
+      | Obs.Report.Float s when s > 0.0 ->
+          Obs.Window.observe lat_window ~now:wnow s
+      | _ -> ())
+    phases;
+  let window_hist = Obs.Window.snapshot lat_window ~now:wnow in
+  (* count the structured log lines the instrumented leg produced *)
+  let log_lines =
+    let ic = open_in log_file in
+    let n = ref 0 in
+    (try
+       while true do
+         ignore (input_line ic);
+         incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !n
+  in
+  (* overhead microbench: every telemetry site must stay ~one atomic
+     load when its layer is disabled (trace/metrics/log are all off at
+     this point), and the enabled window/log paths are bounded-cost *)
+  let ns_per_op ?(n = 200_000) f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int n *. 1e9
+  in
+  let disabled_span_ns =
+    ns_per_op (fun () -> Obs.Trace.span "bench.noop" (fun () -> ()))
+  in
+  let disabled_log_ns =
+    ns_per_op (fun () ->
+        if Obs.Log.is_enabled () then Obs.Log.event "bench.noop" [])
+  in
+  let window_observe_ns =
+    let w = Obs.Window.create () in
+    ns_per_op (fun () -> Obs.Window.observe w ~now:wnow 0.001)
+  in
+  let log_event_ns =
+    let path = Filename.temp_file "bench_obs" ".jsonl" in
+    Obs.Log.enable_file path;
+    let v =
+      ns_per_op ~n:20_000 (fun () ->
+          Obs.Log.event "bench.overhead" [ ("i", Obs.Report.Int 1) ])
+    in
+    Obs.Log.close ();
+    Sys.remove path;
+    v
+  in
+  Printf.printf
+    "\n  overhead: disabled span %.0f ns, disabled log %.0f ns, window \
+     observe %.0f ns, log event %.0f ns\n%!"
+    disabled_span_ns disabled_log_ns window_observe_ns log_event_ns;
   let report = Obs.Report.create () in
   Obs.Report.add_section report "workload"
     Obs.Report.
@@ -864,15 +937,34 @@ let run_obs ~budget () =
         ("estimate", Float off_estimate);
         ("witness_digest", String off_digest);
         ("bit_identical", Bool equal);
+        ("log_lines", Int log_lines);
+      ];
+  Obs.Report.add_section report "window"
+    Obs.Report.
+      [
+        ("observations", Int (Obs.Window.count lat_window ~now:wnow));
+        ("span_s", Float (Obs.Window.span_s lat_window));
+        ("p50_s", Float (Obs.Metrics.Hist.quantile window_hist 0.5));
+        ("p90_s", Float (Obs.Metrics.Hist.quantile window_hist 0.9));
+        ("p99_s", Float (Obs.Metrics.Hist.quantile window_hist 0.99));
+      ];
+  Obs.Report.add_section report "overhead"
+    Obs.Report.
+      [
+        ("disabled_span_ns", Float disabled_span_ns);
+        ("disabled_log_check_ns", Float disabled_log_ns);
+        ("window_observe_ns", Float window_observe_ns);
+        ("log_event_ns", Float log_event_ns);
       ];
   List.iter
     (fun (title, fields) -> Obs.Report.add_section report title fields)
     (Obs.Report.metrics_sections snapshot);
   Obs.Report.write_json "BENCH_obs.json" report;
   Printf.printf
-    "\nwrote BENCH_obs.json (phase-time breakdown) and %s (open in \
-     chrome://tracing or https://ui.perfetto.dev)\n"
-    trace_file;
+    "\nwrote BENCH_obs.json (phase times, window percentiles, overhead), %s \
+     (structured log) and %s (open in chrome://tracing or \
+     https://ui.perfetto.dev)\n"
+    log_file trace_file;
   if not equal then begin
     prerr_endline "FAILURE: instrumentation changed the sampled witnesses";
     exit 1

@@ -23,6 +23,11 @@
      modules — observability goes through [lib/obs] so output cost is
      gated behind the metrics/tracing switches. Pretty-printers kept
      for debugging are allowlisted.
+   - [unmatched-span]: async trace spans ([Trace.span_begin] /
+     [Trace.span_end]) are paired by name across call sites, not
+     lexically scoped; a begin whose name has no end site anywhere in
+     the repo renders as a span that never closes in the Chrome trace.
+     Checked globally over literal span names.
 
    Findings are emitted as a JSON array on stdout. Allowlisted
    findings are reported but do not affect the exit status; any
@@ -250,6 +255,89 @@ let rule_print_hot file masked src =
           (word_occurrences masked token))
       [ "Printf"; "Format" ]
 
+(* Like [word_occurrences] but accepting a qualifying dot before the
+   token, so [Obs.Trace.span_begin] matches token [span_begin]. *)
+let method_occurrences masked token =
+  let n = String.length masked and t = String.length token in
+  let acc = ref [] in
+  let i = ref 0 in
+  while !i + t <= n do
+    if String.sub masked !i t = token then begin
+      let pre_ok = !i = 0 || not (is_ident_char masked.[!i - 1]) in
+      let post_ok = !i + t >= n || not (is_ident_char masked.[!i + t]) in
+      if pre_ok && post_ok then acc := !i :: !acc;
+      i := !i + t
+    end
+    else incr i
+  done;
+  List.rev !acc
+
+(* The span-name literal of a [span_begin]/[span_end] call at [pos]:
+   the first string literal after the call that is a positional
+   argument — i.e. not preceded by ':' (a ~cat:"..." label), '('/','
+   (inside an ~args list) or '=' (the definition's default value).
+   The masked source blanks literals, so the text is read from the raw
+   source; positions align. *)
+let span_name_after src pos =
+  let n = String.length src in
+  let limit = min n (pos + 400) in
+  let rec prev_nonspace j =
+    if j < 0 then ' '
+    else
+      match src.[j] with
+      | ' ' | '\t' | '\n' | '\r' -> prev_nonspace (j - 1)
+      | c -> c
+  in
+  let rec find i =
+    if i >= limit then None
+    else if src.[i] = '"' then begin
+      match prev_nonspace (i - 1) with
+      | ':' | '(' | ',' | '=' | '^' -> find (skip_literal i)
+      | _ ->
+          let j = ref (i + 1) in
+          while !j < n && src.[!j] <> '"' do incr j done;
+          if !j < n then Some (String.sub src (i + 1) (!j - i - 1)) else None
+    end
+    else find (i + 1)
+  and skip_literal i =
+    let j = ref (i + 1) in
+    while !j < n && src.[!j] <> '"' do incr j done;
+    !j + 1
+  in
+  find pos
+
+(* name -> (file, line) of one site; filled across all files, compared
+   in [main] once every file has been scanned *)
+let span_begins : (string * (string * int)) list ref = ref []
+let span_ends : (string * (string * int)) list ref = ref []
+
+let rule_span_pairs file masked src =
+  let collect token acc =
+    List.iter
+      (fun pos ->
+        match span_name_after src pos with
+        | Some name -> acc := (name, (file, line_of src pos)) :: !acc
+        | None -> () (* definition site or computed name *))
+      (method_occurrences masked token)
+  in
+  collect "span_begin" span_begins;
+  collect "span_end" span_ends
+
+let check_span_pairs () =
+  let names l = List.map fst l in
+  let missing from against verb =
+    List.iter
+      (fun (name, (file, line)) ->
+        if not (List.mem name (names against)) then
+          report "unmatched-span" file line
+            (Printf.sprintf
+               "async span %S has no %s site; the Chrome trace pair 'b'/'e' \
+                never closes" name verb))
+      from
+  in
+  missing !span_begins !span_ends "span_end";
+  missing !span_ends !span_begins "span_begin"
+
 (* ------------------------------------------------------------------ *)
 (* Allowlist *)
 
@@ -330,8 +418,10 @@ let () =
       rule_poly_compare file masked src;
       rule_global_table file masked src;
       rule_missing_mli root file;
-      rule_print_hot file masked src)
+      rule_print_hot file masked src;
+      rule_span_pairs file masked src)
     files;
+  check_span_pairs ();
   let allow = load_allowlist (Filename.concat root "scripts/lint_allowlist.txt") in
   let fs =
     List.sort

@@ -546,9 +546,15 @@ let socket_arg =
 
 let serve_cmd =
   let run socket queue_capacity max_batch cache_capacity jobs no_incremental
-      no_gauss audit show_stats trace metrics_json =
+      no_gauss audit show_stats trace metrics_json log_file slow_ms =
     if audit then Audit.enable ();
     with_observability ~trace ~metrics_json ~show_stats @@ fun () ->
+    (* one structured JSON line per request (see Obs.Log): to the given
+       file, or stderr so it never interleaves with protocol output *)
+    (match log_file with
+    | Some path -> Obs.Log.enable_file path
+    | None -> Obs.Log.enable_stderr ());
+    Fun.protect ~finally:Obs.Log.close @@ fun () ->
     let config =
       {
         Service.Server.socket_path = socket;
@@ -560,6 +566,7 @@ let serve_cmd =
             jobs;
             incremental = not no_incremental;
             gauss = not no_gauss;
+            slow_ms;
           };
         log = (fun msg -> Printf.printf "c %s\n%!" msg);
       }
@@ -626,6 +633,19 @@ let serve_cmd =
              ~doc:"Print the structured service report (request, cache and \
                    queue counters) on shutdown.")
   in
+  let log_file =
+    Arg.(value & opt (some string) None
+         & info [ "log-file" ] ~docv:"PATH"
+             ~doc:"Write the structured JSON event log (one line per \
+                   request: trace id, outcome, queue/prepare/draw \
+                   milliseconds) to $(docv) instead of stderr.")
+  in
+  let slow_ms =
+    Arg.(value & opt float 1000.0
+         & info [ "slow-ms" ]
+             ~doc:"Requests slower than this many milliseconds log at \
+                   warn level, so `grep '\"level\":\"warn\"'` finds them.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the sampling service daemon: content-addressed formula \
@@ -633,14 +653,14 @@ let serve_cmd =
              behind a Unix-socket JSON protocol")
     Term.(const run $ socket_arg $ queue_capacity $ max_batch $ cache_capacity
           $ jobs $ no_incremental $ no_gauss_arg $ audit_arg $ show_stats
-          $ trace_arg $ metrics_json_arg)
+          $ trace_arg $ metrics_json_arg $ log_file $ slow_ms)
 
 (* ------------------------------------------------------------------ *)
 (* unigen client: talk to a running daemon *)
 
 let client_cmd =
   let run socket file num seed prepare_seed epsilon timeout_s max_attempts pin
-      tag status shutdown cancel =
+      tag trace_id status shutdown cancel =
     let call req =
       try Ok (Service.Client.call ~socket_path:socket req) with
       | Unix.Unix_error (e, _, _) ->
@@ -656,7 +676,8 @@ let client_cmd =
     if status then
       match call Service.Wire.Status with
       | Error m -> fail m
-      | Ok (Service.Wire.Metrics values) ->
+      | Ok (Service.Wire.Metrics { values; info }) ->
+          List.iter (fun (k, v) -> Printf.printf "c %s = %s\n" k v) info;
           List.iter (fun (k, v) -> Printf.printf "c %s = %g\n" k v) values;
           0
       | Ok _ -> fail "unexpected response to status"
@@ -699,16 +720,19 @@ let client_cmd =
                       max_attempts;
                       pin;
                       tag;
+                      trace_id;
                     }
                   in
                   match call (Service.Wire.Sample req) with
                   | Error m -> fail m
                   | Ok (Service.Wire.Ok_sample r) ->
                       Printf.printf
-                        "c service: fingerprint=%s cache=%s queue_wait=%.1fms\n"
+                        "c service: fingerprint=%s cache=%s queue_wait=%.1fms \
+                         trace_id=%s\n"
                         r.Service.Wire.fingerprint
                         (if r.Service.Wire.cache_hit then "hit" else "miss")
-                        (r.Service.Wire.queue_wait_s *. 1000.0);
+                        (r.Service.Wire.queue_wait_s *. 1000.0)
+                        r.Service.Wire.rsp_trace_id;
                       List.iter
                         (fun w ->
                           print_endline
@@ -778,6 +802,14 @@ let client_cmd =
              ~doc:"Client-chosen request id, echoed in the response and \
                    usable with --cancel from another connection.")
   in
+  let trace_id =
+    Arg.(value & opt (some string) None
+         & info [ "trace-id" ] ~docv:"ID"
+             ~doc:"Correlation id: every span and log line the daemon \
+                   produces for this request carries $(docv), so one grep \
+                   of the event log or Chrome trace follows the request \
+                   across worker domains. Minted server-side when omitted.")
+  in
   let status =
     Arg.(value & flag
          & info [ "status" ] ~doc:"Print the daemon's metrics snapshot and exit.")
@@ -796,7 +828,118 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:"Submit sampling requests to a running unigen daemon")
     Term.(const run $ socket_arg $ file $ num $ seed $ prepare_seed $ epsilon
-          $ timeout_s $ max_attempts $ pin $ tag $ status $ shutdown $ cancel)
+          $ timeout_s $ max_attempts $ pin $ tag $ trace_id $ status $ shutdown
+          $ cancel)
+
+(* ------------------------------------------------------------------ *)
+(* unigen monitor: live dashboard over the daemon's rolling window *)
+
+let monitor_cmd =
+  let render ~socket (w : Service.Wire.window_report) =
+    let b = Buffer.create 1024 in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+    let pct num den =
+      if den = 0 then "-" else Printf.sprintf "%d%%" (100 * num / den)
+    in
+    line "unigen daemon  %s" socket;
+    line "up %.0fs  jobs %d  engine %s  ocaml %s" w.Service.Wire.uptime_s
+      w.Service.Wire.jobs w.Service.Wire.xor_engine
+      w.Service.Wire.ocaml_version;
+    line "";
+    line "last %.0fs:  %d requests  (%.2f/s)   deadline misses %d"
+      w.Service.Wire.window_s w.Service.Wire.w_requests
+      w.Service.Wire.rate_per_s w.Service.Wire.w_deadline_misses;
+    line "latency ms   p50 %8.1f  p90 %8.1f  p99 %8.1f"
+      w.Service.Wire.p50_ms w.Service.Wire.p90_ms w.Service.Wire.p99_ms;
+    line "queue ms     p50 %8.1f  p90 %8.1f  p99 %8.1f"
+      w.Service.Wire.queue_p50_ms w.Service.Wire.queue_p90_ms
+      w.Service.Wire.queue_p99_ms;
+    line "cache        %d hits / %d misses  (%s hit)" w.Service.Wire.w_hits
+      w.Service.Wire.w_misses
+      (pct w.Service.Wire.w_hits
+         (w.Service.Wire.w_hits + w.Service.Wire.w_misses));
+    line "now          %d in flight, %d queued" w.Service.Wire.w_in_flight
+      w.Service.Wire.w_queued;
+    if w.Service.Wire.per_fp <> [] then begin
+      line "";
+      line "%-16s %6s %5s %6s %9s %9s %9s" "fingerprint" "req" "hit" "miss"
+        "p50ms" "p90ms" "p99ms";
+      List.iteri
+        (fun i (f : Service.Wire.fp_window) ->
+          if i < 16 then
+            let short =
+              if String.length f.Service.Wire.fp > 16 then
+                String.sub f.Service.Wire.fp 0 16
+              else f.Service.Wire.fp
+            in
+            line "%-16s %6d %5d %6d %9.1f %9.1f %9.1f" short
+              f.Service.Wire.fp_requests f.Service.Wire.fp_hits
+              f.Service.Wire.fp_misses f.Service.Wire.fp_p50_ms
+              f.Service.Wire.fp_p90_ms f.Service.Wire.fp_p99_ms)
+        w.Service.Wire.per_fp;
+      let n = List.length w.Service.Wire.per_fp in
+      if n > 16 then line "... and %d more fingerprints" (n - 16)
+    end;
+    Buffer.contents b
+  in
+  let run socket once interval =
+    let fetch () =
+      try Ok (Service.Client.call ~socket_path:socket Service.Wire.Window) with
+      | Unix.Unix_error (e, _, _) ->
+          Error
+            (Printf.sprintf "cannot reach daemon at %s: %s" socket
+               (Unix.error_message e))
+      | Service.Client.Protocol_error m -> Error ("protocol error: " ^ m)
+    in
+    let rec loop first =
+      match fetch () with
+      | Error m ->
+          Printf.eprintf "error: %s\n" m;
+          1
+      | Ok (Service.Wire.Window_report w) ->
+          let body = render ~socket w in
+          if once then print_string body
+          else begin
+            (* ANSI clear-and-home between refreshes; the first frame
+               clears too so a scrolled terminal starts clean *)
+            ignore first;
+            print_string "\027[2J\027[H";
+            print_string body;
+            flush stdout
+          end;
+          if once then 0
+          else begin
+            Unix.sleepf interval;
+            loop false
+          end
+      | Ok _ ->
+          Printf.eprintf "error: unexpected response to metrics\n";
+          1
+    in
+    loop true
+  in
+  let once =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"Print one report and exit instead of refreshing.")
+  in
+  let interval =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh period.")
+  in
+  let socket_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SOCKET"
+          ~doc:"Unix domain socket of the running daemon.")
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:"Live dashboard over a running daemon: request rate, rolling \
+             p50/p90/p99 latency, deadline misses, cache hit ratio and the \
+             busiest formula fingerprints, via the `metrics` wire op")
+    Term.(const run $ socket_pos $ once $ interval)
 
 (* ------------------------------------------------------------------ *)
 
@@ -808,4 +951,4 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           [ sample_cmd; count_cmd; support_cmd; bench_gen_cmd; simplify_cmd;
-            convert_cmd; serve_cmd; client_cmd ]))
+            convert_cmd; serve_cmd; client_cmd; monitor_cmd ]))

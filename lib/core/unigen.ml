@@ -32,7 +32,15 @@ let log2 x = Float.log x /. Float.log 2.0
 
 let prepare ?deadline ?count_iterations ?(hash_density = 0.5)
     ?(incremental = true) ?(gauss = true) ?jobs ?pool ~rng ~epsilon formula =
-  Obs.Trace.span ~cat:"sampling" "unigen.prepare" @@ fun () ->
+  Obs.Trace.span ~cat:"sampling" "unigen.prepare"
+    ~args:
+      [
+        ("epsilon", string_of_float epsilon);
+        ("incremental", string_of_bool incremental);
+        ("engine", if gauss then "gauss" else "2watch");
+        ("vars", string_of_int formula.Cnf.Formula.num_vars);
+      ]
+  @@ fun () ->
   let kappa, pivot = Kappa_pivot.compute epsilon in
   let hi = Kappa_pivot.hi_thresh ~kappa ~pivot in
   let lo = Kappa_pivot.lo_thresh ~kappa ~pivot in

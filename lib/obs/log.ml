@@ -1,0 +1,69 @@
+(* Leveled, structured JSON event log: one line per event, written to
+   stderr or a file. The disabled path is a single atomic load; an
+   enabled event formats into a private buffer and appends under the
+   sink mutex (events are request-grained, so the lock is never hot). *)
+
+type level = Debug | Info | Warn | Error
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+type sink = { oc : out_channel; lock : Mutex.t; close_oc : bool }
+
+let enabled = Atomic.make false
+
+(* Info and above by default; Debug events are compiled in but dropped. *)
+let threshold = Atomic.make (level_rank Info)
+
+let current : sink option ref = ref None
+
+let is_enabled () = Atomic.get enabled
+
+let set_level l = Atomic.set threshold (level_rank l)
+
+let install oc ~close_oc =
+  (match !current with
+  | Some _ -> invalid_arg "Log.enable: already enabled"
+  | None -> ());
+  current := Some { oc; lock = Mutex.create (); close_oc };
+  Atomic.set enabled true
+
+let enable_stderr () = install stderr ~close_oc:false
+
+let enable_file path = install (open_out path) ~close_oc:true
+
+let close () =
+  match !current with
+  | None -> ()
+  | Some s ->
+      Atomic.set enabled false;
+      Mutex.lock s.lock;
+      if s.close_oc then close_out s.oc else flush s.oc;
+      Mutex.unlock s.lock;
+      current := None
+
+let event ?(level = Info) name fields =
+  if Atomic.get enabled && level_rank level >= Atomic.get threshold then
+    match !current with
+    | None -> ()
+    | Some s ->
+        (* leading ts/level/event keys, then the caller's fields; the
+           whole line is one JSON object so `grep | parse` pipelines
+           never need multi-line framing *)
+        let line =
+          Report.json_of_fields
+            (( "ts", Report.Float (Unix.gettimeofday ()) )
+             :: ("level", Report.String (level_to_string level))
+             :: ("event", Report.String name)
+             :: fields)
+        in
+        Mutex.lock s.lock;
+        output_string s.oc line;
+        output_char s.oc '\n';
+        flush s.oc;
+        Mutex.unlock s.lock

@@ -159,17 +159,34 @@ let observe h v =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Gauges: rare, global, last write wins *)
+(* Gauges: atomic cells, last write wins from any domain. Service
+   worker domains race the owner on gauges like executor busyness, so
+   unlike the original mutex-guarded Hashtbl the cell itself is the
+   synchronisation point: registration (first set of a name) takes the
+   mutex, every subsequent set is a plain [Atomic.set]. A cell holding
+   NaN is "never set" and omitted from snapshots. *)
+
+type gauge = float Atomic.t
 
 let gauge_lock = Mutex.create ()
-let gauges : (string, float) Hashtbl.t = Hashtbl.create 16
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
 
-let set_gauge name v =
-  if Atomic.get enabled then begin
-    Mutex.lock gauge_lock;
-    Hashtbl.replace gauges name v;
-    Mutex.unlock gauge_lock
-  end
+let gauge name =
+  Mutex.lock gauge_lock;
+  let cell =
+    match Hashtbl.find_opt gauges name with
+    | Some c -> c
+    | None ->
+        let c = Atomic.make Float.nan in
+        Hashtbl.add gauges name c;
+        c
+  in
+  Mutex.unlock gauge_lock;
+  cell
+
+let set g v = if Atomic.get enabled then Atomic.set g v
+
+let set_gauge name v = if Atomic.get enabled then Atomic.set (gauge name) v
 
 (* ------------------------------------------------------------------ *)
 (* Span time aggregation (memoised name -> histogram id) *)
@@ -251,7 +268,13 @@ let snapshot () =
   in
   let gs =
     Mutex.lock gauge_lock;
-    let gs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) gauges [] in
+    let gs =
+      Hashtbl.fold
+        (fun k c acc ->
+          let v = Atomic.get c in
+          if Float.is_nan v then acc else (k, v) :: acc)
+        gauges []
+    in
     Mutex.unlock gauge_lock;
     List.sort compare gs
   in
@@ -296,5 +319,5 @@ let reset () =
         s.buckets)
     all;
   Mutex.lock gauge_lock;
-  Hashtbl.reset gauges;
+  Hashtbl.iter (fun _ c -> Atomic.set c Float.nan) gauges;
   Mutex.unlock gauge_lock

@@ -47,11 +47,29 @@ val counter : string -> counter
 
 val incr : ?by:int -> counter -> unit
 
-(** {2 Gauges} *)
+(** {2 Gauges}
+
+    Gauges are last-write-wins process globals (queue depth, executor
+    busyness, jobs). Unlike counters they are {e not} sharded: each
+    named gauge is one atomic cell, and {b sets are safe from any
+    domain} — concurrent writers race benignly (one of the written
+    values wins; a snapshot never observes a torn or stale-forever
+    value). Registration of a new name takes a mutex; every subsequent
+    set through {!set} (or {!set_gauge}, which re-resolves the name) is
+    a single lock-free atomic store. *)
+
+type gauge
+
+val gauge : string -> gauge
+(** Register (or look up) the gauge [name]. Idempotent; the handle is
+    the atomic cell itself, so hot callers should hoist it. *)
+
+val set : gauge -> float -> unit
+(** Lock-free last-write-wins store (a no-op while disabled). Setting
+    NaN marks the gauge "never set" and hides it from snapshots. *)
 
 val set_gauge : string -> float -> unit
-(** Gauges are last-write-wins process globals (host core count, jobs,
-    formula size): set rarely, from one domain, not sharded. *)
+(** [set (gauge name) v] — convenience for cold call sites. *)
 
 (** {2 Histograms} *)
 

@@ -1,0 +1,76 @@
+(* Time-windowed rolling metrics: a ring of per-epoch sub-histograms.
+
+   Epoch e covers wall-clock interval [e*bucket_s, (e+1)*bucket_s);
+   epoch e lives in slot (e mod buckets), so advancing time naturally
+   overwrites the oldest epoch — "advance = drop-oldest" is not a
+   policy but the ring arithmetic itself. A slot is expired lazily: the
+   first touch (observe or snapshot) at a later epoch that maps to the
+   same slot resets it. All operations take the clock as an explicit
+   [~now] so the algebra is a deterministic function of the observation
+   sequence (the qcheck laws in test_obs.ml exploit this).
+
+   Not thread-safe: a window belongs to one domain (the service
+   scheduler owns its windows and updates them from owner-side finish
+   thunks only). *)
+
+type t = {
+  bucket_s : float;
+  slots : Metrics.Hist.data array;
+  epochs : int array;  (* epochs.(i) = epoch whose data slots.(i) holds *)
+}
+
+let create ?(buckets = 12) ?(bucket_s = 10.0) () =
+  if buckets < 1 then invalid_arg "Window.create: buckets must be >= 1";
+  if not (bucket_s > 0.0) then invalid_arg "Window.create: bucket_s must be > 0";
+  {
+    bucket_s;
+    slots = Array.make buckets Metrics.Hist.empty;
+    epochs = Array.make buckets min_int;
+  }
+
+let buckets t = Array.length t.slots
+let bucket_s t = t.bucket_s
+let span_s t = t.bucket_s *. float_of_int (Array.length t.slots)
+
+let epoch_of t now = int_of_float (Float.floor (now /. t.bucket_s))
+
+let slot_of t e =
+  let n = Array.length t.slots in
+  ((e mod n) + n) mod n
+
+let observe t ~now v =
+  let e = epoch_of t now in
+  let s = slot_of t e in
+  if t.epochs.(s) <> e then begin
+    t.slots.(s) <- Metrics.Hist.empty;
+    t.epochs.(s) <- e
+  end;
+  t.slots.(s) <- Metrics.Hist.observe t.slots.(s) v
+
+let add t ~now n =
+  for _ = 1 to n do
+    observe t ~now 0.0
+  done
+
+(* Live buckets at [now]: epochs in (current - buckets, current] —
+   the current (partial) epoch plus the buckets-1 before it. Anything
+   older is stale ring residue awaiting lazy reset. *)
+let live t ~now =
+  let e = epoch_of t now in
+  let n = Array.length t.slots in
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    if t.epochs.(i) > e - n && t.epochs.(i) <= e then acc := t.slots.(i) :: !acc
+  done;
+  !acc
+
+let snapshot t ~now =
+  List.fold_left Metrics.Hist.merge Metrics.Hist.empty (live t ~now)
+
+let count t ~now = (snapshot t ~now).Metrics.Hist.count
+
+let rate_per_s t ~now = float_of_int (count t ~now) /. span_s t
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) Metrics.Hist.empty;
+  Array.fill t.epochs 0 (Array.length t.epochs) min_int

@@ -1,0 +1,62 @@
+(** Time-windowed rolling metrics: a ring of per-epoch
+    {!Metrics.Hist} sub-histograms (default 12 × 10 s), answering
+    "what happened over the last minute or two" where the process-wide
+    registry in {!Metrics} answers "what happened since boot".
+
+    Time is divided into fixed epochs of [bucket_s] seconds; epoch [e]
+    occupies ring slot [e mod buckets], so the passage of time
+    overwrites the oldest epoch by construction ({e advance =
+    drop-oldest}). A {!snapshot} merges the live buckets — the current
+    partial epoch and the [buckets - 1] before it — into one
+    {!Metrics.Hist.data}, so percentiles, counts and rates over the
+    window fall out of the same histogram algebra the lifetime metrics
+    use (and inherit its tested merge laws).
+
+    Every operation takes the clock as an explicit [~now] (seconds, any
+    fixed origin — the service passes [Unix.gettimeofday]): the
+    structure is a deterministic function of the observation sequence,
+    which is what the qcheck laws in [test_obs.ml] check.
+
+    {b Not thread-safe}: a window belongs to one domain. The service
+    scheduler owns its windows and updates them only from owner-side
+    accounting (worker completions funnel through owner-executed finish
+    thunks), under its [Audit.Ownership] tag. *)
+
+type t
+
+val create : ?buckets:int -> ?bucket_s:float -> unit -> t
+(** Defaults: 12 buckets × 10 s = a 2-minute ring reporting on the
+    last ~1–2 minutes. @raise Invalid_argument when [buckets < 1] or
+    [bucket_s <= 0]. *)
+
+val buckets : t -> int
+val bucket_s : t -> float
+
+val span_s : t -> float
+(** [buckets * bucket_s] — the widest interval a snapshot can cover. *)
+
+val observe : t -> now:float -> float -> unit
+(** Record a value (e.g. a latency in seconds) in [now]'s epoch. *)
+
+val add : t -> now:float -> int -> unit
+(** Count [n] events in [now]'s epoch with no value semantics
+    (recorded as zero-valued observations; only [count] and rates are
+    meaningful on such a window). *)
+
+val snapshot : t -> now:float -> Metrics.Hist.data
+(** Merge of the live buckets as of [now]: observations from the last
+    [span_s] seconds (minus ring granularity). Epochs older than the
+    ring are excluded even if their slots have not been lazily reset
+    yet. *)
+
+val count : t -> now:float -> int
+(** [(snapshot t ~now).count]. *)
+
+val rate_per_s : t -> now:float -> float
+(** [count / span_s] — the window-average event rate. *)
+
+val epoch_of : t -> float -> int
+(** The epoch index [now] falls in (exposed for the window-algebra
+    tests). *)
+
+val clear : t -> unit

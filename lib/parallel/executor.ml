@@ -29,6 +29,11 @@ let notify t =
   try ignore (Unix.write t.notify_w (Bytes.make 1 '!') 0 1 : int)
   with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _) -> ()
 
+(* set from worker domains — gauges are single atomic cells, so the
+   concurrent last-write-wins is exactly the semantics a busyness
+   gauge wants (see Obs.Metrics) *)
+let g_busy = Obs.Metrics.gauge "executor.busy_workers"
+
 let worker_loop t =
   Obs.Trace.span ~cat:"parallel" "executor.worker" @@ fun () ->
   let rec loop () =
@@ -42,12 +47,16 @@ let worker_loop t =
       let job = Queue.pop t.queue in
       t.queued_count <- t.queued_count - 1;
       t.busy_count <- t.busy_count + 1;
+      let busy = t.busy_count in
       Mutex.unlock t.lock;
+      Obs.Metrics.set g_busy (float_of_int busy);
       let fin = job () in
       Mutex.lock t.lock;
       Queue.push fin t.completed;
       t.busy_count <- t.busy_count - 1;
+      let busy = t.busy_count in
       Mutex.unlock t.lock;
+      Obs.Metrics.set g_busy (float_of_int busy);
       notify t;
       loop ()
     end

@@ -5,6 +5,7 @@ type config = {
   jobs : int;
   incremental : bool;
   gauss : bool;
+  slow_ms : float;
 }
 
 let default_config =
@@ -15,6 +16,7 @@ let default_config =
     jobs = 1;
     incremental = true;
     gauss = true;
+    slow_ms = 1000.0;
   }
 
 type request = {
@@ -28,6 +30,7 @@ type request = {
   max_attempts : int;
   pin : bool;
   tag : string option;
+  trace_id : string option;
 }
 
 let request_of_wire formula (w : Wire.sample_req) =
@@ -42,6 +45,7 @@ let request_of_wire formula (w : Wire.sample_req) =
     max_attempts = w.Wire.max_attempts;
     pin = w.Wire.pin;
     tag = w.Wire.tag;
+    trace_id = w.Wire.trace_id;
   }
 
 type reject = { reason : Wire.reject_reason; retry_after_s : float }
@@ -51,9 +55,34 @@ type pending_req = {
   req : request;
   fingerprint : string;
   canonical : Cnf.Formula.t;
+  trace_id : string;  (* client-supplied or minted from the request id *)
   submitted_at : float;
   deadline : float option;  (* absolute *)
   mutable cancelled : bool;
+}
+
+(* Worker-side timing of one request's execution, carried back to the
+   owner for windows and the event log. *)
+type timing = { cache_hit : bool; prepare_s : float; draw_s : float }
+
+(* Rolling last-minute view, process-wide and per formula fingerprint.
+   Owner-domain only (like every other scheduler field): worker
+   completions funnel through owner-executed finish thunks, so the
+   windows need no locking. *)
+type fp_tele = {
+  fw_latency : Obs.Window.t;
+  fw_hits : Obs.Window.t;
+  fw_misses : Obs.Window.t;
+}
+
+type telemetry = {
+  started_at : float;
+  w_latency : Obs.Window.t;  (* request wall time, seconds *)
+  w_queue : Obs.Window.t;  (* queue wait, seconds *)
+  w_deadline : Obs.Window.t;  (* deadline misses (count-only) *)
+  w_hits : Obs.Window.t;  (* prepared-state cache hits (count-only) *)
+  w_misses : Obs.Window.t;
+  fp_tele : (string, fp_tele) Hashtbl.t;
 }
 
 type t = {
@@ -77,6 +106,7 @@ type t = {
   mutable avg_exec_s : float;  (* EWMA of request execution time *)
   mutable executed : int;
   mutable exec_down : bool;
+  tele : telemetry;
   owner : Audit.Ownership.t;
 }
 
@@ -120,6 +150,16 @@ let create ?(config = default_config) () =
     avg_exec_s = 0.05;
     executed = 0;
     exec_down = false;
+    tele =
+      {
+        started_at = Unix.gettimeofday ();
+        w_latency = Obs.Window.create ();
+        w_queue = Obs.Window.create ();
+        w_deadline = Obs.Window.create ();
+        w_hits = Obs.Window.create ();
+        w_misses = Obs.Window.create ();
+        fp_tele = Hashtbl.create 16;
+      };
     owner = Audit.Ownership.create "service scheduler";
   }
 
@@ -167,17 +207,31 @@ let submit t req =
     let now = Unix.gettimeofday () in
     let id = t.next_id in
     t.next_id <- id + 1;
+    (* correlation id for every span and log line this request produces;
+       minted from the monotone request counter when the client did not
+       supply one (ids only need to be unique within one daemon) *)
+    let trace_id =
+      match req.trace_id with
+      | Some tid -> tid
+      | None -> "req-" ^ string_of_int id
+    in
     let p =
       {
         id;
         req;
         fingerprint;
         canonical;
+        trace_id;
         submitted_at = now;
         deadline = Option.map (fun s -> now +. s) req.timeout_s;
         cancelled = false;
       }
     in
+    (* async span paired with the span_end in [dequeue]: the queue
+       phase has no lexical scope, so it is a Chrome 'b'/'e' pair keyed
+       by the trace id *)
+    Obs.Trace.span_begin ~cat:"service" ~id:trace_id "service.queue"
+      ~args:[ ("fingerprint", fingerprint); ("trace_id", trace_id) ];
     (match Hashtbl.find_opt t.queues fingerprint with
     | Some q -> Queue.push p q
     | None ->
@@ -270,6 +324,8 @@ let key_of t p =
    domain executes it. *)
 
 let run_request ~incremental ~gauss ~queue_wait_s ~cached (p : pending_req) =
+  let cache_hit = Option.is_some cached in
+  let prepare_t0 = Unix.gettimeofday () in
   let prep_result, newly =
     match cached with
     | Some entry -> (Ok entry, None)
@@ -290,20 +346,28 @@ let run_request ~incremental ~gauss ~queue_wait_s ~cached (p : pending_req) =
             (Ok entry, Some entry)
         | Error e -> (Error e, None))
   in
+  let prepare_s =
+    if cache_hit then 0.0 else Unix.gettimeofday () -. prepare_t0
+  in
+  let timing ~draw_s = { cache_hit; prepare_s; draw_s } in
   match prep_result with
-  | Error Sampling.Unigen.Unsat_formula -> (Wire.Unsat { rsp_tag = p.req.tag }, None)
+  | Error Sampling.Unigen.Unsat_formula ->
+      (Wire.Unsat { rsp_tag = p.req.tag }, None, timing ~draw_s:0.0)
   | Error Sampling.Unigen.Prepare_timeout ->
-      (Wire.Deadline_miss { rsp_tag = p.req.tag }, None)
+      (Wire.Deadline_miss { rsp_tag = p.req.tag }, None, timing ~draw_s:0.0)
   | Error Sampling.Unigen.Count_failed
     when (match p.deadline with
          | Some d -> Unix.gettimeofday () > d
          | None -> false) ->
       (* the approximate count aborted because this request's deadline
          expired mid-count: a deadline miss, not an internal failure *)
-      (Wire.Deadline_miss { rsp_tag = p.req.tag }, None)
+      (Wire.Deadline_miss { rsp_tag = p.req.tag }, None, timing ~draw_s:0.0)
   | Error Sampling.Unigen.Count_failed ->
-      (Wire.Error_msg "approximate count failed within budget", None)
+      ( Wire.Error_msg "approximate count failed within budget",
+        None,
+        timing ~draw_s:0.0 )
   | Ok entry ->
+      let draw_t0 = Unix.gettimeofday () in
       let outcomes =
         Obs.Trace.span ~cat:"service" "service.draw"
           ~args:[ ("fingerprint", p.fingerprint); ("n", string_of_int p.req.n) ]
@@ -312,6 +376,7 @@ let run_request ~incremental ~gauss ~queue_wait_s ~cached (p : pending_req) =
               ~max_attempts:(max 1 p.req.max_attempts) ~seed:p.req.seed
               entry.Cache.prepared p.req.n)
       in
+      let timing = timing ~draw_s:(Unix.gettimeofday () -. draw_t0) in
       let witnesses =
         Array.to_list outcomes
         |> List.filter_map (function
@@ -326,19 +391,21 @@ let run_request ~incremental ~gauss ~queue_wait_s ~cached (p : pending_req) =
       then
         (* every draw was cut off by the deadline: nothing sampled,
            report the miss rather than an empty success *)
-        (Wire.Deadline_miss { rsp_tag = p.req.tag }, newly)
+        (Wire.Deadline_miss { rsp_tag = p.req.tag }, newly, timing)
       else
       ( Wire.Ok_sample
           {
             fingerprint = p.fingerprint;
-            cache_hit = Option.is_some cached;
+            cache_hit;
             witnesses;
             produced = List.length witnesses;
             requested = p.req.n;
             queue_wait_s;
             rsp_tag = p.req.tag;
+            rsp_trace_id = p.trace_id;
           },
-        newly )
+        newly,
+        timing )
 
 let response_of_exn = function
   | Invalid_argument m -> Wire.Error_msg ("invalid request: " ^ m)
@@ -359,16 +426,93 @@ let finalize_cache t p key ~cached ~newly response =
   | _ -> ());
   if p.req.pin then ignore (Cache.pin t.prep_cache key : bool)
 
+let outcome_of_response = function
+  | Wire.Ok_sample _ -> "ok"
+  | Wire.Unsat _ -> "unsat"
+  | Wire.Deadline_miss _ -> "deadline_miss"
+  | Wire.Cancelled _ -> "cancelled"
+  | Wire.Error_msg _ -> "error"
+  | Wire.Rejected _ -> "rejected"
+  | Wire.Cancel_result _ | Wire.Metrics _ | Wire.Window_report _ | Wire.Bye ->
+      "other"
+
+let fp_tele_of t fp =
+  match Hashtbl.find_opt t.tele.fp_tele fp with
+  | Some ft -> ft
+  | None ->
+      let ft =
+        {
+          fw_latency = Obs.Window.create ();
+          fw_hits = Obs.Window.create ();
+          fw_misses = Obs.Window.create ();
+        }
+      in
+      Hashtbl.replace t.tele.fp_tele fp ft;
+      ft
+
 (* The single funnel every finished request passes through, worker-side
    or inline — deadline misses are counted here and nowhere else, so a
    miss detected on a worker domain (a [Prepare_timeout] surfacing as
-   [Deadline_miss]) is counted exactly once. *)
-let account t ~started_at response =
+   [Deadline_miss]) is counted exactly once. The same funnel feeds the
+   rolling windows and emits the request's structured log line; it
+   always runs on the owner domain (inline in serial mode, in the
+   executor finish thunk in parallel mode), so the windows need no
+   locking. [timing] is [None] when the request never reached a worker
+   (an already-expired deadline or an executor-level exception). *)
+let account t (p : pending_req) ~queue_wait_s ~started_at ~timing response =
   (match response with
   | Wire.Deadline_miss _ -> Obs.Metrics.incr c_deadline_misses
   | _ -> ());
-  let dt = Unix.gettimeofday () -. started_at in
+  let now = Unix.gettimeofday () in
+  let dt = now -. started_at in
   Obs.Metrics.observe h_request dt;
+  (* rolling windows: process-wide and per fingerprint *)
+  Obs.Window.observe t.tele.w_latency ~now dt;
+  Obs.Window.observe t.tele.w_queue ~now queue_wait_s;
+  (match response with
+  | Wire.Deadline_miss _ -> Obs.Window.add t.tele.w_deadline ~now 1
+  | _ -> ());
+  let ft = fp_tele_of t p.fingerprint in
+  Obs.Window.observe ft.fw_latency ~now dt;
+  (match timing with
+  | Some tm ->
+      if tm.cache_hit then begin
+        Obs.Window.add t.tele.w_hits ~now 1;
+        Obs.Window.add ft.fw_hits ~now 1
+      end
+      else begin
+        Obs.Window.add t.tele.w_misses ~now 1;
+        Obs.Window.add ft.fw_misses ~now 1
+      end
+  | None -> ());
+  (* one structured line per request; slow requests escalate to Warn
+     so an operator can tail for them without a jq filter *)
+  if Obs.Log.is_enabled () then begin
+    let ms s = Float.round (s *. 1e4) /. 10.0 in
+    let total_ms = dt *. 1000.0 in
+    let level = if total_ms >= t.cfg.slow_ms then Obs.Log.Warn else Obs.Log.Info in
+    Obs.Log.event ~level "service.request"
+      ([
+         ("trace_id", Obs.Report.String p.trace_id);
+         ("fingerprint", Obs.Report.String p.fingerprint);
+         ("outcome", Obs.Report.String (outcome_of_response response));
+         ("n", Obs.Report.Int p.req.n);
+         ("queue_ms", Obs.Report.Float (ms queue_wait_s));
+         ("total_ms", Obs.Report.Float (ms dt));
+       ]
+      @ (match timing with
+        | Some tm ->
+            [
+              ("prepare_ms", Obs.Report.Float (ms tm.prepare_s));
+              ("draw_ms", Obs.Report.Float (ms tm.draw_s));
+              ("cache", Obs.Report.String (if tm.cache_hit then "hit" else "miss"));
+            ]
+        | None -> [])
+      @ [
+          ("xor_engine", Obs.Report.String (if t.cfg.gauss then "gauss" else "2watch"));
+        ]
+      @ (if p.cancelled then [ ("cancelled", Obs.Report.Bool true) ] else []))
+  end;
   (* the EWMA feeds the retry-after hint: floor sub-microsecond
      completions (e.g. an immediate deadline miss) and reject
      non-finite samples so the hint stays finite and non-negative *)
@@ -386,6 +530,9 @@ let dequeue t p =
   let now = Unix.gettimeofday () in
   let queue_wait_s = now -. p.submitted_at in
   Obs.Metrics.observe h_queue_wait queue_wait_s;
+  (* closes the async queue span opened in [submit] *)
+  Obs.Trace.span_end ~cat:"service" ~id:p.trace_id "service.queue"
+    ~args:[ ("fingerprint", p.fingerprint) ];
   (now, queue_wait_s)
 
 let deadline_passed p now =
@@ -398,7 +545,11 @@ let step t =
   | Some p ->
       let now, queue_wait_s = dequeue t p in
       set_depth t;
+      let timing = ref None in
       let response =
+        (* the ambient trace id tags every span the request produces,
+           including the unigen.prepare/draw spans deeper down *)
+        Obs.Trace.with_trace_id (Some p.trace_id) @@ fun () ->
         Obs.Trace.span ~cat:"service" "service.request"
           ~args:[ ("fingerprint", p.fingerprint); ("id", string_of_int p.id) ]
           (fun () ->
@@ -411,12 +562,13 @@ let step t =
                 run_request ~incremental:t.cfg.incremental ~gauss:t.cfg.gauss
                   ~queue_wait_s ~cached p
               with
-              | response, newly ->
+              | response, newly, tm ->
+                  timing := Some tm;
                   finalize_cache t p key ~cached ~newly response;
                   response
               | exception e -> response_of_exn e)
       in
-      account t ~started_at:now response;
+      account t p ~queue_wait_s ~started_at:now ~timing:!timing response;
       Some (p.id, response)
 
 (* ------------------------------------------------------------------ *)
@@ -431,7 +583,7 @@ let dispatch_one t ex p =
   if deadline_passed p now then begin
     (* no worker needed; completes immediately *)
     let response = Wire.Deadline_miss { rsp_tag = p.req.tag } in
-    account t ~started_at:now response;
+    account t p ~queue_wait_s ~started_at:now ~timing:None response;
     set_depth t;
     if not p.cancelled then Queue.push (p.id, response) t.completed
   end
@@ -451,6 +603,10 @@ let dispatch_one t ex p =
     let gauss = t.cfg.gauss in
     Parallel.Executor.submit ex
       ~work:(fun () ->
+        (* worker domain: install the request's trace id as the
+           ambient id for every span produced on this domain until the
+           request finishes *)
+        Obs.Trace.with_trace_id (Some p.trace_id) @@ fun () ->
         Obs.Trace.span ~cat:"service" "service.request"
           ~args:[ ("fingerprint", p.fingerprint); ("id", string_of_int p.id) ]
           (fun () -> run_request ~incremental ~gauss ~queue_wait_s ~cached p))
@@ -461,14 +617,14 @@ let dispatch_one t ex p =
         (match cached with
         | Some _ -> ignore (Cache.release t.prep_cache key : bool)
         | None -> ());
-        let response =
+        let response, timing =
           match result with
-          | Ok (response, newly) ->
+          | Ok (response, newly, tm) ->
               finalize_cache t p key ~cached ~newly response;
-              response
-          | Error (e, _bt) -> response_of_exn e
+              (response, Some tm)
+          | Error (e, _bt) -> (response_of_exn e, None)
         in
-        account t ~started_at:now response;
+        account t p ~queue_wait_s ~started_at:now ~timing response;
         set_depth t;
         if not p.cancelled then Queue.push (p.id, response) t.completed)
   end
@@ -528,3 +684,58 @@ let shutdown t =
     | Some ex -> Parallel.Executor.shutdown ex
     | None -> ()
   end
+
+(* ------------------------------------------------------------------ *)
+(* Rolling-window report: the [metrics] wire op's answer. Pure read of
+   the owner-domain windows. *)
+
+let uptime_s t = Unix.gettimeofday () -. t.tele.started_at
+
+let engine_name t = if t.cfg.gauss then "gauss" else "2watch"
+
+let window_report t =
+  Audit.Ownership.check t.owner;
+  let now = Unix.gettimeofday () in
+  let q d p = Obs.Metrics.Hist.quantile d p *. 1000.0 in
+  let latency = Obs.Window.snapshot t.tele.w_latency ~now in
+  let queue = Obs.Window.snapshot t.tele.w_queue ~now in
+  let per_fp =
+    Hashtbl.fold
+      (fun fp ft acc ->
+        let d = Obs.Window.snapshot ft.fw_latency ~now in
+        if d.Obs.Metrics.Hist.count = 0 then acc
+        else
+          {
+            Wire.fp;
+            fp_requests = d.Obs.Metrics.Hist.count;
+            fp_hits = Obs.Window.count ft.fw_hits ~now;
+            fp_misses = Obs.Window.count ft.fw_misses ~now;
+            fp_p50_ms = q d 0.5;
+            fp_p90_ms = q d 0.9;
+            fp_p99_ms = q d 0.99;
+          }
+          :: acc)
+      t.tele.fp_tele []
+    |> List.sort (fun a b -> compare b.Wire.fp_requests a.Wire.fp_requests)
+  in
+  {
+    Wire.window_s = Obs.Window.span_s t.tele.w_latency;
+    uptime_s = uptime_s t;
+    jobs = t.cfg.jobs;
+    w_in_flight = t.inflight_count;
+    w_queued = t.queued_count;
+    xor_engine = engine_name t;
+    ocaml_version = Sys.ocaml_version;
+    w_requests = latency.Obs.Metrics.Hist.count;
+    rate_per_s = Obs.Window.rate_per_s t.tele.w_latency ~now;
+    w_deadline_misses = Obs.Window.count t.tele.w_deadline ~now;
+    w_hits = Obs.Window.count t.tele.w_hits ~now;
+    w_misses = Obs.Window.count t.tele.w_misses ~now;
+    p50_ms = q latency 0.5;
+    p90_ms = q latency 0.9;
+    p99_ms = q latency 0.99;
+    queue_p50_ms = q queue 0.5;
+    queue_p90_ms = q queue 0.9;
+    queue_p99_ms = q queue 0.99;
+    per_fp;
+  }

@@ -67,11 +67,15 @@ type config = {
           Gauss-Jordan elimination ([true], the default) or static
           RREF + parity 2-watch ([false]); witnesses are bit-identical
           either way. Part of the prepared-state cache key. *)
+  slow_ms : float;
+      (** requests slower than this log their [service.request] event
+          at [Warn] instead of [Info] *)
 }
 
 val default_config : config
 (** [queue_capacity = 64], [max_batch = 10_000], [cache_capacity = 16],
-    [jobs = 1], [incremental = true], [gauss = true]. *)
+    [jobs = 1], [incremental = true], [gauss = true],
+    [slow_ms = 1000.0]. *)
 
 type request = {
   formula : Cnf.Formula.t;
@@ -84,6 +88,9 @@ type request = {
   max_attempts : int;
   pin : bool;
   tag : string option;  (** echoed into the response *)
+  trace_id : string option;
+      (** correlation id for the request's spans and log line; minted
+          as [req-<id>] at admission when [None] *)
 }
 
 val request_of_wire : Cnf.Formula.t -> Wire.sample_req -> request
@@ -167,3 +174,26 @@ val shutdown : t -> unit
     callbacks run, pins are released) and join its domains. Idempotent.
     Queued requests are not executed; callers wanting a graceful stop
     call {!set_draining} and {!drain} first. *)
+
+(** {2 Telemetry}
+
+    Every finished request feeds a set of {!Obs.Window} rolling
+    histograms (12 × 10 s), process-wide and per formula fingerprint,
+    and emits one structured {!Obs.Log} [service.request] line
+    (trace id, fingerprint, outcome, queue/prepare/draw milliseconds,
+    cache hit/miss, XOR engine) — at [Warn] past [slow_ms]. Spans
+    produced on behalf of a request — [service.queue] (async, from
+    admission to dispatch), [service.request], [service.prepare],
+    [service.draw] and the [unigen.*] spans below them — all carry the
+    request's trace id, across owner and worker domains. *)
+
+val window_report : t -> Wire.window_report
+(** Rates, counts and factor-of-2 latency percentiles over the rolling
+    window, plus provenance (jobs, XOR engine, OCaml version, uptime).
+    Owner-domain only, like every other entry point. *)
+
+val uptime_s : t -> float
+(** Seconds since {!create}. *)
+
+val engine_name : t -> string
+(** ["gauss"] or ["2watch"], per [config.gauss]. *)

@@ -85,8 +85,21 @@ let handle_request st c = function
       let values =
         List.map (fun (k, v) -> (k, float_of_int v)) snap.Obs.Metrics.counters
         @ snap.Obs.Metrics.gauges @ percentiles
+        @ [
+            ("server.uptime_seconds", Scheduler.uptime_s st.sched);
+            ( "server.jobs",
+              float_of_int (Scheduler.config st.sched).Scheduler.jobs );
+          ]
       in
-      send st c (Wire.Metrics values)
+      (* provenance: which build is answering, with what engine *)
+      let info =
+        [
+          ("xor_engine", Scheduler.engine_name st.sched);
+          ("ocaml_version", Sys.ocaml_version);
+        ]
+      in
+      send st c (Wire.Metrics { values; info })
+  | Wire.Window -> send st c (Wire.Window_report (Scheduler.window_report st.sched))
   | Wire.Shutdown ->
       st.cfg.log "shutdown requested; draining";
       st.shutting_down <- true;
@@ -196,6 +209,13 @@ let run cfg =
     end
   in
   cfg.log (Printf.sprintf "listening on %s" cfg.socket_path);
+  Obs.Log.event "service.start"
+    [
+      ("socket", Obs.Report.String cfg.socket_path);
+      ("jobs", Obs.Report.Int cfg.scheduler.Scheduler.jobs);
+      ("xor_engine", Obs.Report.String (Scheduler.engine_name sched));
+      ("ocaml_version", Obs.Report.String Sys.ocaml_version);
+    ];
   with_signals (fun () -> st.shutting_down <- true) @@ fun () ->
   Fun.protect
     ~finally:(fun () ->
@@ -266,4 +286,6 @@ let run cfg =
       | None -> ()
       | Some (id, response) -> deliver st id response
   done;
+  Obs.Log.event "service.stop"
+    [ ("uptime_s", Obs.Report.Float (Scheduler.uptime_s sched)) ];
   cfg.log "drained; exiting"

@@ -93,6 +93,7 @@ type sample_req = {
   max_attempts : int;
   pin : bool;
   tag : string option;
+  trace_id : string option;
 }
 
 let default_sample_req =
@@ -107,12 +108,14 @@ let default_sample_req =
     max_attempts = 20;
     pin = false;
     tag = None;
+    trace_id = None;
   }
 
 type request =
   | Sample of sample_req
   | Cancel of string
   | Status
+  | Window
   | Shutdown
 
 type reject_reason = Queue_full | Batch_too_large | Draining
@@ -125,6 +128,39 @@ type sample_ok = {
   requested : int;
   queue_wait_s : float;
   rsp_tag : string option;
+  rsp_trace_id : string;
+}
+
+type fp_window = {
+  fp : string;
+  fp_requests : int;
+  fp_hits : int;
+  fp_misses : int;
+  fp_p50_ms : float;
+  fp_p90_ms : float;
+  fp_p99_ms : float;
+}
+
+type window_report = {
+  window_s : float;
+  uptime_s : float;
+  jobs : int;
+  w_in_flight : int;
+  w_queued : int;
+  xor_engine : string;
+  ocaml_version : string;
+  w_requests : int;
+  rate_per_s : float;
+  w_deadline_misses : int;
+  w_hits : int;
+  w_misses : int;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  queue_p50_ms : float;
+  queue_p90_ms : float;
+  queue_p99_ms : float;
+  per_fp : fp_window list;
 }
 
 type response =
@@ -135,7 +171,8 @@ type response =
   | Cancel_result of bool
   | Unsat of { rsp_tag : string option }
   | Error_msg of string
-  | Metrics of (string * float) list
+  | Metrics of { values : (string * float) list; info : (string * string) list }
+  | Window_report of window_report
   | Bye
 
 let reject_reason_to_string = function
@@ -168,9 +205,11 @@ let request_to_json = function
             (Option.map (fun i -> Json.Int i) r.count_iterations)
         @ opt_field "timeout_ms"
             (Option.map (fun s -> Json.Float (s *. 1000.0)) r.timeout_s)
-        @ opt_field "tag" (Option.map (fun t -> Json.Str t) r.tag))
+        @ opt_field "tag" (Option.map (fun t -> Json.Str t) r.tag)
+        @ opt_field "trace_id" (Option.map (fun t -> Json.Str t) r.trace_id))
   | Cancel tag -> Json.Obj [ ("op", Json.Str "cancel"); ("tag", Json.Str tag) ]
   | Status -> Json.Obj [ ("op", Json.Str "status") ]
+  | Window -> Json.Obj [ ("op", Json.Str "metrics") ]
   | Shutdown -> Json.Obj [ ("op", Json.Str "shutdown") ]
 
 let request_of_json j =
@@ -201,9 +240,11 @@ let request_of_json j =
             | None -> default_sample_req.max_attempts);
           pin = Json.get_bool ~default:false "pin" j;
           tag = Json.opt_string "tag" j;
+          trace_id = Json.opt_string "trace_id" j;
         }
   | "cancel" -> Cancel (Json.get_string "tag" j)
   | "status" -> Status
+  | "metrics" -> Window
   | "shutdown" -> Shutdown
   | op -> raise (Json.Decode_error ("unknown op " ^ op))
 
@@ -222,6 +263,7 @@ let response_to_json = function
            ("produced", Json.Int r.produced);
            ("requested", Json.Int r.requested);
            ("queue_wait_ms", Json.Float (r.queue_wait_s *. 1000.0));
+           ("trace_id", Json.Str r.rsp_trace_id);
          ]
         @ opt_field "tag" (Option.map (fun t -> Json.Str t) r.rsp_tag))
   | Rejected { reason; retry_after_s } ->
@@ -247,11 +289,48 @@ let response_to_json = function
         :: opt_field "tag" (Option.map (fun t -> Json.Str t) rsp_tag))
   | Error_msg m ->
       Json.Obj [ ("status", Json.Str "error"); ("message", Json.Str m) ]
-  | Metrics kvs ->
+  | Metrics { values; info } ->
       Json.Obj
         [
           ("status", Json.Str "metrics");
-          ("values", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) kvs));
+          ("values", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) values));
+          ("info", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) info));
+        ]
+  | Window_report w ->
+      let fp_json f =
+        Json.Obj
+          [
+            ("fingerprint", Json.Str f.fp);
+            ("requests", Json.Int f.fp_requests);
+            ("hits", Json.Int f.fp_hits);
+            ("misses", Json.Int f.fp_misses);
+            ("p50_ms", Json.Float f.fp_p50_ms);
+            ("p90_ms", Json.Float f.fp_p90_ms);
+            ("p99_ms", Json.Float f.fp_p99_ms);
+          ]
+      in
+      Json.Obj
+        [
+          ("status", Json.Str "window_report");
+          ("window_s", Json.Float w.window_s);
+          ("uptime_s", Json.Float w.uptime_s);
+          ("jobs", Json.Int w.jobs);
+          ("in_flight", Json.Int w.w_in_flight);
+          ("queued", Json.Int w.w_queued);
+          ("xor_engine", Json.Str w.xor_engine);
+          ("ocaml_version", Json.Str w.ocaml_version);
+          ("requests", Json.Int w.w_requests);
+          ("rate_per_s", Json.Float w.rate_per_s);
+          ("deadline_misses", Json.Int w.w_deadline_misses);
+          ("hits", Json.Int w.w_hits);
+          ("misses", Json.Int w.w_misses);
+          ("p50_ms", Json.Float w.p50_ms);
+          ("p90_ms", Json.Float w.p90_ms);
+          ("p99_ms", Json.Float w.p99_ms);
+          ("queue_p50_ms", Json.Float w.queue_p50_ms);
+          ("queue_p90_ms", Json.Float w.queue_p90_ms);
+          ("queue_p99_ms", Json.Float w.queue_p99_ms);
+          ("per_fp", Json.List (List.map fp_json w.per_fp));
         ]
   | Bye -> Json.Obj [ ("status", Json.Str "bye") ]
 
@@ -272,6 +351,8 @@ let response_of_json j =
           requested = Json.get_int "requested" j;
           queue_wait_s = Json.get_float "queue_wait_ms" j /. 1000.0;
           rsp_tag = Json.opt_string "tag" j;
+          rsp_trace_id =
+            (match Json.opt_string "trace_id" j with Some t -> t | None -> "");
         }
   | "rejected" ->
       Rejected
@@ -284,17 +365,65 @@ let response_of_json j =
   | "cancel_result" -> Cancel_result (Json.get_bool "found" j)
   | "unsat" -> Unsat { rsp_tag = Json.opt_string "tag" j }
   | "error" -> Error_msg (Json.get_string "message" j)
-  | "metrics" -> (
-      match Json.member "values" j with
-      | Some (Json.Obj kvs) ->
-          Metrics
-            (List.map
-               (fun (k, v) ->
-                 match v with
-                 | Json.Float f -> (k, f)
-                 | Json.Int i -> (k, float_of_int i)
-                 | _ -> raise (Json.Decode_error "metrics: expected numbers"))
-               kvs)
-      | _ -> raise (Json.Decode_error "metrics: missing values"))
+  | "metrics" ->
+      let values =
+        match Json.member "values" j with
+        | Some (Json.Obj kvs) ->
+            List.map
+              (fun (k, v) ->
+                match v with
+                | Json.Float f -> (k, f)
+                | Json.Int i -> (k, float_of_int i)
+                | _ -> raise (Json.Decode_error "metrics: expected numbers"))
+              kvs
+        | _ -> raise (Json.Decode_error "metrics: missing values")
+      in
+      let info =
+        match Json.member "info" j with
+        | Some (Json.Obj kvs) ->
+            List.map
+              (fun (k, v) ->
+                match v with
+                | Json.Str s -> (k, s)
+                | _ -> raise (Json.Decode_error "metrics: expected strings"))
+              kvs
+        | None -> []
+        | _ -> raise (Json.Decode_error "metrics: malformed info")
+      in
+      Metrics { values; info }
+  | "window_report" ->
+      let fp_of_json fj =
+        {
+          fp = Json.get_string "fingerprint" fj;
+          fp_requests = Json.get_int "requests" fj;
+          fp_hits = Json.get_int "hits" fj;
+          fp_misses = Json.get_int "misses" fj;
+          fp_p50_ms = Json.get_float "p50_ms" fj;
+          fp_p90_ms = Json.get_float "p90_ms" fj;
+          fp_p99_ms = Json.get_float "p99_ms" fj;
+        }
+      in
+      Window_report
+        {
+          window_s = Json.get_float "window_s" j;
+          uptime_s = Json.get_float "uptime_s" j;
+          jobs = Json.get_int "jobs" j;
+          w_in_flight = Json.get_int "in_flight" j;
+          w_queued = Json.get_int "queued" j;
+          xor_engine = Json.get_string "xor_engine" j;
+          ocaml_version = Json.get_string "ocaml_version" j;
+          w_requests = Json.get_int "requests" j;
+          rate_per_s = Json.get_float "rate_per_s" j;
+          w_deadline_misses = Json.get_int "deadline_misses" j;
+          w_hits = Json.get_int "hits" j;
+          w_misses = Json.get_int "misses" j;
+          p50_ms = Json.get_float "p50_ms" j;
+          p90_ms = Json.get_float "p90_ms" j;
+          p99_ms = Json.get_float "p99_ms" j;
+          queue_p50_ms = Json.get_float "queue_p50_ms" j;
+          queue_p90_ms = Json.get_float "queue_p90_ms" j;
+          queue_p99_ms = Json.get_float "queue_p99_ms" j;
+          per_fp = List.map fp_of_json (Json.get_list "per_fp" j);
+        }
   | "bye" -> Bye
   | s -> raise (Json.Decode_error ("unknown status " ^ s))

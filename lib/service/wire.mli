@@ -17,18 +17,23 @@
     {v
     {"op":"sample","formula":"p cnf ...","n":10,"seed":7,
      "prepare_seed":1,"epsilon":6.0,"timeout_ms":30000,
-     "max_attempts":20,"pin":false,"tag":"job-1"}
+     "max_attempts":20,"pin":false,"tag":"job-1","trace_id":"abc"}
     {"op":"cancel","tag":"job-1"}
     {"op":"status"}
+    {"op":"metrics"}
     {"op":"shutdown"}
     v}
 
     {2 Responses}
 
     [{"status":"ok",...}] with witnesses as arrays of signed DIMACS
-    literals, [{"status":"rejected","reason":...,"retry_after_ms":...}]
+    literals and the request's (client-supplied or server-minted)
+    [trace_id], [{"status":"rejected","reason":...,"retry_after_ms":...}]
     (admission backpressure), ["deadline_miss"], ["cancelled"],
-    ["cancel_result"], ["unsat"], ["error"], ["metrics"], ["bye"]. *)
+    ["cancel_result"], ["unsat"], ["error"], ["metrics"] (lifetime
+    counters plus provenance strings), ["window_report"] (last-minute
+    rolling rates and percentiles, per formula fingerprint — the
+    [metrics] op's answer, polled by [unigen monitor]), ["bye"]. *)
 
 val max_frame : int
 (** 64 MiB. *)
@@ -79,6 +84,10 @@ type sample_req = {
   max_attempts : int;
   pin : bool;  (** pin the prepared state against cache eviction *)
   tag : string option;  (** client-chosen id, echoed in the response *)
+  trace_id : string option;
+      (** correlation id threaded through every span and log line the
+          request produces server-side; minted by the scheduler
+          ([req-<id>]) when absent *)
 }
 
 val default_sample_req : sample_req
@@ -89,6 +98,7 @@ type request =
   | Sample of sample_req
   | Cancel of string  (** by tag *)
   | Status
+  | Window  (** op ["metrics"]: rolling-window telemetry report *)
   | Shutdown
 
 type reject_reason = Queue_full | Batch_too_large | Draining
@@ -105,7 +115,47 @@ type sample_ok = {
   requested : int;
   queue_wait_s : float;
   rsp_tag : string option;
+  rsp_trace_id : string;
+      (** the id every server-side span and log line of this request
+          carries — grep the event log or the Chrome trace for it *)
 }
+
+type fp_window = {
+  fp : string;
+  fp_requests : int;
+  fp_hits : int;  (** prepared-state cache hits in the window *)
+  fp_misses : int;
+  fp_p50_ms : float;
+  fp_p90_ms : float;
+  fp_p99_ms : float;
+}
+(** One fingerprint's slice of the rolling window. *)
+
+type window_report = {
+  window_s : float;  (** widest interval the rolling window can cover *)
+  uptime_s : float;
+  jobs : int;
+  w_in_flight : int;
+  w_queued : int;
+  xor_engine : string;  (** ["gauss"] or ["2watch"] *)
+  ocaml_version : string;
+  w_requests : int;  (** requests finished inside the window *)
+  rate_per_s : float;
+  w_deadline_misses : int;
+  w_hits : int;
+  w_misses : int;
+  p50_ms : float;  (** request-latency percentiles over the window *)
+  p90_ms : float;
+  p99_ms : float;
+  queue_p50_ms : float;  (** queue-wait percentiles over the window *)
+  queue_p90_ms : float;
+  queue_p99_ms : float;
+  per_fp : fp_window list;  (** busiest fingerprints first *)
+}
+(** Answer to the [metrics] op: what the daemon did over the last
+    minute or two (see {!Obs.Window}), plus enough provenance to
+    render a monitoring header. Percentiles are factor-of-2 estimates
+    from the log₂ histograms. *)
 
 type response =
   | Ok_sample of sample_ok
@@ -115,7 +165,10 @@ type response =
   | Cancel_result of bool
   | Unsat of { rsp_tag : string option }
   | Error_msg of string
-  | Metrics of (string * float) list
+  | Metrics of { values : (string * float) list; info : (string * string) list }
+      (** lifetime counters/gauges/percentiles plus provenance strings
+          (xor_engine, ocaml_version) — the [status] op's answer *)
+  | Window_report of window_report
   | Bye
 
 val request_to_json : request -> Json.t

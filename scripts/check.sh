@@ -153,4 +153,72 @@ cmp -s "$smoke_dir/par1.witness" "$smoke_dir/par2.witness" || {
 client2 --shutdown > /dev/null
 wait "$serve2_pid"
 
+echo "== telemetry smoke (structured log, trace ids, monitor)"
+# Daemon with the structured event log enabled: drive a miss and a hit,
+# assert one service.request JSON line per request carrying the full
+# per-request schema, that a client-supplied trace id is echoed end to
+# end (response AND log line), that the server mints an id when the
+# client sends none, and that `unigen monitor --once` renders the
+# rolling-window report and exits 0.
+sock3="$smoke_dir/unigen3.sock"
+log3="$smoke_dir/events.jsonl"
+dune exec bin/unigen_cli.exe -- serve --socket "$sock3" \
+    --log-file "$log3" > "$smoke_dir/serve3.log" 2>&1 &
+serve3_pid=$!
+trap 'kill "$serve_pid" "$serve2_pid" "$serve3_pid" 2>/dev/null || true; rm -rf "$smoke_dir"' EXIT
+for _ in $(seq 1 100); do
+    [ -S "$sock3" ] && break
+    sleep 0.1
+done
+[ -S "$sock3" ] || { echo "error: telemetry daemon did not create $sock3" >&2; cat "$smoke_dir/serve3.log" >&2; exit 1; }
+client3() {
+    dune exec bin/unigen_cli.exe -- client "$smoke_dir/smoke.cnf" \
+        --socket "$sock3" -n 3 -s 7 "$@"
+}
+client3 --trace-id smoke-req-1 > "$smoke_dir/tel1.out"
+grep -q 'cache=miss' "$smoke_dir/tel1.out" || { echo "error: first telemetry request should miss" >&2; exit 1; }
+grep -q 'trace_id=smoke-req-1' "$smoke_dir/tel1.out" || {
+    echo "error: client-supplied trace id not echoed in the response" >&2
+    cat "$smoke_dir/tel1.out" >&2
+    exit 1
+}
+client3 > "$smoke_dir/tel2.out"
+grep -q 'cache=hit' "$smoke_dir/tel2.out" || { echo "error: second telemetry request should hit" >&2; exit 1; }
+grep -q 'trace_id=req-' "$smoke_dir/tel2.out" || {
+    echo "error: server should mint a trace id when the client sends none" >&2
+    cat "$smoke_dir/tel2.out" >&2
+    exit 1
+}
+dune exec bin/unigen_cli.exe -- monitor "$sock3" --once > "$smoke_dir/monitor.out" || {
+    echo "error: monitor --once failed" >&2
+    exit 1
+}
+grep -q 'requests' "$smoke_dir/monitor.out" || {
+    echo "error: monitor output missing the window report" >&2
+    cat "$smoke_dir/monitor.out" >&2
+    exit 1
+}
+client3 --shutdown > /dev/null
+wait "$serve3_pid"
+req_lines=$(grep -c '"event": "service.request"' "$log3" || true)
+[ "$req_lines" = "2" ] || {
+    echo "error: expected 2 service.request log lines, got $req_lines" >&2
+    cat "$log3" >&2
+    exit 1
+}
+for key in ts level trace_id fingerprint outcome queue_ms prepare_ms draw_ms cache xor_engine; do
+    [ "$(grep '"event": "service.request"' "$log3" | grep -c "\"$key\"")" = "2" ] || {
+        echo "error: service.request log lines missing \"$key\"" >&2
+        cat "$log3" >&2
+        exit 1
+    }
+done
+grep -q '"trace_id": "smoke-req-1"' "$log3" || {
+    echo "error: log should record the client-supplied trace id" >&2
+    cat "$log3" >&2
+    exit 1
+}
+grep -q '"event": "service.start"' "$log3" || { echo "error: missing service.start event" >&2; exit 1; }
+grep -q '"event": "service.stop"' "$log3" || { echo "error: missing service.stop event" >&2; exit 1; }
+
 echo "ok"

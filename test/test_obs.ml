@@ -66,6 +66,19 @@ let prop_merge_is_concat =
         (Obs.Metrics.Hist.merge (hist_of_list xs) (hist_of_list ys))
         (hist_of_list (xs @ ys)))
 
+(* Quantiles of a log₂ histogram are bucket upper edges, so they are
+   monotone in q by construction — the law the monitor's p50 ≤ p90 ≤
+   p99 display relies on. *)
+let prop_quantile_monotone =
+  QCheck2.Test.make ~count:200 ~name:"Hist.quantile monotone in q"
+    shard_gen
+    (fun xs ->
+      let d = hist_of_list xs in
+      let q50 = Obs.Metrics.Hist.quantile d 0.5 in
+      let q90 = Obs.Metrics.Hist.quantile d 0.9 in
+      let q99 = Obs.Metrics.Hist.quantile d 0.99 in
+      q50 <= q90 && q90 <= q99)
+
 let test_bucket_edges () =
   Alcotest.(check int) "zero -> bucket 0" 0 (Obs.Metrics.Hist.bucket_of 0.0);
   Alcotest.(check int) "negative -> bucket 0" 0 (Obs.Metrics.Hist.bucket_of (-3.0));
@@ -82,6 +95,65 @@ let test_bucket_edges () =
     end
   in
   check_monotone 0 1e-12
+
+(* ------------------------------------------------------------------ *)
+(* Rolling windows: the ring's expiry algebra against a reference
+   model. Every Window operation takes ~now explicitly, so the
+   structure is a pure function of the observation sequence. *)
+
+(* (time increment, value) pairs; increments span several bucket
+   widths so sequences regularly cross and outrun the ring *)
+let window_ops_gen =
+  QCheck2.Gen.(
+    list_size (int_bound 60)
+      (pair (float_bound_inclusive 25.0) (float_bound_inclusive 2.0)))
+
+(* "sum of live buckets = snapshot": replay the same observations into
+   a flat log and keep exactly those whose epoch lies in
+   (current - buckets, current] — the snapshot must be their histogram. *)
+let prop_window_snapshot_is_live_sum =
+  QCheck2.Test.make ~count:200 ~name:"Window.snapshot = sum of live epochs"
+    window_ops_gen
+    (fun ops ->
+      let w = Obs.Window.create ~buckets:4 ~bucket_s:5.0 () in
+      let now = ref 100.0 in
+      let log = ref [] in
+      List.iter
+        (fun (dt, v) ->
+          now := !now +. dt;
+          Obs.Window.observe w ~now:!now v;
+          log := (Obs.Window.epoch_of w !now, v) :: !log)
+        ops;
+      let e = Obs.Window.epoch_of w !now in
+      let n = Obs.Window.buckets w in
+      let live =
+        List.rev !log
+        |> List.filter_map (fun (ep, v) ->
+               if ep > e - n && ep <= e then Some v else None)
+      in
+      hist_eq (Obs.Window.snapshot w ~now:!now) (hist_of_list live)
+      && Obs.Window.count w ~now:!now = List.length live)
+
+(* "advance = drop-oldest": moving the clock one bucket forward
+   removes exactly the oldest epoch's observations from the view,
+   without touching the ring. *)
+let test_window_advance_drops_oldest () =
+  let w = Obs.Window.create ~buckets:3 ~bucket_s:1.0 () in
+  Obs.Window.observe w ~now:10.2 1.0;
+  Obs.Window.observe w ~now:11.2 1.0;
+  Obs.Window.observe w ~now:12.2 1.0;
+  Alcotest.(check int) "all three live" 3 (Obs.Window.count w ~now:12.2);
+  Alcotest.(check int) "oldest epoch ages out" 2 (Obs.Window.count w ~now:13.2);
+  Alcotest.(check int) "next epoch ages out" 1 (Obs.Window.count w ~now:14.2);
+  Alcotest.(check int) "window empties" 0 (Obs.Window.count w ~now:15.2);
+  (* a whole-ring jump expires everything at once, even though the
+     slots still physically hold the stale epochs *)
+  Obs.Window.observe w ~now:20.0 1.0;
+  Alcotest.(check int) "full-ring jump leaves one" 1
+    (Obs.Window.count w ~now:20.0);
+  Alcotest.(check (float 1e-9)) "rate = count / span"
+    (1.0 /. Obs.Window.span_s w)
+    (Obs.Window.rate_per_s w ~now:20.0)
 
 (* ------------------------------------------------------------------ *)
 (* Domain-sharded counters: lossless across real domains *)
@@ -212,6 +284,132 @@ let test_trace_file_well_formed () =
   Alcotest.(check int) "all B events closed" 0 (List.length !stack)
 
 (* ------------------------------------------------------------------ *)
+(* Golden: one request's spans share a trace id across domain lanes *)
+
+let test_trace_id_across_lanes () =
+  let path = Filename.temp_file "obs_trace" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Obs.Trace.enable_file path;
+  (* the scheduler's shape in miniature: an async queue span opened on
+     the owner, the request body on a worker domain, both tagged with
+     one trace id *)
+  Obs.Trace.span_begin ~cat:"test" ~id:"abc" "test.queue"
+    ~args:[ ("trace_id", "abc") ];
+  Obs.Trace.with_trace_id (Some "abc") (fun () ->
+      Obs.Trace.span ~cat:"test" "test.owner" (fun () ->
+          ignore (Sys.opaque_identity 1)));
+  let worker =
+    Domain.spawn (fun () ->
+        Obs.Trace.with_trace_id (Some "abc") (fun () ->
+            Obs.Trace.span ~cat:"test" "test.worker" (fun () ->
+                ignore (Sys.opaque_identity 2))))
+  in
+  Domain.join worker;
+  Obs.Trace.span_end ~cat:"test" ~id:"abc" "test.queue"
+    ~args:[ ("trace_id", "abc") ];
+  Obs.Trace.close ();
+  let ic = open_in path in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let events =
+    match Test_util.Json.parse raw with
+    | Test_util.Json.List evs -> evs
+    | _ -> Alcotest.fail "trace file is not a JSON array"
+  in
+  let field ev k =
+    match ev with
+    | Test_util.Json.Obj fs -> List.assoc_opt k fs
+    | _ -> Alcotest.fail "event is not an object"
+  in
+  let arg ev k =
+    match field ev "args" with
+    | Some (Test_util.Json.Obj fs) -> List.assoc_opt k fs
+    | _ -> None
+  in
+  Alcotest.(check int) "b + 2B + 2E + e" 6 (List.length events);
+  (* every event of the request carries the same trace id, whichever
+     domain lane it was emitted from *)
+  List.iter
+    (fun ev ->
+      Alcotest.(check bool) "event tagged with the trace id" true
+        (arg ev "trace_id" = Some (Test_util.Json.Str "abc")))
+    events;
+  (* the async pair is keyed by the id field *)
+  List.iter
+    (fun ev ->
+      match field ev "ph" with
+      | Some (Test_util.Json.Str ("b" | "e")) ->
+          Alcotest.(check bool) "async events keyed by id" true
+            (field ev "id" = Some (Test_util.Json.Str "abc"))
+      | _ -> ())
+    events;
+  (* owner and worker spans really sit in different lanes *)
+  let tid_of name =
+    List.find_map
+      (fun ev ->
+        if
+          field ev "name" = Some (Test_util.Json.Str name)
+          && field ev "ph" = Some (Test_util.Json.Str "B")
+        then field ev "tid"
+        else None)
+      events
+  in
+  match (tid_of "test.owner", tid_of "test.worker") with
+  | Some a, Some b ->
+      Alcotest.(check bool) "distinct domain lanes" true (a <> b)
+  | _ -> Alcotest.fail "owner/worker spans missing"
+
+(* ------------------------------------------------------------------ *)
+(* Structured log: one JSON object per line with the leading schema
+   keys, level filtering, idempotent close *)
+
+let test_log_json_lines () =
+  let path = Filename.temp_file "obs_log" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Obs.Log.enable_file path;
+  Obs.Log.set_level Obs.Log.Info;
+  Obs.Log.event "service.request"
+    [
+      ("trace_id", Obs.Report.String "req-1");
+      ("outcome", Obs.Report.String "ok");
+      ("queue_ms", Obs.Report.Float 0.5);
+      ("cache", Obs.Report.String "miss");
+    ];
+  Obs.Log.event ~level:Obs.Log.Debug "dropped.by.level" [];
+  Obs.Log.event ~level:Obs.Log.Warn "service.request"
+    [ ("trace_id", Obs.Report.String "req-2") ];
+  Obs.Log.close ();
+  Obs.Log.close ();
+  Alcotest.(check bool) "close disables" true (not (Obs.Log.is_enabled ()));
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let lines = List.rev !lines in
+  Alcotest.(check int) "debug line dropped" 2 (List.length lines);
+  let objs = List.map Test_util.Json.parse lines in
+  List.iter
+    (fun o ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (k ^ " present") true (Test_util.Json.mem k o))
+        [ "ts"; "level"; "event"; "trace_id" ])
+    objs;
+  match objs with
+  | [ Test_util.Json.Obj first; Test_util.Json.Obj second ] ->
+      Alcotest.(check bool) "info level" true
+        (List.assoc_opt "level" first = Some (Test_util.Json.Str "info"));
+      Alcotest.(check bool) "warn level" true
+        (List.assoc_opt "level" second = Some (Test_util.Json.Str "warn"));
+      Alcotest.(check bool) "typed field survives" true
+        (List.assoc_opt "cache" first = Some (Test_util.Json.Str "miss"))
+  | _ -> Alcotest.fail "expected two JSON object lines"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "obs"
@@ -223,8 +421,15 @@ let () =
             prop_merge_associative;
             prop_merge_empty_neutral;
             prop_merge_is_concat;
+            prop_quantile_monotone;
           ]
         @ [ Alcotest.test_case "bucket edges" `Quick test_bucket_edges ] );
+      ( "window",
+        [
+          QCheck_alcotest.to_alcotest prop_window_snapshot_is_live_sum;
+          Alcotest.test_case "advance drops oldest" `Quick
+            test_window_advance_drops_oldest;
+        ] );
       ( "metrics",
         [
           Alcotest.test_case "shard merge across domains" `Quick
@@ -238,5 +443,10 @@ let () =
         [
           Alcotest.test_case "chrome trace well-formed" `Quick
             test_trace_file_well_formed;
+          Alcotest.test_case "trace id across domain lanes" `Quick
+            test_trace_id_across_lanes;
         ] );
+      ( "log",
+        [ Alcotest.test_case "json lines and levels" `Quick test_log_json_lines ]
+      );
     ]

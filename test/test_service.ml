@@ -198,10 +198,12 @@ let test_wire_json_roundtrip () =
           max_attempts = 11;
           pin = true;
           tag = Some "job-\"1\"\n";
+          trace_id = Some "trace-abc";
         };
       Wire.Sample Wire.default_sample_req;
       Wire.Cancel "t1";
       Wire.Status;
+      Wire.Window;
       Wire.Shutdown;
     ]
   in
@@ -223,6 +225,7 @@ let test_wire_json_roundtrip () =
           requested = 3;
           queue_wait_s = 0.25;
           rsp_tag = Some "t";
+          rsp_trace_id = "trace-abc";
         };
       Wire.Rejected { reason = Wire.Queue_full; retry_after_s = 0.5 };
       Wire.Rejected { reason = Wire.Batch_too_large; retry_after_s = 0.0 };
@@ -232,7 +235,44 @@ let test_wire_json_roundtrip () =
       Wire.Cancel_result true;
       Wire.Unsat { rsp_tag = None };
       Wire.Error_msg "boom";
-      Wire.Metrics [ ("service.requests", 3.0); ("service.queue_depth", 0.0) ];
+      Wire.Metrics
+        {
+          values = [ ("service.requests", 3.0); ("service.queue_depth", 0.0) ];
+          info = [ ("xor_engine", "gauss"); ("ocaml_version", "5.1.0") ];
+        };
+      Wire.Window_report
+        {
+          Wire.window_s = 120.0;
+          uptime_s = 3.5;
+          jobs = 2;
+          w_in_flight = 1;
+          w_queued = 0;
+          xor_engine = "gauss";
+          ocaml_version = "5.1.0";
+          w_requests = 7;
+          rate_per_s = 0.25;
+          w_deadline_misses = 1;
+          w_hits = 4;
+          w_misses = 3;
+          p50_ms = 8.0;
+          p90_ms = 16.0;
+          p99_ms = 32.0;
+          queue_p50_ms = 0.5;
+          queue_p90_ms = 1.0;
+          queue_p99_ms = 2.0;
+          per_fp =
+            [
+              {
+                Wire.fp = "abc123";
+                fp_requests = 7;
+                fp_hits = 4;
+                fp_misses = 3;
+                fp_p50_ms = 8.0;
+                fp_p90_ms = 16.0;
+                fp_p99_ms = 32.0;
+              };
+            ];
+        };
       Wire.Bye;
     ]
   in
@@ -248,7 +288,7 @@ let test_wire_json_roundtrip () =
 (* Scheduler helpers *)
 
 let sample_request ?(n = 3) ?(seed = 1) ?(prepare_seed = 1) ?(epsilon = 6.0)
-    ?count_iterations ?timeout_s ?(pin = false) ?tag formula =
+    ?count_iterations ?timeout_s ?(pin = false) ?tag ?trace_id formula =
   {
     Scheduler.formula;
     n;
@@ -260,6 +300,7 @@ let sample_request ?(n = 3) ?(seed = 1) ?(prepare_seed = 1) ?(epsilon = 6.0)
     max_attempts = 20;
     pin;
     tag;
+    trace_id;
   }
 
 let submit_ok sched req =
@@ -854,12 +895,38 @@ let test_socket_end_to_end () =
           Alcotest.(check int) "produced" 4 a.Wire.produced
       | _ -> Alcotest.fail "expected two witness responses");
       (match Service.Client.request conn Wire.Status with
-      | Wire.Metrics values ->
+      | Wire.Metrics { values; info } ->
           Alcotest.(check bool) "cache hit visible in metrics" true
             (match List.assoc_opt "service.cache_hits" values with
             | Some v -> v >= 1.0
+            | None -> false);
+          (* provenance travels with the status answer *)
+          Alcotest.(check (option string))
+            "xor engine reported" (Some "gauss")
+            (List.assoc_opt "xor_engine" info);
+          Alcotest.(check (option string))
+            "ocaml version reported" (Some Sys.ocaml_version)
+            (List.assoc_opt "ocaml_version" info);
+          Alcotest.(check bool) "uptime reported" true
+            (match List.assoc_opt "server.uptime_seconds" values with
+            | Some v -> v >= 0.0
             | None -> false)
       | _ -> Alcotest.fail "expected a metrics response");
+      (match Service.Client.request conn Wire.Window with
+      | Wire.Window_report w ->
+          (* both requests above finished inside the rolling window *)
+          Alcotest.(check bool) "window saw the requests" true
+            (w.Wire.w_requests >= 2);
+          Alcotest.(check bool) "window saw the cache hit" true
+            (w.Wire.w_hits >= 1);
+          Alcotest.(check bool) "percentiles monotone" true
+            (w.Wire.p50_ms <= w.Wire.p90_ms && w.Wire.p90_ms <= w.Wire.p99_ms);
+          Alcotest.(check string) "engine name" "gauss" w.Wire.xor_engine;
+          Alcotest.(check bool) "per-fingerprint row present" true
+            (match w.Wire.per_fp with
+            | f :: _ -> f.Wire.fp_requests >= 2
+            | [] -> false)
+      | _ -> Alcotest.fail "expected a window report");
       (match Service.Client.request conn Wire.Shutdown with
       | Wire.Bye -> ()
       | _ -> Alcotest.fail "expected bye");
@@ -957,7 +1024,7 @@ let test_chaos_abrupt_disconnect_socket () =
      check nothing stayed pinned *)
   let rec pins_settle tries =
     match Service.Client.request conn Wire.Status with
-    | Wire.Metrics values -> (
+    | Wire.Metrics { values; _ } -> (
         match List.assoc_opt "service.cache_pins" values with
         | Some 0.0 -> ()
         | Some _ when tries > 0 ->
