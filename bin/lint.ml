@@ -1,54 +1,18 @@
-(* Repo-specific lint pass (pure stdlib, no build-system integration
-   beyond [dune exec bin/lint]).
+(* Thin driver over [lib/analysis]: the repo lint with token-stream
+   rules, severities, the allowlist (with staleness enforcement), JSON
+   on stdout and optional SARIF 2.1.0 for CI annotation.
 
-   The rules encode correctness conventions that the type checker
-   cannot see but that the sampler's determinism and parallel safety
-   depend on:
+   The rules encode correctness conventions the type checker cannot
+   see but that the sampler's determinism and parallel safety depend
+   on — all randomness through Rng, no shared tables escaping into
+   Domain_pool/Executor closures, no blocking calls on the owner loop,
+   paired spans and registered metric names. The full catalogue
+   (name, severity, rationale) lives in DESIGN.md's "Static analysis"
+   section and in each rule's [doc] field, which SARIF surfaces as
+   rule metadata.
 
-   - [random-outside-prng]: all randomness must flow through [Rng]
-     streams ([lib/prng]) so runs are reproducible under any worker
-     count. A stray [Random.] call silently breaks witness determinism.
-   - [poly-compare-hot]: polymorphic [compare] / [Hashtbl.hash] on the
-     solver hot path ([lib/sat], [lib/cnf]) is both slow (generic
-     traversal) and wrong on cyclic or functional values; use
-     [Int.compare] / [String.compare] / module-specific comparators.
-     Definition sites ([let compare a b = ...]) are exempt.
-   - [global-mutable-table]: a top-level [Hashtbl.create] in [lib/]
-     is shared mutable state that can escape into [Domain_pool] tasks
-     without domain-local storage. Tables that are mutex-guarded by
-     construction are allowlisted with a justification.
-   - [missing-mli]: every [lib/**/*.ml] must have a matching [.mli];
-     unabstracted modules leak representation details across layers.
-   - [print-hot-path]: no [Printf.] / [Format.] in the solver's inner
-     modules — observability goes through [lib/obs] so output cost is
-     gated behind the metrics/tracing switches. Pretty-printers kept
-     for debugging are allowlisted.
-   - [unmatched-span]: async trace spans ([Trace.span_begin] /
-     [Trace.span_end]) are paired by name across call sites, not
-     lexically scoped; a begin whose name has no end site anywhere in
-     the repo renders as a span that never closes in the Chrome trace.
-     Checked globally over literal span names.
-
-   Findings are emitted as a JSON array on stdout. Allowlisted
-   findings are reported but do not affect the exit status; any
-   unallowlisted finding exits 1. The allowlist lives at
-   [scripts/lint_allowlist.txt], one [rule path] pair per line. *)
-
-type finding = {
-  rule : string;
-  file : string;
-  line : int;
-  message : string;
-  mutable allowlisted : bool;
-}
-
-let findings : finding list ref = ref []
-
-let report rule file line message =
-  findings := { rule; file; line; message; allowlisted = false } :: !findings
-
-(* ------------------------------------------------------------------ *)
-(* Source loading and masking *)
+   Exit status: 0 clean (info-only or allowlisted findings included),
+   1 blocking findings, 2 usage/parse errors. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -57,387 +21,50 @@ let read_file path =
   close_in ic;
   s
 
-(* Blank out comments, string literals and char literals, preserving
-   every newline so line numbers survive. OCaml comments nest, and a
-   string inside a comment must still be skipped as a string (its
-   contents may contain an unbalanced comment closer). *)
-let mask_source src =
-  let n = String.length src in
-  let out = Bytes.of_string src in
-  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
-  let i = ref 0 in
-  let depth = ref 0 in
-  (* j points at the opening quote; returns index past the closing one *)
-  let skip_string j =
-    let j = ref (j + 1) in
-    let esc = ref false in
-    while !j < n && (!esc || src.[!j] <> '"') do
-      esc := (not !esc) && src.[!j] = '\\';
-      incr j
-    done;
-    min n (!j + 1)
-  in
-  while !i < n do
-    let c = src.[!i] in
-    if !depth > 0 then begin
-      if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
-        blank !i; blank (!i + 1); incr depth; i := !i + 2
-      end
-      else if c = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
-        blank !i; blank (!i + 1); decr depth; i := !i + 2
-      end
-      else if c = '"' then begin
-        let stop = skip_string !i in
-        for k = !i to stop - 1 do blank k done;
-        i := stop
-      end
-      else begin blank !i; incr i end
-    end
-    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
-      blank !i; blank (!i + 1); depth := 1; i := !i + 2
-    end
-    else if c = '"' then begin
-      let stop = skip_string !i in
-      for k = !i to stop - 1 do blank k done;
-      i := stop
-    end
-    else if c = '\'' && !i + 2 < n && src.[!i + 1] = '\\' then begin
-      (* escaped char literal: '\n', '\\', '\123', '\xFF' *)
-      let j = ref (!i + 2) in
-      while !j < n && src.[!j] <> '\'' do incr j done;
-      for k = !i to min (n - 1) !j do blank k done;
-      i := !j + 1
-    end
-    else if c = '\'' && !i + 2 < n && src.[!i + 2] = '\'' then begin
-      (* plain char literal 'x' (leaves type variables 'a alone) *)
-      blank !i; blank (!i + 1); blank (!i + 2); i := !i + 3
-    end
-    else begin
-      incr i
-    end
-  done;
-  Bytes.to_string out
-
-let line_of src pos =
-  let l = ref 1 in
-  for k = 0 to pos - 1 do
-    if src.[k] = '\n' then incr l
-  done;
-  !l
-
-let is_ident_char c =
-  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
-  || (c >= '0' && c <= '9') || c = '_' || c = '\''
-
-(* Occurrences of [token] as a standalone word; [qualified] additionally
-   accepts a preceding '.' (for [Module.f] patterns the token already
-   contains the dot). *)
-let word_occurrences masked token =
-  let n = String.length masked and t = String.length token in
-  let acc = ref [] in
-  let i = ref 0 in
-  while !i + t <= n do
-    if String.sub masked !i t = token then begin
-      let pre_ok = !i = 0 || not (is_ident_char masked.[!i - 1] || masked.[!i - 1] = '.') in
-      let post_ok = !i + t >= n || not (is_ident_char masked.[!i + t]) in
-      if pre_ok && post_ok then acc := !i :: !acc;
-      i := !i + t
-    end
-    else incr i
-  done;
-  List.rev !acc
-
-(* The identifier (if any) immediately before position [pos], used to
-   recognise definition sites such as [let compare] / [and compare]. *)
-let preceding_word masked pos =
-  let j = ref (pos - 1) in
-  while !j >= 0 && (masked.[!j] = ' ' || masked.[!j] = '\t') do decr j done;
-  if !j < 0 || not (is_ident_char masked.[!j]) then ""
-  else begin
-    let stop = !j in
-    while !j >= 0 && is_ident_char masked.[!j] do decr j done;
-    String.sub masked (!j + 1) (stop - !j)
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Repo walking *)
-
-let ml_files root =
-  let acc = ref [] in
-  let rec walk rel =
-    let abs = Filename.concat root rel in
-    if Sys.is_directory abs then
-      Array.iter
-        (fun entry ->
-          if entry <> "_build" && entry.[0] <> '.' then
-            walk (if rel = "" then entry else rel ^ "/" ^ entry))
-        (Sys.readdir abs)
-    else if Filename.check_suffix rel ".ml" then acc := rel :: !acc
-  in
-  List.iter (fun d -> if Sys.file_exists (Filename.concat root d) then walk d)
-    [ "lib"; "bin"; "test" ];
-  List.sort String.compare !acc
-
-let starts_with prefix s =
-  String.length s >= String.length prefix
-  && String.sub s 0 (String.length prefix) = prefix
-
-(* ------------------------------------------------------------------ *)
-(* Rules *)
-
-let in_lib f = starts_with "lib/" f
-let in_prng f = starts_with "lib/prng/" f
-let in_hot f = starts_with "lib/sat/" f || starts_with "lib/cnf/" f
-
-(* Inner-loop modules where even buffered formatting is off-budget. *)
-let print_hot_files =
-  [ "lib/sat/solver.ml"; "lib/sat/vec.ml"; "lib/sat/order_heap.ml";
-    "lib/sat/gauss.ml"; "lib/sat/bsat.ml"; "lib/cnf/lit.ml";
-    "lib/cnf/clause.ml"; "lib/cnf/model.ml" ]
-
-let rule_random file masked src =
-  if (in_lib file || starts_with "bin/" file) && not (in_prng file) then
-    List.iter
-      (fun pos ->
-        report "random-outside-prng" file (line_of src pos)
-          "use of stdlib Random outside lib/prng breaks deterministic seeding")
-      (word_occurrences masked "Random")
-
-let rule_poly_compare file masked src =
-  if in_hot file then begin
-    List.iter
-      (fun pos ->
-        match preceding_word masked pos with
-        | "let" | "and" -> () (* definition of a monomorphic comparator *)
-        | _ ->
-            report "poly-compare-hot" file (line_of src pos)
-              "polymorphic compare on the solver hot path; use a typed comparator")
-      (word_occurrences masked "compare");
-    List.iter
-      (fun pos ->
-        report "poly-compare-hot" file (line_of src pos)
-          "polymorphic Hashtbl.hash on the solver hot path; supply a typed hash")
-      (word_occurrences masked "Hashtbl.hash")
-  end
-
-let rule_global_table file masked src =
-  if in_lib file then
-    List.iter
-      (fun pos ->
-        (* top-level bindings only: the line containing the call must
-           itself be a column-0 [let ] (the repo style keeps top-level
-           table bindings on one line). An indented [Hashtbl.create] is
-           per-call state inside a function, not a shared table. *)
-        let bol =
-          let j = ref pos in
-          while !j > 0 && masked.[!j - 1] <> '\n' do decr j done;
-          !j
-        in
-        if bol + 4 <= String.length masked && String.sub masked bol 4 = "let "
-        then
-          report "global-mutable-table" file (line_of src pos)
-            "top-level mutable Hashtbl shared across domains; use Domain.DLS or justify in the allowlist")
-      (word_occurrences masked "Hashtbl.create")
-
-let rule_missing_mli root file =
-  if in_lib file && not (Sys.file_exists (Filename.concat root (file ^ "i"))) then
-    report "missing-mli" file 1
-      "library module without an interface; add a .mli to pin the public surface"
-
-let rule_print_hot file masked src =
-  if List.mem file print_hot_files then
-    List.iter
-      (fun token ->
-        List.iter
-          (fun pos ->
-            report "print-hot-path" file (line_of src pos)
-              (token ^ " on a solver hot path; route output through lib/obs"))
-          (word_occurrences masked token))
-      [ "Printf"; "Format" ]
-
-(* Like [word_occurrences] but accepting a qualifying dot before the
-   token, so [Obs.Trace.span_begin] matches token [span_begin]. *)
-let method_occurrences masked token =
-  let n = String.length masked and t = String.length token in
-  let acc = ref [] in
-  let i = ref 0 in
-  while !i + t <= n do
-    if String.sub masked !i t = token then begin
-      let pre_ok = !i = 0 || not (is_ident_char masked.[!i - 1]) in
-      let post_ok = !i + t >= n || not (is_ident_char masked.[!i + t]) in
-      if pre_ok && post_ok then acc := !i :: !acc;
-      i := !i + t
-    end
-    else incr i
-  done;
-  List.rev !acc
-
-(* The span-name literal of a [span_begin]/[span_end] call at [pos]:
-   the first string literal after the call that is a positional
-   argument — i.e. not preceded by ':' (a ~cat:"..." label), '('/','
-   (inside an ~args list) or '=' (the definition's default value).
-   The masked source blanks literals, so the text is read from the raw
-   source; positions align. *)
-let span_name_after src pos =
-  let n = String.length src in
-  let limit = min n (pos + 400) in
-  let rec prev_nonspace j =
-    if j < 0 then ' '
-    else
-      match src.[j] with
-      | ' ' | '\t' | '\n' | '\r' -> prev_nonspace (j - 1)
-      | c -> c
-  in
-  let rec find i =
-    if i >= limit then None
-    else if src.[i] = '"' then begin
-      match prev_nonspace (i - 1) with
-      | ':' | '(' | ',' | '=' | '^' -> find (skip_literal i)
-      | _ ->
-          let j = ref (i + 1) in
-          while !j < n && src.[!j] <> '"' do incr j done;
-          if !j < n then Some (String.sub src (i + 1) (!j - i - 1)) else None
-    end
-    else find (i + 1)
-  and skip_literal i =
-    let j = ref (i + 1) in
-    while !j < n && src.[!j] <> '"' do incr j done;
-    !j + 1
-  in
-  find pos
-
-(* name -> (file, line) of one site; filled across all files, compared
-   in [main] once every file has been scanned *)
-let span_begins : (string * (string * int)) list ref = ref []
-let span_ends : (string * (string * int)) list ref = ref []
-
-let rule_span_pairs file masked src =
-  let collect token acc =
-    List.iter
-      (fun pos ->
-        match span_name_after src pos with
-        | Some name -> acc := (name, (file, line_of src pos)) :: !acc
-        | None -> () (* definition site or computed name *))
-      (method_occurrences masked token)
-  in
-  collect "span_begin" span_begins;
-  collect "span_end" span_ends
-
-let check_span_pairs () =
-  let names l = List.map fst l in
-  let missing from against verb =
-    List.iter
-      (fun (name, (file, line)) ->
-        if not (List.mem name (names against)) then
-          report "unmatched-span" file line
-            (Printf.sprintf
-               "async span %S has no %s site; the Chrome trace pair 'b'/'e' \
-                never closes" name verb))
-      from
-  in
-  missing !span_begins !span_ends "span_end";
-  missing !span_ends !span_begins "span_begin"
-
-(* ------------------------------------------------------------------ *)
-(* Allowlist *)
-
-let load_allowlist path =
-  if not (Sys.file_exists path) then []
-  else begin
-    let ic = open_in path in
-    let acc = ref [] in
-    (try
-       while true do
-         let line = input_line ic in
-         let line =
-           match String.index_opt line '#' with
-           | Some i -> String.sub line 0 i
-           | None -> line
-         in
-         match String.split_on_char ' ' (String.trim line)
-               |> List.filter (fun s -> s <> "")
-         with
-         | [ rule; file ] -> acc := (rule, file) :: !acc
-         | [] -> ()
-         | _ ->
-             prerr_endline ("lint: malformed allowlist line: " ^ line);
-             exit 2
-       done
-     with End_of_file -> ());
-    close_in ic;
-    !acc
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Output *)
-
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 32 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let print_findings fs =
-  print_string "[";
-  List.iteri
-    (fun i f ->
-      if i > 0 then print_string ",";
-      Printf.printf
-        "\n  {\"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, \"allowlisted\": %b, \"message\": \"%s\"}"
-        (json_escape f.rule) (json_escape f.file) f.line f.allowlisted
-        (json_escape f.message))
-    fs;
-  print_string (if fs = [] then "]\n" else "\n]\n")
-
-(* ------------------------------------------------------------------ *)
-
 let () =
   let root = ref "." in
-  let args = [ ("--root", Arg.Set_string root, "DIR repository root (default .)") ] in
-  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "lint [--root DIR]";
+  let sarif = ref "" in
+  let args =
+    [
+      ("--root", Arg.Set_string root, "DIR repository root (default .)");
+      ("--sarif", Arg.Set_string sarif, "FILE also write SARIF 2.1.0 to FILE");
+    ]
+  in
+  Arg.parse args
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "lint [--root DIR] [--sarif FILE]";
   let root = !root in
-  let files = ml_files root in
-  if files = [] then begin
+  let allowlist =
+    match
+      Analysis.Allowlist.load (Filename.concat root "scripts/lint_allowlist.txt")
+    with
+    | Ok al -> { al with Analysis.Allowlist.path = "scripts/lint_allowlist.txt" }
+    | Error msg ->
+        prerr_endline ("lint: " ^ msg);
+        exit 2
+  in
+  let design_doc =
+    let p = Filename.concat root "DESIGN.md" in
+    if Sys.file_exists p then Some (read_file p) else None
+  in
+  let sources = Analysis.Engine.load_repo ~root in
+  if sources = [] then begin
     prerr_endline ("lint: no .ml files found under " ^ root);
     exit 2
   end;
-  List.iter
-    (fun file ->
-      let src = read_file (Filename.concat root file) in
-      let masked = mask_source src in
-      rule_random file masked src;
-      rule_poly_compare file masked src;
-      rule_global_table file masked src;
-      rule_missing_mli root file;
-      rule_print_hot file masked src;
-      rule_span_pairs file masked src)
-    files;
-  check_span_pairs ();
-  let allow = load_allowlist (Filename.concat root "scripts/lint_allowlist.txt") in
-  let fs =
-    List.sort
-      (fun a b ->
-        match String.compare a.file b.file with
-        | 0 -> Int.compare a.line b.line
-        | c -> c)
-      !findings
+  let report =
+    Analysis.Engine.analyze ~allowlist ?design_doc
+      ~rules:Analysis.Engine.default_rules sources
   in
-  List.iter
-    (fun f -> if List.mem (f.rule, f.file) allow then f.allowlisted <- true)
-    fs;
-  print_findings fs;
-  let bad = List.filter (fun f -> not f.allowlisted) fs in
+  print_string (Analysis.Findings.list_to_json report.findings);
+  if !sarif <> "" then begin
+    let oc = open_out !sarif in
+    output_string oc
+      (Analysis.Sarif.to_string ~rules:Analysis.Engine.default_rules
+         report.findings);
+    close_out oc
+  end;
   Printf.eprintf "lint: %d findings (%d allowlisted, %d blocking) in %d files\n"
-    (List.length fs)
-    (List.length fs - List.length bad)
-    (List.length bad) (List.length files);
-  if bad <> [] then exit 1
+    (List.length report.findings)
+    report.allowlisted report.blocking report.files;
+  if report.blocking > 0 then exit 1

@@ -1,0 +1,49 @@
+type entry = { rule : string; file : string; lineno : int }
+type t = { path : string; entries : entry list }
+
+let empty = { path = "scripts/lint_allowlist.txt"; entries = [] }
+
+let of_string ?(path = "scripts/lint_allowlist.txt") text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok { path; entries = List.rev acc }
+    | line :: rest -> (
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        match
+          String.split_on_char ' ' (String.trim line)
+          |> List.filter (fun s -> s <> "")
+        with
+        | [] -> go (lineno + 1) acc rest
+        | [ rule; file ] -> go (lineno + 1) ({ rule; file; lineno } :: acc) rest
+        | _ ->
+            Error
+              (Printf.sprintf "%s:%d: malformed allowlist line: %s" path lineno
+                 line))
+  in
+  go 1 [] lines
+
+let load path =
+  if not (Sys.file_exists path) then Ok empty
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    of_string ~path text
+  end
+
+let covers t ~rule ~file =
+  List.exists (fun e -> e.rule = rule && e.file = file) t.entries
+
+let stale t (findings : Findings.t list) =
+  List.filter
+    (fun e ->
+      not
+        (List.exists
+           (fun (f : Findings.t) -> f.rule = e.rule && f.file = e.file)
+           findings))
+    t.entries

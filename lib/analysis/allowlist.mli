@@ -1,0 +1,26 @@
+(** The lint allowlist: one [rule path] pair per line, [#] starts a
+    comment. An allowlisted finding is reported but does not block.
+    Every entry must keep a live finding: {!stale} entries (the file
+    header has always demanded their removal, manually) are turned
+    into blocking [stale-allowlist] findings by the engine. *)
+
+type entry = { rule : string; file : string; lineno : int }
+
+type t = { path : string; entries : entry list }
+
+val empty : t
+
+val of_string : ?path:string -> string -> (t, string) result
+(** Parse allowlist text; [Error] describes the first malformed line.
+    [path] is recorded for reporting (defaults to
+    ["scripts/lint_allowlist.txt"]). *)
+
+val load : string -> (t, string) result
+(** Read and parse the file at [path]; a missing file is the empty
+    allowlist. *)
+
+val covers : t -> rule:string -> file:string -> bool
+
+val stale : t -> Findings.t list -> entry list
+(** Entries matched by no finding in the (already allowlist-marked)
+    list. *)

@@ -1,0 +1,90 @@
+type report = {
+  findings : Findings.t list;
+  files : int;
+  allowlisted : int;
+  blocking : int;
+}
+
+let default_rules = Rules_legacy.all @ Rules_concurrency.all
+
+let analyze ?(allowlist = Allowlist.empty) ?design_doc ~rules sources =
+  let ctx = { Rule.sources; design_doc } in
+  let findings =
+    List.concat_map
+      (fun (r : Rule.t) ->
+        let hits =
+          match r.phase with
+          | Rule.File check -> List.concat_map check sources
+          | Rule.Repo check -> check ctx
+        in
+        List.map
+          (fun (h : Rule.hit) ->
+            Findings.make ~rule:r.name ~severity:r.severity ~file:h.file
+              ~line:h.line h.message)
+          hits)
+      rules
+  in
+  let findings =
+    List.map
+      (fun (f : Findings.t) ->
+        if Allowlist.covers allowlist ~rule:f.rule ~file:f.file then
+          { f with allowlisted = true }
+        else f)
+      findings
+  in
+  let stale =
+    List.map
+      (fun (e : Allowlist.entry) ->
+        Findings.make ~rule:"stale-allowlist" ~severity:Findings.Error
+          ~file:allowlist.path ~line:e.lineno
+          (Printf.sprintf
+             "allowlist entry '%s %s' matches no live finding; remove it"
+             e.rule e.file))
+      (Allowlist.stale allowlist findings)
+  in
+  let findings = List.sort Findings.compare (stale @ findings) in
+  {
+    findings;
+    files = List.length sources;
+    allowlisted =
+      List.length (List.filter (fun (f : Findings.t) -> f.allowlisted) findings);
+    blocking = List.length (List.filter Findings.blocking findings);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Repo walking *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let ml_files root =
+  let acc = ref [] in
+  let rec walk rel =
+    let abs = Filename.concat root rel in
+    if Sys.is_directory abs then
+      Array.iter
+        (fun entry ->
+          if entry <> "_build" && entry.[0] <> '.' then
+            walk (if rel = "" then entry else rel ^ "/" ^ entry))
+        (Sys.readdir abs)
+    else if Filename.check_suffix rel ".ml" then acc := rel :: !acc
+  in
+  List.iter
+    (fun d -> if Sys.file_exists (Filename.concat root d) then walk d)
+    [ "lib"; "bin"; "test" ];
+  List.sort String.compare !acc
+
+let load_repo ~root =
+  List.map
+    (fun rel ->
+      let text = read_file (Filename.concat root rel) in
+      let mli_exists = Sys.file_exists (Filename.concat root (rel ^ "i")) in
+      Rule.load ~mli_exists ~path:rel text)
+    (ml_files root)
+
+let run ?allowlist ?design_doc ?(rules = default_rules) ~root () =
+  analyze ?allowlist ?design_doc ~rules (load_repo ~root)

@@ -1,0 +1,40 @@
+(** The analyzer pipeline: run a rule set over tokenized sources,
+    stamp and sort findings deterministically, apply the allowlist,
+    convert stale allowlist entries into blocking findings, and
+    summarize. Pure over its inputs — [test/test_analysis.ml] drives
+    it with inline fixtures; [bin/lint.ml] drives it with
+    {!load_repo}. *)
+
+type report = {
+  findings : Findings.t list;  (** sorted by file, line, rule, message *)
+  files : int;
+  allowlisted : int;
+  blocking : int;
+}
+
+val default_rules : Rule.t list
+(** The six legacy rules plus the concurrency/determinism set. *)
+
+val analyze :
+  ?allowlist:Allowlist.t ->
+  ?design_doc:string ->
+  rules:Rule.t list ->
+  Rule.source list ->
+  report
+(** Stale allowlist entries surface as [stale-allowlist] error
+    findings located at the allowlist file itself; they are never
+    allowlistable. *)
+
+val load_repo : root:string -> Rule.source list
+(** Every [.ml] under [lib/], [bin/] and [test/] (skipping [_build]
+    and dotted directories), tokenized, with [mli_exists] filled from
+    the filesystem, sorted by path. *)
+
+val run :
+  ?allowlist:Allowlist.t ->
+  ?design_doc:string ->
+  ?rules:Rule.t list ->
+  root:string ->
+  unit ->
+  report
+(** {!load_repo} + {!analyze} with {!default_rules}. *)

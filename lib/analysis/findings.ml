@@ -1,0 +1,66 @@
+type severity = Error | Warn | Info
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  message : string;
+  allowlisted : bool;
+}
+
+let make ~rule ~severity ~file ~line message =
+  { rule; severity; file; line; message; allowlisted = false }
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match String.compare a.rule b.rule with
+          | 0 -> String.compare a.message b.message
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let blocking f =
+  (not f.allowlisted) && (match f.severity with Error | Warn -> true | Info -> false)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf
+    "{\"rule\": \"%s\", \"severity\": \"%s\", \"file\": \"%s\", \"line\": %d, \
+     \"allowlisted\": %b, \"message\": \"%s\"}"
+    (json_escape f.rule)
+    (severity_to_string f.severity)
+    (json_escape f.file) f.line f.allowlisted (json_escape f.message)
+
+let list_to_json fs =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b "\n  ";
+      Buffer.add_string b (to_json f))
+    fs;
+  Buffer.add_string b (if fs = [] then "]\n" else "\n]\n");
+  Buffer.contents b

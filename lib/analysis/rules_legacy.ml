@@ -1,0 +1,278 @@
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let in_lib f = starts_with "lib/" f
+let in_prng f = starts_with "lib/prng/" f
+let in_hot f = starts_with "lib/sat/" f || starts_with "lib/cnf/" f
+
+(* Inner-loop modules where even buffered formatting is off-budget. *)
+let print_hot_files =
+  [ "lib/sat/solver.ml"; "lib/sat/vec.ml"; "lib/sat/order_heap.ml";
+    "lib/sat/gauss.ml"; "lib/sat/bsat.ml"; "lib/cnf/lit.ml";
+    "lib/cnf/clause.ml"; "lib/cnf/model.ml" ]
+
+let hit file (tok : Token.t) message : Rule.hit =
+  { file; line = tok.line; message }
+
+(* ------------------------------------------------------------------ *)
+
+let random_outside_prng : Rule.t =
+  {
+    name = "random-outside-prng";
+    severity = Findings.Error;
+    doc =
+      "All randomness must flow through Rng streams (lib/prng) so runs \
+       are reproducible under any worker count; a stray Random call \
+       silently breaks witness determinism.";
+    phase =
+      Rule.File
+        (fun src ->
+          if
+            (in_lib src.path || starts_with "bin/" src.path)
+            && not (in_prng src.path)
+          then begin
+            let acc = ref [] in
+            Array.iteri
+              (fun i tok ->
+                if Rule.is_word tok "Random" && not (Rule.prev_dotted src.code i)
+                then
+                  acc :=
+                    hit src.path tok
+                      "use of stdlib Random outside lib/prng breaks \
+                       deterministic seeding"
+                    :: !acc)
+              src.code;
+            List.rev !acc
+          end
+          else []);
+  }
+
+let poly_compare_hot : Rule.t =
+  {
+    name = "poly-compare-hot";
+    severity = Findings.Warn;
+    doc =
+      "Polymorphic compare / Hashtbl.hash on the solver hot path is slow \
+       (generic traversal) and wrong on cyclic or functional values; use \
+       Int.compare / String.compare / module comparators. Definition \
+       sites (let compare a b = ...) are exempt.";
+    phase =
+      Rule.File
+        (fun src ->
+          if not (in_hot src.path) then []
+          else begin
+            let acc = ref [] in
+            Array.iteri
+              (fun i (tok : Token.t) ->
+                if Rule.is_word tok "compare" && not (Rule.prev_dotted src.code i)
+                then begin
+                  (* definition of a monomorphic comparator: [let
+                     compare] / [and compare] on one line *)
+                  let defn =
+                    i > 0
+                    &&
+                    let p = src.code.(i - 1) in
+                    (Rule.is_word p "let" || Rule.is_word p "and")
+                    && p.line = tok.line
+                  in
+                  if not defn then
+                    acc :=
+                      hit src.path tok
+                        "polymorphic compare on the solver hot path; use a \
+                         typed comparator"
+                      :: !acc
+                end;
+                if Rule.matches_qualified src.code i [ "Hashtbl"; "hash" ] then
+                  acc :=
+                    hit src.path tok
+                      "polymorphic Hashtbl.hash on the solver hot path; \
+                       supply a typed hash"
+                    :: !acc)
+              src.code;
+            List.rev !acc
+          end);
+  }
+
+let global_mutable_table : Rule.t =
+  {
+    name = "global-mutable-table";
+    severity = Findings.Error;
+    doc =
+      "A top-level Hashtbl.create in lib/ is shared mutable state that \
+       can escape into Domain_pool tasks without domain-local storage; \
+       mutex-guarded-by-construction tables are allowlisted with a \
+       justification.";
+    phase =
+      Rule.File
+        (fun src ->
+          if not (in_lib src.path) then []
+          else begin
+            let masked = Lazy.force src.masked in
+            let acc = ref [] in
+            Array.iteri
+              (fun i (tok : Token.t) ->
+                if Rule.matches_qualified src.code i [ "Hashtbl"; "create" ]
+                then begin
+                  (* top-level bindings only: the line containing the
+                     call must itself be a column-0 [let ] (the repo
+                     style keeps top-level table bindings on one
+                     line). An indented [Hashtbl.create] is per-call
+                     state inside a function, not a shared table. *)
+                  let bol = Token.Lines.bol_of src.lines tok.off in
+                  if
+                    bol + 4 <= String.length masked
+                    && String.sub masked bol 4 = "let "
+                  then
+                    acc :=
+                      hit src.path tok
+                        "top-level mutable Hashtbl shared across domains; \
+                         use Domain.DLS or justify in the allowlist"
+                      :: !acc
+                end)
+              src.code;
+            List.rev !acc
+          end);
+  }
+
+let missing_mli : Rule.t =
+  {
+    name = "missing-mli";
+    severity = Findings.Warn;
+    doc =
+      "Every lib/**/*.ml must have a matching .mli; unabstracted modules \
+       leak representation details across layers.";
+    phase =
+      Rule.File
+        (fun src ->
+          if in_lib src.path && not src.mli_exists then
+            [ { Rule.file = src.path;
+                line = 1;
+                message =
+                  "library module without an interface; add a .mli to pin \
+                   the public surface" } ]
+          else []);
+  }
+
+let print_hot_path : Rule.t =
+  {
+    name = "print-hot-path";
+    severity = Findings.Warn;
+    doc =
+      "No Printf/Format in the solver's inner modules — observability \
+       goes through lib/obs so output cost is gated behind the \
+       metrics/tracing switches; debug pretty-printers are allowlisted.";
+    phase =
+      Rule.File
+        (fun src ->
+          if not (List.mem src.path print_hot_files) then []
+          else begin
+            let acc = ref [] in
+            Array.iteri
+              (fun i tok ->
+                List.iter
+                  (fun name ->
+                    if Rule.is_word tok name && not (Rule.prev_dotted src.code i)
+                    then
+                      acc :=
+                        hit src.path tok
+                          (name
+                         ^ " on a solver hot path; route output through \
+                            lib/obs")
+                        :: !acc)
+                  [ "Printf"; "Format" ])
+              src.code;
+            List.rev !acc
+          end);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Span pairing: async trace spans (Trace.span_begin / Trace.span_end)
+   are paired by name across call sites, not lexically scoped; a begin
+   whose name has no end site anywhere in the repo renders as a span
+   that never closes in the Chrome trace. Checked globally over
+   literal span names. *)
+
+(* The span-name literal of a call at byte [pos]: the first string
+   literal after the call that is a positional argument — i.e. not
+   preceded by ':' (a ~cat:"..." label), '('/',' (inside an ~args
+   list), '=' (a default value) or '^' (concatenation). Scans the raw
+   source so positions align with token offsets. *)
+let span_name_after src pos =
+  let n = String.length src in
+  let limit = min n (pos + 400) in
+  let rec prev_nonspace j =
+    if j < 0 then ' '
+    else
+      match src.[j] with
+      | ' ' | '\t' | '\n' | '\r' -> prev_nonspace (j - 1)
+      | c -> c
+  in
+  let rec find i =
+    if i >= limit then None
+    else if src.[i] = '"' then begin
+      match prev_nonspace (i - 1) with
+      | ':' | '(' | ',' | '=' | '^' -> find (skip_literal i)
+      | _ ->
+          let j = ref (i + 1) in
+          while !j < n && src.[!j] <> '"' do incr j done;
+          if !j < n then Some (String.sub src (i + 1) (!j - i - 1)) else None
+    end
+    else find (i + 1)
+  and skip_literal i =
+    let j = ref (i + 1) in
+    while !j < n && src.[!j] <> '"' do incr j done;
+    !j + 1
+  in
+  find pos
+
+let unmatched_span : Rule.t =
+  {
+    name = "unmatched-span";
+    severity = Findings.Error;
+    doc =
+      "Async trace spans are paired by literal name across the whole \
+       repo; a span_begin with no span_end site (or vice versa) never \
+       closes in the Chrome trace.";
+    phase =
+      Rule.Repo
+        (fun ctx ->
+          let begins = ref [] and ends = ref [] in
+          List.iter
+            (fun (src : Rule.source) ->
+              Array.iter
+                (fun (tok : Token.t) ->
+                  let collect name acc =
+                    (* method position: a qualifying dot before the
+                       token is fine (Obs.Trace.span_begin) *)
+                    if Rule.is_word tok name then
+                      match span_name_after src.text tok.off with
+                      | Some span -> acc := (span, (src.path, tok.line)) :: !acc
+                      | None -> () (* definition site or computed name *)
+                  in
+                  collect "span_begin" begins;
+                  collect "span_end" ends)
+                src.code)
+            ctx.sources;
+          let names l = List.map fst l in
+          let missing from against verb =
+            List.filter_map
+              (fun (name, (file, line)) ->
+                if List.mem name (names against) then None
+                else
+                  Some
+                    { Rule.file;
+                      line;
+                      message =
+                        Printf.sprintf
+                          "async span %S has no %s site; the Chrome trace \
+                           pair 'b'/'e' never closes"
+                          name verb })
+              from
+          in
+          missing !begins !ends "span_end" @ missing !ends !begins "span_begin");
+  }
+
+let all =
+  [ random_outside_prng; poly_compare_hot; global_mutable_table; missing_mli;
+    print_hot_path; unmatched_span ]

@@ -1,0 +1,15 @@
+(** The six original lint rules, ported from the ad-hoc substring
+    scanner in the old [bin/lint.ml] onto the token stream. Findings
+    reproduce the old scanner's (rule, file, line) triples exactly on
+    the current repo — the port changes the mechanism, not the
+    verdicts (checked byte-for-byte at porting time; the fixtures in
+    [test/test_analysis.ml] pin the semantics). *)
+
+val random_outside_prng : Rule.t
+val poly_compare_hot : Rule.t
+val global_mutable_table : Rule.t
+val missing_mli : Rule.t
+val print_hot_path : Rule.t
+val unmatched_span : Rule.t
+
+val all : Rule.t list

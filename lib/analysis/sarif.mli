@@ -1,0 +1,14 @@
+(** SARIF 2.1.0 emitter for CI annotation. One run, one tool
+    ([unigen-lint]) carrying rule metadata (id, short description,
+    default level), one result per finding with a physical location;
+    allowlisted findings carry an accepted [suppressions] entry so CI
+    renders them as suppressed instead of failing. Severity maps
+    [Error]->[error], [Warn]->[warning], [Info]->[note]. *)
+
+val level_of_severity : Findings.severity -> string
+
+val to_string : rules:Rule.t list -> Findings.t list -> string
+(** The complete SARIF document as a JSON string. [rules] supplies the
+    [tool.driver.rules] metadata table; findings whose rule is not in
+    the table (e.g. the engine-synthesized [stale-allowlist]) still
+    emit valid results. *)

@@ -1,0 +1,203 @@
+module Lines = struct
+  (* starts.(i) = byte offset of the first char of line i+1 *)
+  type t = { starts : int array; len : int }
+
+  let make src =
+    let n = String.length src in
+    let acc = ref [ 0 ] in
+    for i = 0 to n - 1 do
+      if src.[i] = '\n' then acc := (i + 1) :: !acc
+    done;
+    { starts = Array.of_list (List.rev !acc); len = n }
+
+  let line_of t pos =
+    let pos = if pos < 0 then 0 else if pos > t.len then t.len else pos in
+    (* greatest i with starts.(i) <= pos *)
+    let lo = ref 0 and hi = ref (Array.length t.starts - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if t.starts.(mid) <= pos then lo := mid else hi := mid - 1
+    done;
+    !lo + 1
+
+  let bol_of t pos = t.starts.(line_of t pos - 1)
+  let count t = Array.length t.starts
+end
+
+type kind =
+  | Ident of string
+  | Uident of string
+  | Number of string
+  | String of string
+  | Quoted of string
+  | Char of string
+  | Comment of string
+  | Op of char
+
+type t = { kind : kind; off : int; len : int; line : int }
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+let is_lower c = (c >= 'a' && c <= 'z') || c = '_'
+
+(* Past the closing quote of a ["..."] literal whose opening quote is
+   at [i]; stops at end of input if unterminated. *)
+let skip_string src n i =
+  let j = ref (i + 1) in
+  let esc = ref false in
+  while !j < n && (!esc || src.[!j] <> '"') do
+    esc := (not !esc) && src.[!j] = '\\';
+    incr j
+  done;
+  min n (!j + 1)
+
+(* At [{], recognise a quoted-string opener (brace, lowercase
+   delimiter identifier, pipe): returns the delimiter (possibly
+   empty) and the offset of the first content byte, or [None] when
+   the brace is ordinary punctuation. *)
+let quoted_opener src n i =
+  if i >= n || src.[i] <> '{' then None
+  else begin
+    let j = ref (i + 1) in
+    while !j < n && is_lower src.[!j] do incr j done;
+    if !j < n && src.[!j] = '|' then
+      Some (String.sub src (i + 1) (!j - i - 1), !j + 1)
+    else None
+  end
+
+(* Past the pipe-delim-brace closer of a quoted string whose content
+   starts at [start]; also returns the content end offset. *)
+let skip_quoted src n delim start =
+  let closer = "|" ^ delim ^ "}" in
+  let cl = String.length closer in
+  let j = ref start in
+  let stop = ref (-1) in
+  while !stop < 0 && !j + cl <= n do
+    if String.sub src !j cl = closer then stop := !j else incr j
+  done;
+  if !stop < 0 then (n, n) else (!stop, !stop + cl)
+
+let scan src =
+  let n = String.length src in
+  let lines = Lines.make src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let emit kind off stop =
+    toks := { kind; off; len = stop - off; line = !line } :: !toks;
+    for k = off to stop - 1 do
+      if k < n && src.[k] = '\n' then incr line
+    done
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      (* nesting comment; a string inside it is skipped as a string
+         (its contents may hold an unbalanced closer) *)
+      let depth = ref 1 in
+      let j = ref (!i + 2) in
+      while !depth > 0 && !j < n do
+        if src.[!j] = '(' && !j + 1 < n && src.[!j + 1] = '*' then begin
+          incr depth; j := !j + 2
+        end
+        else if src.[!j] = '*' && !j + 1 < n && src.[!j + 1] = ')' then begin
+          decr depth; j := !j + 2
+        end
+        else if src.[!j] = '"' then j := skip_string src n !j
+        else
+          match quoted_opener src n !j with
+          | Some (delim, start) -> j := snd (skip_quoted src n delim start)
+          | None -> incr j
+      done;
+      emit (Comment (String.sub src !i (!j - !i))) !i !j;
+      i := !j
+    end
+    else if c = '"' then begin
+      let stop = skip_string src n !i in
+      let content_stop = if stop > !i + 1 then stop - 1 else !i + 1 in
+      emit (String (String.sub src (!i + 1) (content_stop - !i - 1))) !i stop;
+      i := stop
+    end
+    else if c = '{' && quoted_opener src n !i <> None then begin
+      let delim, start = Option.get (quoted_opener src n !i) in
+      let content_stop, stop = skip_quoted src n delim start in
+      emit (Quoted (String.sub src start (content_stop - start))) !i stop;
+      i := stop
+    end
+    else if c = '\'' && !i + 1 < n && src.[!i + 1] = '\\' then begin
+      (* escaped char literal: '\n', '\\', '\123', '\xFF' *)
+      let j = ref (!i + 2) in
+      while !j < n && src.[!j] <> '\'' do incr j done;
+      let stop = min n (!j + 1) in
+      emit (Char (String.sub src (!i + 1) (stop - !i - 2))) !i stop;
+      i := stop
+    end
+    else if c = '\'' && !i + 2 < n && src.[!i + 2] = '\'' then begin
+      (* plain char literal 'x'; a lone quote is a type variable and
+         falls through to the operator case *)
+      emit (Char (String.sub src (!i + 1) 1)) !i (!i + 3);
+      i := !i + 3
+    end
+    else if is_ident_char c && not (is_digit c) && c <> '\'' then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do incr j done;
+      let text = String.sub src !i (!j - !i) in
+      let kind = if c >= 'A' && c <= 'Z' then Uident text else Ident text in
+      emit kind !i !j;
+      i := !j
+    end
+    else if is_digit c then begin
+      (* digits, ident chars (hex, [_] separators, type suffixes), a
+         decimal dot (but not [..]) and a sign directly after an
+         exponent: 1_000, 0xFF, 1.5e-3 each lex as one token *)
+      let j = ref !i in
+      let continue = ref true in
+      while !continue && !j < n do
+        let d = src.[!j] in
+        if is_ident_char d then incr j
+        else if d = '.' && not (!j + 1 < n && src.[!j + 1] = '.') then incr j
+        else if
+          (d = '+' || d = '-')
+          && !j > !i
+          && (src.[!j - 1] = 'e' || src.[!j - 1] = 'E')
+        then incr j
+        else continue := false
+      done;
+      emit (Number (String.sub src !i (!j - !i))) !i !j;
+      i := !j
+    end
+    else begin
+      emit (Op c) !i (!i + 1);
+      i := !i + 1
+    end
+  done;
+  (Array.of_list (List.rev !toks), lines)
+
+let code toks =
+  Array.of_seq
+    (Seq.filter
+       (fun t -> match t.kind with Comment _ -> false | _ -> true)
+       (Array.to_seq toks))
+
+let mask src toks =
+  let out = Bytes.of_string src in
+  let blank_range off len =
+    for k = off to off + len - 1 do
+      if k < Bytes.length out && Bytes.get out k <> '\n' then
+        Bytes.set out k ' '
+    done
+  in
+  Array.iter
+    (fun t ->
+      match t.kind with
+      | Comment _ | String _ | Quoted _ | Char _ -> blank_range t.off t.len
+      | _ -> ())
+    toks;
+  Bytes.to_string out

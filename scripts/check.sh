@@ -19,9 +19,30 @@ echo "== dune build @check"
 dune build @check
 
 echo "== lint"
-# Repo-specific rules (determinism, hot-path hygiene, .mli coverage);
-# findings are JSON on stdout, unallowlisted ones fail the build.
-dune exec bin/lint.exe -- --root . > /dev/null
+# Repo-specific rules (determinism, concurrency discipline, hot-path
+# hygiene, .mli coverage, observability-name registry) from
+# lib/analysis; findings are JSON on stdout, blocking ones fail the
+# build. SARIF goes to a scratch file and is structurally validated so
+# CI annotation never ingests a malformed document.
+lint_dir=$(mktemp -d)
+dune exec bin/lint.exe -- --root . --sarif "$lint_dir/lint.sarif" > /dev/null
+for key in '"version": "2.1.0"' '"runs"' '"tool"' '"unigen-lint"' \
+           '"rules"' '"results"' '"physicalLocation"'; do
+    grep -q "$key" "$lint_dir/lint.sarif" || {
+        echo "error: SARIF output missing $key" >&2
+        cat "$lint_dir/lint.sarif" >&2
+        exit 1
+    }
+done
+# every emitted result must reference a rule the driver declares
+for rid in $(sed -n 's/.*"ruleId": "\([a-z-]*\)".*/\1/p' "$lint_dir/lint.sarif" | sort -u); do
+    [ "$rid" = "stale-allowlist" ] && continue   # engine-synthesized
+    grep -q "\"id\": \"$rid\"" "$lint_dir/lint.sarif" || {
+        echo "error: SARIF result references undeclared rule $rid" >&2
+        exit 1
+    }
+done
+rm -rf "$lint_dir"
 
 echo "== dune runtest"
 dune runtest
