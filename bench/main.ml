@@ -1135,6 +1135,82 @@ let run_service ~budget () =
         ("queue_wait_ms_avg", Float (wait_avg *. 1000.));
         ("queue_wait_ms_max", Float (wait_max *. 1000.));
       ];
+  (* durable-tier latency ladder: cold (ApproxMC + spill), disk-warm
+     (a restarted daemon decodes and imports the spilled preparation —
+     no ApproxMC), ram-warm (plain LRU hit). Witnesses must be
+     bit-identical on all three rungs. *)
+  section "Durable store tier (cold vs disk-warm vs ram-warm latency)";
+  let spill_dir = Filename.temp_file "unigen_bench_spill" "" in
+  Sys.remove spill_dir;
+  Unix.mkdir spill_dir 0o700;
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter
+          (fun name -> rm_rf (Filename.concat path name))
+          (Sys.readdir path);
+        Unix.rmdir path
+    | _ -> Unix.unlink path
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  in
+  Fun.protect ~finally:(fun () -> rm_rf spill_dir) @@ fun () ->
+  let spill_scheduler =
+    {
+      Service.Scheduler.default_config with
+      Service.Scheduler.spill_dir = Some spill_dir;
+    }
+  in
+  let timed_call socket_path seed =
+    let t0 = Unix.gettimeofday () in
+    match Service.Client.call ~socket_path (sample_req seed) with
+    | Service.Wire.Ok_sample ok ->
+        ( Unix.gettimeofday () -. t0,
+          ok.Service.Wire.cache,
+          ok.Service.Wire.witnesses )
+    | _ -> failwith "service bench: unexpected response"
+  in
+  let store_cold_s, cold_witnesses =
+    with_service_daemon ~scheduler:spill_scheduler @@ fun socket_path ->
+    let s, src, w = timed_call socket_path 1 in
+    if src <> Service.Wire.Cache_miss then
+      failwith "service bench: expected a cold miss";
+    (s, w)
+  in
+  let disk_warm_s, ram_warm_s =
+    (* a second daemon generation over the same spill directory: the
+       restarted-daemon path *)
+    with_service_daemon ~scheduler:spill_scheduler @@ fun socket_path ->
+    let s1, src1, w1 = timed_call socket_path 1 in
+    if src1 <> Service.Wire.Cache_disk then
+      failwith "service bench: expected a disk-warm hit";
+    if w1 <> cold_witnesses then
+      failwith "service bench: disk-warm witnesses drifted";
+    let s2, src2, w2 = timed_call socket_path 1 in
+    if src2 <> Service.Wire.Cache_ram then
+      failwith "service bench: expected a ram-warm hit";
+    if w2 <> cold_witnesses then
+      failwith "service bench: ram-warm witnesses drifted";
+    (s1, s2)
+  in
+  Printf.printf "  cold (prepare + spill):   %8.1f ms\n%!"
+    (store_cold_s *. 1000.);
+  Printf.printf "  disk-warm (restart, load): %7.1f ms\n%!"
+    (disk_warm_s *. 1000.);
+  Printf.printf "  ram-warm (LRU hit):       %8.1f ms\n%!"
+    (ram_warm_s *. 1000.);
+  Printf.printf "  restart saves:            %8.1fx\n%!"
+    (store_cold_s /. disk_warm_s);
+  Obs.Report.add_section report "service_durable_store"
+    Obs.Report.
+      [
+        ("instance", String instance.Workload.Suite.name);
+        ("samples_per_request", Int n);
+        ("cold_ms", Float (store_cold_s *. 1000.));
+        ("disk_warm_ms", Float (disk_warm_s *. 1000.));
+        ("ram_warm_ms", Float (ram_warm_s *. 1000.));
+        ("cold_vs_disk_warm_factor", Float (store_cold_s /. disk_warm_s));
+        ("disk_vs_ram_warm_factor", Float (disk_warm_s /. ram_warm_s));
+      ];
   (* scaling by worker domains: each client hammers its own formula
      (distinct fingerprints — the sharded-parallelism regime), one
      fresh daemon per jobs level. On a 1-core host the series

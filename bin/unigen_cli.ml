@@ -546,7 +546,8 @@ let socket_arg =
 
 let serve_cmd =
   let run socket queue_capacity max_batch cache_capacity jobs no_incremental
-      no_gauss audit show_stats trace metrics_json log_file slow_ms =
+      no_gauss audit show_stats trace metrics_json log_file slow_ms spill_dir
+      spill_budget_mb fleet =
     if audit then Audit.enable ();
     with_observability ~trace ~metrics_json ~show_stats @@ fun () ->
     (* one structured JSON line per request (see Obs.Log): to the given
@@ -567,11 +568,14 @@ let serve_cmd =
             incremental = not no_incremental;
             gauss = not no_gauss;
             slow_ms;
+            spill_dir;
+            spill_budget_bytes = spill_budget_mb * 1024 * 1024;
           };
         log = (fun msg -> Printf.printf "c %s\n%!" msg);
+        shard = None;
       }
     in
-    match Service.Server.run config with
+    match Service.Server.run_fleet ~replicas:fleet config with
     | () ->
         emit_report ~metrics_json ~show_stats
           [
@@ -587,10 +591,16 @@ let serve_cmd =
                   ("incremental", Bool (not no_incremental));
                   ( "xor_engine",
                     String (xor_engine_name ~gauss:(not no_gauss)) );
+                  ( "spill_dir",
+                    String (Option.value spill_dir ~default:"-") );
+                  ("fleet", Int fleet);
                 ] );
           ];
         0
     | exception Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | exception Failure msg ->
         Printf.eprintf "error: %s\n" msg;
         1
     | exception Unix.Unix_error (e, fn, arg) ->
@@ -646,6 +656,29 @@ let serve_cmd =
              ~doc:"Requests slower than this many milliseconds log at \
                    warn level, so `grep '\"level\":\"warn\"'` finds them.")
   in
+  let spill_dir =
+    Arg.(value & opt (some string) None
+         & info [ "spill-dir" ] ~docv:"DIR"
+             ~doc:"Durable prepared-state store: every preparation is \
+                   spilled to $(docv) (crash-safe, checksummed) and RAM \
+                   cache misses are served from it, so a restarted daemon \
+                   — or a fleet sharing the directory — answers known \
+                   formulas without re-running the approximate count.")
+  in
+  let spill_budget_mb =
+    Arg.(value & opt int 256
+         & info [ "spill-budget-mb" ]
+             ~doc:"Disk budget of --spill-dir in MiB; least-recently-used \
+                   entries are evicted past it.")
+  in
+  let fleet =
+    Arg.(value & opt int 1
+         & info [ "fleet" ] ~docv:"N"
+             ~doc:"Fork $(docv) daemon replicas listening on \
+                   PATH.0 .. PATH.N-1 (PATH from --socket); clients shard \
+                   formulas over them by consistent hashing. Combine with \
+                   --spill-dir to make the replicas one durable cache.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the sampling service daemon: content-addressed formula \
@@ -653,16 +686,24 @@ let serve_cmd =
              behind a Unix-socket JSON protocol")
     Term.(const run $ socket_arg $ queue_capacity $ max_batch $ cache_capacity
           $ jobs $ no_incremental $ no_gauss_arg $ audit_arg $ show_stats
-          $ trace_arg $ metrics_json_arg $ log_file $ slow_ms)
+          $ trace_arg $ metrics_json_arg $ log_file $ slow_ms $ spill_dir
+          $ spill_budget_mb $ fleet)
 
 (* ------------------------------------------------------------------ *)
 (* unigen client: talk to a running daemon *)
 
 let client_cmd =
-  let run socket file num seed prepare_seed epsilon timeout_s max_attempts pin
-      tag trace_id status shutdown cancel =
-    let call req =
-      try Ok (Service.Client.call ~socket_path:socket req) with
+  let run sockets file num seed prepare_seed epsilon timeout_s max_attempts pin
+      tag trace_id status shutdown cancel retries =
+    (* jitter for with_retry's backoff: seeded, so retry schedules are
+       reproducible like everything else in the pipeline *)
+    let rng = Rng.create seed in
+    let call_on socket req =
+      try
+        Ok
+          (Service.Client.with_retry ~max_attempts:(max 1 retries) ~rng
+             (fun () -> Service.Client.call ~socket_path:socket req))
+      with
       | Unix.Unix_error (e, _, _) ->
           Error
             (Printf.sprintf "cannot reach daemon at %s: %s" socket
@@ -673,31 +714,57 @@ let client_cmd =
       Printf.eprintf "error: %s\n" msg;
       1
     in
+    let many = match sockets with [] | [ _ ] -> false | _ -> true in
     if status then
-      match call Service.Wire.Status with
-      | Error m -> fail m
-      | Ok (Service.Wire.Metrics { values; info }) ->
-          List.iter (fun (k, v) -> Printf.printf "c %s = %s\n" k v) info;
-          List.iter (fun (k, v) -> Printf.printf "c %s = %g\n" k v) values;
-          0
-      | Ok _ -> fail "unexpected response to status"
+      List.fold_left
+        (fun acc socket ->
+          match call_on socket Service.Wire.Status with
+          | Error m ->
+              ignore (fail m : int);
+              1
+          | Ok (Service.Wire.Metrics { values; info }) ->
+              if many then Printf.printf "c socket = %s\n" socket;
+              List.iter (fun (k, v) -> Printf.printf "c %s = %s\n" k v) info;
+              List.iter (fun (k, v) -> Printf.printf "c %s = %g\n" k v) values;
+              acc
+          | Ok _ ->
+              ignore (fail "unexpected response to status" : int);
+              1)
+        0 sockets
     else if shutdown then
-      match call Service.Wire.Shutdown with
-      | Error m -> fail m
-      | Ok Service.Wire.Bye ->
-          print_endline "c daemon shutting down";
-          0
-      | Ok _ -> fail "unexpected response to shutdown"
+      List.fold_left
+        (fun acc socket ->
+          match call_on socket Service.Wire.Shutdown with
+          | Error m ->
+              ignore (fail m : int);
+              1
+          | Ok Service.Wire.Bye ->
+              print_endline
+                (if many then "c daemon shutting down: " ^ socket
+                 else "c daemon shutting down");
+              acc
+          | Ok _ ->
+              ignore (fail "unexpected response to shutdown" : int);
+              1)
+        0 sockets
     else
       match cancel with
-      | Some t -> (
-          match call (Service.Wire.Cancel t) with
-          | Error m -> fail m
-          | Ok (Service.Wire.Cancel_result found) ->
-              Printf.printf "c cancel %s: %s\n" t
-                (if found then "cancelled" else "not found");
-              if found then 0 else 1
-          | Ok _ -> fail "unexpected response to cancel")
+      | Some t ->
+          (* the request lives on exactly one replica; ask each in turn *)
+          let rec try_cancel = function
+            | [] ->
+                Printf.printf "c cancel %s: not found\n" t;
+                1
+            | socket :: rest -> (
+                match call_on socket (Service.Wire.Cancel t) with
+                | Error m -> fail m
+                | Ok (Service.Wire.Cancel_result true) ->
+                    Printf.printf "c cancel %s: cancelled\n" t;
+                    0
+                | Ok (Service.Wire.Cancel_result false) -> try_cancel rest
+                | Ok _ -> fail "unexpected response to cancel")
+          in
+          try_cancel sockets
       | None -> (
           match file with
           | None -> fail "provide a CNF FILE, or --status/--shutdown/--cancel"
@@ -708,6 +775,24 @@ let client_cmd =
               with
               | Error m -> fail m
               | Ok formula_text -> (
+                  (* fleet routing: shard by the registry fingerprint —
+                     the same content address the daemon interns — so
+                     every parameter variation of one formula lands on
+                     the one replica holding its prepared state *)
+                  let socket =
+                    match sockets with
+                    | [ s ] -> s
+                    | _ ->
+                        let key =
+                          match Cnf.Dimacs.parse_string formula_text with
+                          | f -> Service.Registry.fingerprint f
+                          | exception Cnf.Dimacs.Parse_error _ ->
+                              formula_text  (* daemon will report the error *)
+                        in
+                        Service.Client.Fleet.route
+                          (Service.Client.Fleet.create sockets)
+                          key
+                  in
                   let req =
                     {
                       Service.Wire.default_sample_req with
@@ -723,16 +808,16 @@ let client_cmd =
                       trace_id;
                     }
                   in
-                  match call (Service.Wire.Sample req) with
+                  match call_on socket (Service.Wire.Sample req) with
                   | Error m -> fail m
                   | Ok (Service.Wire.Ok_sample r) ->
                       Printf.printf
                         "c service: fingerprint=%s cache=%s queue_wait=%.1fms \
-                         trace_id=%s\n"
+                         trace_id=%s socket=%s\n"
                         r.Service.Wire.fingerprint
-                        (if r.Service.Wire.cache_hit then "hit" else "miss")
+                        (Service.Wire.cache_source_to_string r.Service.Wire.cache)
                         (r.Service.Wire.queue_wait_s *. 1000.0)
-                        r.Service.Wire.rsp_trace_id;
+                        r.Service.Wire.rsp_trace_id socket;
                       List.iter
                         (fun w ->
                           print_endline
@@ -824,12 +909,31 @@ let client_cmd =
          & info [ "cancel" ] ~docv:"TAG"
              ~doc:"Cancel the pending request submitted with --tag TAG.")
   in
+  let sockets =
+    Arg.(
+      non_empty
+      & opt_all string []
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Daemon socket. Repeat once per fleet replica (e.g. \
+                --socket d.sock.0 --socket d.sock.1): sampling requests \
+                then route to one replica by consistent hashing of the \
+                formula's fingerprint, while --status and --shutdown \
+                address every replica.")
+  in
+  let retries =
+    Arg.(value & opt int 1
+         & info [ "retries" ]
+             ~doc:"Attempts per request: rejections (backpressure) and \
+                   transient connection failures retry with the daemon's \
+                   retry-after hint and capped exponential backoff, \
+                   jittered from --seed. 1 disables retrying.")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:"Submit sampling requests to a running unigen daemon")
-    Term.(const run $ socket_arg $ file $ num $ seed $ prepare_seed $ epsilon
+    Term.(const run $ sockets $ file $ num $ seed $ prepare_seed $ epsilon
           $ timeout_s $ max_attempts $ pin $ tag $ trace_id $ status $ shutdown
-          $ cancel)
+          $ cancel $ retries)
 
 (* ------------------------------------------------------------------ *)
 (* unigen monitor: live dashboard over the daemon's rolling window *)

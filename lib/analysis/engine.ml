@@ -5,7 +5,8 @@ type report = {
   blocking : int;
 }
 
-let default_rules = Rules_legacy.all @ Rules_concurrency.all
+let default_rules =
+  Rules_legacy.all @ Rules_concurrency.all @ Rules_durability.all
 
 let analyze ?(allowlist = Allowlist.empty) ?design_doc ~rules sources =
   let ctx = { Rule.sources; design_doc } in

@@ -13,7 +13,8 @@ type report = {
 }
 
 val default_rules : Rule.t list
-(** The six legacy rules plus the concurrency/determinism set. *)
+(** The six legacy rules plus the concurrency/determinism set plus the
+    durable-write-discipline rule. *)
 
 val analyze :
   ?allowlist:Allowlist.t ->

@@ -209,6 +209,94 @@ let sample_batch ?deadline ?max_attempts ?pool ?(jobs = 1) ~seed t n =
   Array.iter (fun (_, s) -> Sampler.merge_into ~into:t.stats s) results;
   Array.map fst results
 
+(* ------------------------------------------------------------------ *)
+(* Portable view: everything a prepared state carries that cannot be
+   recomputed for free. The solver sessions and stats are rebuilt on
+   import; kappa/pivot determine hi/lo/hi_limit, so the thresholds are
+   re-derived rather than trusted from the serialized form. Draws
+   depend only on (phase, hash_density, sampling set, thresholds,
+   engine flags, formula), all of which the round trip preserves
+   exactly — witnesses from an imported state are bit-identical to the
+   original's (the durable-store differential tests enforce this). *)
+
+type portable_phase =
+  | Portable_easy of { num_vars : int; models : int list list }
+      (** enumerated witnesses in DIMACS-literal form, original array
+          order (cell choice indexes into it) *)
+  | Portable_hashed of { q : int; count_estimate : float }
+
+type portable = {
+  p_kappa : float;
+  p_pivot : int;
+  p_hash_density : float;
+  p_incremental : bool;
+  p_gauss : bool;
+  p_phase : portable_phase;
+}
+
+let export t =
+  {
+    p_kappa = t.kappa;
+    p_pivot = t.pivot;
+    p_hash_density = t.hash_density;
+    p_incremental = t.incremental;
+    p_gauss = t.gauss;
+    p_phase =
+      (match t.phase with
+      | Easy models ->
+          Portable_easy
+            {
+              num_vars = Cnf.Model.num_vars models.(0);
+              models =
+                Array.to_list (Array.map Cnf.Model.to_dimacs models);
+            }
+      | Hashed { q; count_estimate } -> Portable_hashed { q; count_estimate });
+  }
+
+let import ~formula p =
+  let hi = Kappa_pivot.hi_thresh ~kappa:p.p_kappa ~pivot:p.p_pivot in
+  let lo = Kappa_pivot.lo_thresh ~kappa:p.p_kappa ~pivot:p.p_pivot in
+  let hi_limit = int_of_float (Float.floor hi) + 1 in
+  let sampling = Cnf.Formula.sampling_vars formula in
+  let phase =
+    match p.p_phase with
+    | Portable_easy { num_vars; models } ->
+        if num_vars < 0 then invalid_arg "Unigen.import: negative num_vars";
+        Easy
+          (Array.of_list
+             (List.map
+                (fun lits ->
+                  let tab = Array.make (num_vars + 1) false in
+                  List.iter
+                    (fun l ->
+                      let v = abs l in
+                      if v < 1 || v > num_vars then
+                        invalid_arg "Unigen.import: literal out of range";
+                      if l > 0 then tab.(v) <- true)
+                    lits;
+                  Cnf.Model.make num_vars (fun v -> tab.(v)))
+                models))
+    | Portable_hashed { q; count_estimate } -> Hashed { q; count_estimate }
+  in
+  {
+    formula;
+    sampling;
+    kappa = p.p_kappa;
+    pivot = p.p_pivot;
+    hi;
+    lo;
+    hi_limit;
+    hash_density = p.p_hash_density;
+    phase;
+    incremental = p.p_incremental;
+    gauss = p.p_gauss;
+    session_key =
+      Domain.DLS.new_key (fun () ->
+          Sat.Bsat.Session.create ~blocking_vars:sampling ~gauss:p.p_gauss
+            formula);
+    stats = Sampler.fresh_stats ();
+  }
+
 let stats t = t.stats
 let kappa t = t.kappa
 let pivot t = t.pivot

@@ -114,6 +114,44 @@ val sample_batch :
     into [stats t] in index order after the batch completes.
     @raise Invalid_argument when [n < 0] or [jobs < 1]. *)
 
+(** {2 Portable view}
+
+    A prepared state is a deterministic function of the canonical
+    formula and the preparation parameters, which makes it worth
+    persisting: the durable store (see [Service.Spill]) serializes the
+    portable view below and rebuilds a live state on a later daemon
+    generation. Only what cannot be recomputed for free crosses the
+    boundary — solver sessions and stats are rebuilt, and the
+    [hi]/[lo] thresholds are re-derived from κ/pivot rather than
+    trusted from disk. Witnesses drawn from an imported state are
+    bit-identical to the original's. *)
+
+type portable_phase =
+  | Portable_easy of { num_vars : int; models : int list list }
+      (** enumerated witnesses as DIMACS literal lists, in the original
+          enumeration order (cell choice indexes into it) *)
+  | Portable_hashed of { q : int; count_estimate : float }
+
+type portable = {
+  p_kappa : float;
+  p_pivot : int;
+  p_hash_density : float;
+  p_incremental : bool;
+  p_gauss : bool;
+  p_phase : portable_phase;
+}
+
+val export : prepared -> portable
+(** The serializable essence of a preparation (pure; cheap). *)
+
+val import : formula:Cnf.Formula.t -> portable -> prepared
+(** Rebuild a live prepared state around [formula] — which must be the
+    same canonical formula the exported state was prepared from (the
+    caller verifies this via the registry fingerprint in its store
+    key). Fresh per-domain solver sessions and zeroed stats.
+    @raise Invalid_argument when an easy-phase model list is malformed
+    (negative [num_vars] or a literal out of range). *)
+
 val stats : prepared -> Sampler.run_stats
 (** Accounting across every sample drawn from this preparation. *)
 

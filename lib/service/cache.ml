@@ -23,8 +23,21 @@ let c_hits = Obs.Metrics.counter "service.cache_hits"
 let c_misses = Obs.Metrics.counter "service.cache_misses"
 let c_evictions = Obs.Metrics.counter "service.cache_evictions"
 
+type tier = Ram | Disk
+
+(* The durable tier is injected as a record of closures rather than a
+   direct dependency on [Spill]: the codec needs this module's [key]
+   and [entry] types, so a direct call the other way would be a cycle.
+   The scheduler (which sees both) ties the knot in [Scheduler.create]. *)
+type spill = {
+  sp_store : Store.t;
+  sp_encode : key -> entry -> string;
+  sp_decode : key -> string -> (entry, string) result;
+}
+
 type t = {
   lru : (key, entry) Lru.t;
+  spill : spill option;
   user_pins : (key, unit) Hashtbl.t;
       (* keys holding exactly one of the LRU's counted pins on behalf
          of clients' [pin] requests — so the client-facing operation
@@ -35,28 +48,61 @@ type t = {
 let set_pins_gauge t =
   Obs.Metrics.set_gauge "service.cache_pins" (float_of_int t.exec_pins)
 
-let create ~capacity =
+let create ?spill ~capacity () =
   {
     lru = Lru.create ~on_evict:(fun _ _ -> Obs.Metrics.incr c_evictions) ~capacity ();
+    spill;
     user_pins = Hashtbl.create 8;
     exec_pins = 0;
   }
 
 let capacity t = Lru.capacity t.lru
 let length t = Lru.length t.lru
+let store t = Option.map (fun sp -> sp.sp_store) t.spill
+
+let find_disk t k =
+  match t.spill with
+  | None -> None
+  | Some sp -> (
+      let skey = key_to_string k in
+      match Store.find sp.sp_store ~key:skey with
+      | None -> None
+      | Some payload -> (
+          match sp.sp_decode k payload with
+          | Ok e ->
+              (* promote to the RAM tier; even with capacity 0 the
+                 caller still gets this entry *)
+              Lru.put t.lru k e;
+              Some e
+          | Error reason ->
+              (* store-level checksum passed but the payload does not
+                 decode (codec version skew, registry drift): same
+                 policy as bit rot — quarantine, fall back to a clean
+                 re-preparation *)
+              Store.quarantine sp.sp_store ~key:skey ~reason;
+              None))
 
 let find t k =
   match Lru.find t.lru k with
   | Some e ->
       Obs.Metrics.incr c_hits;
-      Some e
-  | None ->
-      Obs.Metrics.incr c_misses;
-      None
+      Some (e, Ram)
+  | None -> (
+      match find_disk t k with
+      | Some e ->
+          Obs.Metrics.incr c_hits;
+          Some (e, Disk)
+      | None ->
+          Obs.Metrics.incr c_misses;
+          None)
 
 let peek t k = Lru.peek t.lru k
 
-let put t k e = Lru.put t.lru k e
+let put t k e =
+  Lru.put t.lru k e;
+  match t.spill with
+  | None -> ()
+  | Some sp -> Store.put sp.sp_store ~key:(key_to_string k) (sp.sp_encode k e)
 
 let pin t k =
   if Hashtbl.mem t.user_pins k then Lru.is_pinned t.lru k

@@ -48,21 +48,45 @@ type entry = {
   mutable draws_served : int;
 }
 
+type tier = Ram | Disk
+    (** which tier satisfied a {!find}: the in-memory LRU or a
+        disk-warm load from the durable store *)
+
+type spill = {
+  sp_store : Store.t;
+  sp_encode : key -> entry -> string;
+  sp_decode : key -> string -> (entry, string) result;
+}
+(** The durable tier, injected as closures to avoid a module cycle
+    with the codec ([Spill] needs this module's types). The scheduler
+    wires [Spill.encode]/[Spill.decode] in when [spill_dir] is set. *)
+
 type t
 
-val create : capacity:int -> t
-(** @raise Invalid_argument when [capacity < 0]. *)
+val create : ?spill:spill -> capacity:int -> unit -> t
+(** Without [spill] the cache is the historical RAM-only LRU.
+    @raise Invalid_argument when [capacity < 0]. *)
 
 val capacity : t -> int
 val length : t -> int
 
-val find : t -> key -> entry option
-(** Counts a hit or a miss and touches the LRU order. *)
+val store : t -> Store.t option
+(** The durable tier's store, when one is attached. *)
+
+val find : t -> key -> (entry * tier) option
+(** RAM first; on a RAM miss with a durable tier attached, load the
+    entry from the store, promote it into the LRU and report a
+    [Disk] hit. Either tier counts as one [service.cache_hits] (disk
+    loads additionally count [store.hit]). A spill payload that fails
+    to decode is quarantined and the lookup falls through to a miss,
+    so corruption costs a re-preparation, never a crash. *)
 
 val peek : t -> key -> entry option
-(** No metrics, no touch. *)
+(** RAM tier only; no metrics, no touch, no disk load. *)
 
 val put : t -> key -> entry -> unit
+(** Insert into the LRU and, when a durable tier is attached, spill
+    the encoded entry to disk (crash-safe; see {!Store.put}). *)
 
 val pin : t -> key -> bool
 (** Idempotent client pin; [false] when the key is absent. *)

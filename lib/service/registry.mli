@@ -28,6 +28,14 @@
     deterministic draw streams regardless of how its copy of the
     formula was ordered. *)
 
+val version : string
+(** ["unigen-registry-v1"] — the tag prefixed to every {!serialize}d
+    form before hashing. Durable-store keys embed {!fingerprint}s, so
+    this version (with the golden vectors in the test suite) is the
+    compatibility contract for on-disk prepared state: bump it
+    whenever the canonicalization spec changes, and old spill entries
+    invalidate themselves. *)
+
 val canonical : Cnf.Formula.t -> Cnf.Formula.t
 (** Idempotent: [canonical (canonical f)] equals [canonical f]. *)
 

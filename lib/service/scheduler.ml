@@ -6,6 +6,8 @@ type config = {
   incremental : bool;
   gauss : bool;
   slow_ms : float;
+  spill_dir : string option;
+  spill_budget_bytes : int;
 }
 
 let default_config =
@@ -17,6 +19,8 @@ let default_config =
     incremental = true;
     gauss = true;
     slow_ms = 1000.0;
+    spill_dir = None;
+    spill_budget_bytes = Store.default_budget_bytes;
   }
 
 type request = {
@@ -63,7 +67,7 @@ type pending_req = {
 
 (* Worker-side timing of one request's execution, carried back to the
    owner for windows and the event log. *)
-type timing = { cache_hit : bool; prepare_s : float; draw_s : float }
+type timing = { cache : Wire.cache_source; prepare_s : float; draw_s : float }
 
 (* Rolling last-minute view, process-wide and per formula fingerprint.
    Owner-domain only (like every other scheduler field): worker
@@ -130,10 +134,24 @@ let create ?(config = default_config) () =
   if config.max_batch < 0 then
     invalid_arg "Scheduler.create: max_batch must be >= 0";
   Obs.Metrics.set_gauge "service.jobs" (float_of_int config.jobs);
+  (* the durable tier: a store plus the spill codec, injected as
+     closures (see [Cache.spill]). Created before any worker domain
+     exists, owned — like the cache — by this scheduler's domain. *)
+  let spill =
+    Option.map
+      (fun dir ->
+        {
+          Cache.sp_store =
+            Store.create ~budget_bytes:config.spill_budget_bytes ~dir ();
+          sp_encode = Spill.encode;
+          sp_decode = Spill.decode;
+        })
+      config.spill_dir
+  in
   {
     cfg = config;
     registry = Registry.create ();
-    prep_cache = Cache.create ~capacity:config.cache_capacity;
+    prep_cache = Cache.create ?spill ~capacity:config.cache_capacity ();
     exec =
       (if config.jobs > 1 then Some (Parallel.Executor.create ~workers:config.jobs)
        else None);
@@ -324,11 +342,17 @@ let key_of t p =
    domain executes it. *)
 
 let run_request ~incremental ~gauss ~queue_wait_s ~cached (p : pending_req) =
-  let cache_hit = Option.is_some cached in
+  let cache =
+    match cached with
+    | None -> Wire.Cache_miss
+    | Some (_, Cache.Ram) -> Wire.Cache_ram
+    | Some (_, Cache.Disk) -> Wire.Cache_disk
+  in
+  let cache_hit = cache <> Wire.Cache_miss in
   let prepare_t0 = Unix.gettimeofday () in
   let prep_result, newly =
     match cached with
-    | Some entry -> (Ok entry, None)
+    | Some (entry, _) -> (Ok entry, None)
     | None -> (
         let rng = Rng.create p.req.prepare_seed in
         match
@@ -349,7 +373,7 @@ let run_request ~incremental ~gauss ~queue_wait_s ~cached (p : pending_req) =
   let prepare_s =
     if cache_hit then 0.0 else Unix.gettimeofday () -. prepare_t0
   in
-  let timing ~draw_s = { cache_hit; prepare_s; draw_s } in
+  let timing ~draw_s = { cache; prepare_s; draw_s } in
   match prep_result with
   | Error Sampling.Unigen.Unsat_formula ->
       (Wire.Unsat { rsp_tag = p.req.tag }, None, timing ~draw_s:0.0)
@@ -396,7 +420,7 @@ let run_request ~incremental ~gauss ~queue_wait_s ~cached (p : pending_req) =
       ( Wire.Ok_sample
           {
             fingerprint = p.fingerprint;
-            cache_hit;
+            cache;
             witnesses;
             produced = List.length witnesses;
             requested = p.req.n;
@@ -419,7 +443,9 @@ let finalize_cache t p key ~cached ~newly response =
   (match newly with Some entry -> Cache.put t.prep_cache key entry | None -> ());
   (match response with
   | Wire.Ok_sample _ -> (
-      let entry = match newly with Some e -> Some e | None -> cached in
+      let entry =
+        match newly with Some e -> Some e | None -> Option.map fst cached
+      in
       match entry with
       | Some e -> e.Cache.draws_served <- e.Cache.draws_served + p.req.n
       | None -> ())
@@ -476,7 +502,7 @@ let account t (p : pending_req) ~queue_wait_s ~started_at ~timing response =
   Obs.Window.observe ft.fw_latency ~now dt;
   (match timing with
   | Some tm ->
-      if tm.cache_hit then begin
+      if tm.cache <> Wire.Cache_miss then begin
         Obs.Window.add t.tele.w_hits ~now 1;
         Obs.Window.add ft.fw_hits ~now 1
       end
@@ -505,7 +531,7 @@ let account t (p : pending_req) ~queue_wait_s ~started_at ~timing response =
             [
               ("prepare_ms", Obs.Report.Float (ms tm.prepare_s));
               ("draw_ms", Obs.Report.Float (ms tm.draw_s));
-              ("cache", Obs.Report.String (if tm.cache_hit then "hit" else "miss"));
+              ("cache", Obs.Report.String (Wire.cache_source_to_string tm.cache));
             ]
         | None -> [])
       @ [

@@ -70,12 +70,23 @@ type config = {
   slow_ms : float;
       (** requests slower than this log their [service.request] event
           at [Warn] instead of [Info] *)
+  spill_dir : string option;
+      (** when set, the prepared-state cache gains a durable tier: a
+          {!Store} rooted here spills every preparation on insert and
+          is consulted on every RAM miss, so a restarted daemon — or a
+          fleet replica sharing the directory — serves its first
+          request for a known formula disk-warm, without re-running
+          ApproxMC, with witnesses bit-identical to the RAM-warm path *)
+  spill_budget_bytes : int;
+      (** disk budget of the durable tier (LRU-by-mtime eviction; see
+          {!Store}); ignored when [spill_dir] is [None] *)
 }
 
 val default_config : config
 (** [queue_capacity = 64], [max_batch = 10_000], [cache_capacity = 16],
     [jobs = 1], [incremental = true], [gauss = true],
-    [slow_ms = 1000.0]. *)
+    [slow_ms = 1000.0], [spill_dir = None],
+    [spill_budget_bytes = Store.default_budget_bytes]. *)
 
 type request = {
   formula : Cnf.Formula.t;

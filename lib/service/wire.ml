@@ -119,10 +119,24 @@ type request =
   | Shutdown
 
 type reject_reason = Queue_full | Batch_too_large | Draining
+type cache_source = Cache_miss | Cache_ram | Cache_disk
+
+(* "hit" (not "ram") for the in-memory tier keeps the wire value that
+   pre-fleet clients and smoke greps already match on *)
+let cache_source_to_string = function
+  | Cache_miss -> "miss"
+  | Cache_ram -> "hit"
+  | Cache_disk -> "disk"
+
+let cache_source_of_string = function
+  | "miss" -> Cache_miss
+  | "hit" -> Cache_ram
+  | "disk" -> Cache_disk
+  | s -> raise (Json.Decode_error ("unknown cache source: " ^ s))
 
 type sample_ok = {
   fingerprint : string;
-  cache_hit : bool;
+  cache : cache_source;
   witnesses : int list list;
   produced : int;
   requested : int;
@@ -254,7 +268,7 @@ let response_to_json = function
         ([
            ("status", Json.Str "ok");
            ("fingerprint", Json.Str r.fingerprint);
-           ("cache", Json.Str (if r.cache_hit then "hit" else "miss"));
+           ("cache", Json.Str (cache_source_to_string r.cache));
            ( "witnesses",
              Json.List
                (List.map
@@ -340,7 +354,7 @@ let response_of_json j =
       Ok_sample
         {
           fingerprint = Json.get_string "fingerprint" j;
-          cache_hit = String.equal (Json.get_string "cache" j) "hit";
+          cache = cache_source_of_string (Json.get_string "cache" j);
           witnesses =
             List.map
               (function

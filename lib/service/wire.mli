@@ -103,9 +103,21 @@ type request =
 
 type reject_reason = Queue_full | Batch_too_large | Draining
 
+type cache_source = Cache_miss | Cache_ram | Cache_disk
+    (** where the request's prepared state came from: a fresh
+        preparation, the in-memory LRU, or a disk-warm load from the
+        durable store ([--spill-dir]) *)
+
+val cache_source_to_string : cache_source -> string
+(** ["miss"] / ["hit"] / ["disk"] — the wire encoding ([Cache_ram]
+    keeps the historical ["hit"] so pre-fleet clients still parse). *)
+
+val cache_source_of_string : string -> cache_source
+(** @raise Json.Decode_error on an unknown value. *)
+
 type sample_ok = {
   fingerprint : string;
-  cache_hit : bool;
+  cache : cache_source;
   witnesses : int list list;
       (** one inner list per produced witness: signed DIMACS literals
           over the formula's variables, ascending — identical to

@@ -242,4 +242,136 @@ grep -q '"trace_id": "smoke-req-1"' "$log3" || {
 grep -q '"event": "service.start"' "$log3" || { echo "error: missing service.start event" >&2; exit 1; }
 grep -q '"event": "service.stop"' "$log3" || { echo "error: missing service.stop event" >&2; exit 1; }
 
+echo "== durable store smoke (restart persistence)"
+# Daemon with a spill directory: a cold miss spills the preparation to
+# disk; a restarted daemon over the same directory serves it disk-warm
+# (cache=disk, no ApproxMC re-run) with bit-identical witnesses; a
+# corrupted spill entry is quarantined and falls back to a clean
+# re-preparation — witnesses still identical.
+spill="$smoke_dir/spill"
+sock4="$smoke_dir/unigen4.sock"
+serve4() {
+    rm -f "$sock4"
+    dune exec bin/unigen_cli.exe -- serve --socket "$sock4" \
+        --spill-dir "$spill" >> "$smoke_dir/serve4.log" 2>&1 &
+    serve4_pid=$!
+    trap 'kill "$serve_pid" "$serve2_pid" "$serve3_pid" "$serve4_pid" 2>/dev/null || true; rm -rf "$smoke_dir"' EXIT
+    for _ in $(seq 1 100); do
+        [ -S "$sock4" ] && break
+        sleep 0.1
+    done
+    [ -S "$sock4" ] || { echo "error: durable daemon did not create $sock4" >&2; cat "$smoke_dir/serve4.log" >&2; exit 1; }
+}
+client4() {
+    dune exec bin/unigen_cli.exe -- client "$smoke_dir/smoke.cnf" \
+        --socket "$sock4" -n 3 -s 7 "$@"
+}
+serve4
+client4 > "$smoke_dir/dur1.out"
+grep -q 'cache=miss' "$smoke_dir/dur1.out" || { echo "error: first durable request should miss" >&2; exit 1; }
+client4 | grep -q 'cache=hit' || { echo "error: second durable request should hit RAM" >&2; exit 1; }
+client4 --shutdown > /dev/null
+wait "$serve4_pid"
+ls "$spill"/*.prep > /dev/null 2>&1 || {
+    echo "error: preparation was not spilled to $spill" >&2
+    ls -la "$spill" >&2 || true
+    exit 1
+}
+# generation 2: restart over the same spill directory
+serve4
+client4 > "$smoke_dir/dur2.out"
+grep -q 'cache=disk' "$smoke_dir/dur2.out" || {
+    echo "error: restarted daemon should serve disk-warm (cache=disk)" >&2
+    cat "$smoke_dir/dur2.out" >&2
+    exit 1
+}
+grep '^v ' "$smoke_dir/dur1.out" > "$smoke_dir/dur1.witness"
+grep '^v ' "$smoke_dir/dur2.out" > "$smoke_dir/dur2.witness"
+cmp -s "$smoke_dir/dur1.witness" "$smoke_dir/dur2.witness" || {
+    echo "error: disk-warm witnesses differ from the cold run's" >&2
+    exit 1
+}
+client4 --status > "$smoke_dir/dur_status.out"
+grep -q 'store.hit = 1' "$smoke_dir/dur_status.out" || {
+    echo "error: status should report the store.hit counter" >&2
+    cat "$smoke_dir/dur_status.out" >&2
+    exit 1
+}
+client4 --shutdown > /dev/null
+wait "$serve4_pid"
+# generation 3: corrupt the spill entry; the daemon must quarantine it
+# and re-prepare cleanly
+for prep in "$spill"/*.prep; do
+    printf 'bit rot' >> "$prep"
+done
+serve4
+client4 > "$smoke_dir/dur3.out"
+grep -q 'cache=miss' "$smoke_dir/dur3.out" || {
+    echo "error: corrupt spill entry should fall back to a clean miss" >&2
+    cat "$smoke_dir/dur3.out" >&2
+    exit 1
+}
+[ -n "$(ls "$spill/quarantine" 2>/dev/null)" ] || {
+    echo "error: corrupt spill entry was not quarantined" >&2
+    ls -la "$spill" >&2 || true
+    exit 1
+}
+grep '^v ' "$smoke_dir/dur3.out" > "$smoke_dir/dur3.witness"
+cmp -s "$smoke_dir/dur1.witness" "$smoke_dir/dur3.witness" || {
+    echo "error: re-prepared witnesses differ after quarantine" >&2
+    exit 1
+}
+client4 --shutdown > /dev/null
+wait "$serve4_pid"
+
+echo "== fleet smoke (--fleet 2)"
+# Two replica daemons under one supervisor; the client lists both
+# sockets and routes by consistent hashing on the formula fingerprint.
+# The fleet's witnesses must be bit-identical to the single daemon's
+# from the first smoke (same formula, same seeds).
+sockf="$smoke_dir/fleet.sock"
+dune exec bin/unigen_cli.exe -- serve --socket "$sockf" --fleet 2 \
+    > "$smoke_dir/serve_fleet.log" 2>&1 &
+fleet_pid=$!
+trap 'kill "$serve_pid" "$serve2_pid" "$serve3_pid" "$serve4_pid" "$fleet_pid" 2>/dev/null || true; rm -rf "$smoke_dir"' EXIT
+for _ in $(seq 1 100); do
+    [ -S "$sockf.0" ] && [ -S "$sockf.1" ] && break
+    sleep 0.1
+done
+{ [ -S "$sockf.0" ] && [ -S "$sockf.1" ]; } || {
+    echo "error: fleet replicas did not come up" >&2
+    cat "$smoke_dir/serve_fleet.log" >&2
+    exit 1
+}
+clientf() {
+    dune exec bin/unigen_cli.exe -- client "$smoke_dir/smoke.cnf" \
+        --socket "$sockf.0" --socket "$sockf.1" -n 3 -s 7 "$@"
+}
+clientf > "$smoke_dir/fleet1.out"
+grep -q 'cache=miss' "$smoke_dir/fleet1.out" || { echo "error: first fleet request should miss" >&2; exit 1; }
+clientf > "$smoke_dir/fleet2.out"
+grep -q 'cache=hit' "$smoke_dir/fleet2.out" || {
+    echo "error: repeat fleet request should land warm on the same shard" >&2
+    cat "$smoke_dir/fleet2.out" >&2
+    exit 1
+}
+grep '^v ' "$smoke_dir/fleet1.out" > "$smoke_dir/fleet1.witness"
+cmp -s "$smoke_dir/serial.witness" "$smoke_dir/fleet1.witness" || {
+    echo "error: fleet witnesses differ from the single daemon's" >&2
+    exit 1
+}
+# per-shard status: each replica identifies itself
+clientf --status > "$smoke_dir/fleet_status.out"
+grep -q 'shard = 0/2' "$smoke_dir/fleet_status.out" || {
+    echo "error: shard 0 missing from fleet status" >&2
+    cat "$smoke_dir/fleet_status.out" >&2
+    exit 1
+}
+grep -q 'shard = 1/2' "$smoke_dir/fleet_status.out" || {
+    echo "error: shard 1 missing from fleet status" >&2
+    exit 1
+}
+clientf --shutdown > /dev/null
+wait "$fleet_pid"
+
 echo "ok"

@@ -350,6 +350,54 @@ let test_rule_metric_registry () =
   check_triples "test/ out of scope" []
     (findings ~rules ~design_doc:design [ test_scope ])
 
+let test_rule_durable_write_discipline () =
+  let seeded =
+    src "lib/store/sidecar.ml"
+      "let save path data =\n\
+      \  let oc = open_out_bin path in\n\
+      \  output_string oc data;\n\
+      \  close_out oc\n"
+  in
+  let seeded_qualified =
+    src "lib/service/spill.ml"
+      "let w oc = Out_channel.output_string oc \"x\"\n"
+  in
+  let clean_atomic =
+    src "lib/store/store.ml"
+      "let atomic_write ~dir ~path data =\n\
+      \  let oc = open_out_bin (path ^ \".tmp\") in\n\
+      \  output_string oc data;\n\
+      \  close_out oc;\n\
+      \  Unix.rename (path ^ \".tmp\") path\n"
+  in
+  let clean_elsewhere =
+    src "bin/report.ml"
+      "let dump path data =\n\
+      \  let oc = open_out path in\n\
+      \  output_string oc data;\n\
+      \  close_out oc\n"
+  in
+  let clean_unbuffered =
+    src "lib/store/raw.ml"
+      "let push fd data = ignore (Unix.write_substring fd data 0 3)\n"
+  in
+  let rules = Rules_durability.all in
+  check_triples "seeded buffered writes caught"
+    [
+      ("durable-write-discipline", "lib/store/sidecar.ml", 2);
+      ("durable-write-discipline", "lib/store/sidecar.ml", 3);
+    ]
+    (findings ~rules [ seeded ]);
+  check_triples "seeded qualified writer caught"
+    [ ("durable-write-discipline", "lib/service/spill.ml", 1) ]
+    (findings ~rules [ seeded_qualified ]);
+  check_triples "atomic_write body exempt" []
+    (findings ~rules [ clean_atomic ]);
+  check_triples "outside the durable layers clean" []
+    (findings ~rules [ clean_elsewhere ]);
+  check_triples "unbuffered syscall write clean" []
+    (findings ~rules [ clean_unbuffered ])
+
 (* ------------------------------------------------------------------ *)
 (* Allowlist, severities, engine *)
 
@@ -487,6 +535,11 @@ let () =
             test_rule_mutex_discipline;
           Alcotest.test_case "metric-name-registry" `Quick
             test_rule_metric_registry;
+        ] );
+      ( "durability rules",
+        [
+          Alcotest.test_case "durable-write-discipline" `Quick
+            test_rule_durable_write_discipline;
         ] );
       ( "engine",
         [

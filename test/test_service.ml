@@ -11,6 +11,8 @@ module Cache = Service.Cache
 module Scheduler = Service.Scheduler
 module Wire = Service.Wire
 module Json = Service.Json
+module Spill = Service.Spill
+module Client = Service.Client
 
 (* ------------------------------------------------------------------ *)
 (* LRU *)
@@ -75,6 +77,44 @@ let test_lru_capacity_edge_cases () =
     | exception Invalid_argument _ -> true
     | (_ : (string, int) Lru.t) -> false)
 
+let test_lru_pin_cycle_and_reput () =
+  let c = Lru.create ~capacity:3 () in
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  Lru.put c "c" 3;
+  (* re-put under a pinned key updates the value, keeps the pin, and
+     counts as a touch *)
+  Alcotest.(check bool) "pin a" true (Lru.pin c "a");
+  Lru.put c "a" 10;
+  Alcotest.(check bool) "pin survives re-put" true (Lru.is_pinned c "a");
+  Alcotest.(check (option int)) "value replaced" (Some 10) (Lru.find c "a");
+  Alcotest.(check int) "still three entries" 3 (Lru.length c);
+  Alcotest.(check (list string)) "re-put is a touch" [ "a"; "c"; "b" ]
+    (Lru.keys_mru c);
+  (* pin/unpin are not touches: recency order is unchanged *)
+  ignore (Lru.pin c "b" : bool);
+  ignore (Lru.unpin c "b" : bool);
+  Alcotest.(check (list string)) "pin/unpin cycle leaves order" [ "a"; "c"; "b" ]
+    (Lru.keys_mru c);
+  (* pin the LRU; eviction skips it and takes the next-oldest *)
+  Alcotest.(check bool) "pin b" true (Lru.pin c "b");
+  Lru.put c "d" 4;
+  Alcotest.(check bool) "pinned LRU spared" true (Lru.mem c "b");
+  Alcotest.(check bool) "next-oldest evicted" false (Lru.mem c "c");
+  Alcotest.(check (list string)) "order after skip-eviction" [ "d"; "a"; "b" ]
+    (Lru.keys_mru c);
+  (* removing a pinned entry drops its pin count with it *)
+  Alcotest.(check bool) "remove pinned" true (Lru.remove c "b");
+  Alcotest.(check int) "pin count cleared" 0 (Lru.pin_count c "b");
+  (* re-insertion under the previously-pinned key starts unpinned: no
+     ghost pin protects it from eviction *)
+  Lru.put c "b" 20;
+  Alcotest.(check bool) "fresh insert unpinned" false (Lru.is_pinned c "b");
+  Lru.put c "e" 5;
+  Lru.put c "f" 6;
+  Lru.put c "g" 7;
+  Alcotest.(check bool) "no ghost pin after remove" false (Lru.mem c "b")
+
 (* ------------------------------------------------------------------ *)
 (* Registry *)
 
@@ -127,6 +167,38 @@ let test_registry_interning () =
   Alcotest.(check int) "one entry" 1 (Registry.length r);
   Alcotest.(check bool) "find" true
     (match Registry.find r fp_a with Some f -> f == can_a | None -> false)
+
+(* Golden vectors: the serialized form and MD5 content address of
+   fixed formulas, locked against checked-in constants. Durable spill
+   entries are keyed by fingerprints, so these values are the on-disk
+   compatibility contract — if this test breaks, the canonicalization
+   changed, and [Registry.version] must be bumped so stale spill
+   entries invalidate themselves instead of resurrecting under a new
+   meaning of the same address. *)
+let test_registry_golden_vectors () =
+  Alcotest.(check string) "registry version" "unigen-registry-v1"
+    Registry.version;
+  List.iter
+    (fun (label, text, serialized, md5) ->
+      let f = formula_of_string text in
+      Alcotest.(check string) (label ^ ": serialized form") serialized
+        (Registry.serialize f);
+      Alcotest.(check string) (label ^ ": content address") md5
+        (Registry.fingerprint f))
+    [
+      ( "clauses",
+        "p cnf 4 3\nc ind 1 2 3 0\n3 2 1 0\n-1 4 0\n-1 4 0\n",
+        "unigen-registry-v1\np cnf 4 2\nc ind 1 2 3 0\n-1 4 0\n1 2 3 0\n",
+        "98a0a7f5fd4f61ab876ebfa29d986391" );
+      ( "xor rows",
+        "p cnf 5 2\nc ind 1 2 0\n1 -2 0\nx 5 3 4 0\n",
+        "unigen-registry-v1\np cnf 5 2\nc ind 1 2 0\n1 -2 0\nx 3 4 5 0\n",
+        "d7e9c111c2737029590590f6e17c462d" );
+      ( "absent sampling set",
+        "p cnf 3 2\n1 2 0\n-2 3 0\n",
+        "unigen-registry-v1\np cnf 3 2\n1 2 0\n-2 3 0\n",
+        "01dbf3be098a7eca9c89a15a45dd087d" );
+    ]
 
 (* The DIMACS round-trip property: parse ∘ print is the identity up to
    canonical ordering — which is exactly fingerprint equality. This is
@@ -219,7 +291,7 @@ let test_wire_json_roundtrip () =
       Wire.Ok_sample
         {
           Wire.fingerprint = "abc";
-          cache_hit = true;
+          cache = Wire.Cache_ram;
           witnesses = [ [ 1; -2; 3 ]; [ -1; 2; -3 ] ];
           produced = 2;
           requested = 3;
@@ -447,7 +519,7 @@ let offline_witnesses ~prepare_seed ~seed ~epsilon ~n formula =
 let service_witnesses sched req =
   ignore (submit_ok sched req : int);
   match step_ok sched with
-  | _, Wire.Ok_sample r -> (r.Wire.cache_hit, r.Wire.witnesses)
+  | _, Wire.Ok_sample r -> (r.Wire.cache <> Wire.Cache_miss, r.Wire.witnesses)
   | _ -> Alcotest.fail "expected witnesses from the service path"
 
 let test_differential_service_vs_offline () =
@@ -509,7 +581,8 @@ let prop_cache_hit_equals_cold_miss =
       let r2 = Scheduler.step sched in
       match (r1, r2) with
       | Some (_, Wire.Ok_sample a), Some (_, Wire.Ok_sample b) ->
-          (not a.Wire.cache_hit) && b.Wire.cache_hit
+          a.Wire.cache = Wire.Cache_miss
+          && b.Wire.cache = Wire.Cache_ram
           && a.Wire.witnesses = b.Wire.witnesses
       | Some (_, Wire.Unsat _), Some (_, Wire.Unsat _) -> true
       | _ -> false)
@@ -529,7 +602,7 @@ let parallel_config jobs =
 let service_witnesses_drained sched req =
   let id = submit_ok sched req in
   match List.assoc_opt id (Scheduler.drain sched) with
-  | Some (Wire.Ok_sample r) -> (r.Wire.cache_hit, r.Wire.witnesses)
+  | Some (Wire.Ok_sample r) -> (r.Wire.cache <> Wire.Cache_miss, r.Wire.witnesses)
   | Some _ -> Alcotest.fail "expected witnesses from the service path"
   | None -> Alcotest.fail "request drained without a response"
 
@@ -579,7 +652,7 @@ let test_parallel_stress_many_clients () =
     List.fold_left
       (fun n (_, resp) ->
         match resp with
-        | Wire.Ok_sample r when not r.Wire.cache_hit -> n + 1
+        | Wire.Ok_sample r when r.Wire.cache = Wire.Cache_miss -> n + 1
         | _ -> n)
       0 completions
   in
@@ -758,6 +831,324 @@ let prop_retry_hint_sane =
       | Error _ -> false)
 
 (* ------------------------------------------------------------------ *)
+(* Durable spill tier: codec round trips and restart durability. A
+   fresh scheduler over the same spill directory stands in for a
+   restarted daemon (same code path: Cache.find's disk tier). *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter
+        (fun name -> rm_rf (Filename.concat path name))
+        (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let with_spill_dir f =
+  let dir = Filename.temp_file "unigen_spill" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* two witnesses over {1,2}: stays in UniGen's easy enumeration case *)
+let easy_text = "p cnf 3 2\nc ind 1 2 0\n1 2 0\n-1 -2 0\n"
+
+(* enough free sampling variables to force the hashed case, so the
+   ApproxMC-derived anchor (q, count estimate) rides in the payload *)
+let hashed_text =
+  "p cnf 12 3\nc ind 1 2 3 4 5 6 7 8 9 10 0\n1 2 3 0\n-4 5 6 0\n7 -8 0\n"
+
+let cache_key ?(epsilon = 6.0) ?(prepare_seed = 5) ?count_iterations
+    ?(incremental = true) ?(gauss = true) f =
+  {
+    Cache.fingerprint = Registry.fingerprint f;
+    epsilon;
+    prepare_seed;
+    count_iterations;
+    incremental;
+    gauss;
+  }
+
+let prepared_entry ?(epsilon = 6.0) ?(prepare_seed = 5) f =
+  let f = Registry.canonical f in
+  let rng = Rng.create prepare_seed in
+  match Sampling.Unigen.prepare ~rng ~epsilon f with
+  | Ok prepared -> { Cache.prepared; formula = f; draws_served = 7 }
+  | Error _ -> Alcotest.fail "preparation failed"
+
+let draws ?(n = 6) ?(seed = 42) prepared =
+  Sampling.Unigen.sample_batch ~max_attempts:20 ~seed prepared n
+  |> Array.to_list
+  |> List.filter_map (function
+       | Ok m -> Some (Cnf.Model.to_dimacs m)
+       | Error _ -> None)
+
+let test_spill_codec_roundtrip () =
+  List.iter
+    (fun (label, text) ->
+      let f = formula_of_string text in
+      let key = cache_key f in
+      let entry = prepared_entry f in
+      let payload = Spill.encode key entry in
+      match Spill.decode key payload with
+      | Error reason -> Alcotest.failf "%s: decode failed: %s" label reason
+      | Ok e ->
+          Alcotest.(check int)
+            (label ^ ": draws_served starts at zero")
+            0 e.Cache.draws_served;
+          Alcotest.(check string)
+            (label ^ ": formula identity preserved")
+            key.Cache.fingerprint
+            (Registry.fingerprint e.Cache.formula);
+          (* the rehydration contract: the imported preparation draws
+             the very same witnesses as the original *)
+          Alcotest.(check (list (list int)))
+            (label ^ ": bit-identical draws")
+            (draws entry.Cache.prepared) (draws e.Cache.prepared))
+    [ ("easy phase", easy_text); ("hashed phase", hashed_text) ]
+
+let replace_once ~sub ~by s =
+  let n = String.length sub in
+  let rec go i =
+    if i + n > String.length s then
+      Alcotest.failf "substring %S not found" sub
+    else if String.sub s i n = sub then
+      String.sub s 0 i ^ by ^ String.sub s (i + n) (String.length s - i - n)
+    else go (i + 1)
+  in
+  go 0
+
+let test_spill_decode_paranoia () =
+  (* decode re-verifies every key-determining field, so a spill entry
+     can never be served under preparation parameters it was not made
+     with — each drifted key must read as a decode error (which the
+     cache turns into quarantine + clean re-preparation) *)
+  let f = formula_of_string hashed_text in
+  let key = cache_key f in
+  let payload = Spill.encode key (prepared_entry f) in
+  let rejects label key' payload' =
+    match Spill.decode key' payload' with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (label ^ ": stale payload accepted")
+  in
+  rejects "epsilon drift" { key with Cache.epsilon = 8.0 } payload;
+  rejects "prepare-seed drift" { key with Cache.prepare_seed = 99 } payload;
+  rejects "count-iterations drift"
+    { key with Cache.count_iterations = Some 3 }
+    payload;
+  rejects "engine drift" { key with Cache.gauss = false } payload;
+  rejects "incremental drift" { key with Cache.incremental = false } payload;
+  rejects "fingerprint drift"
+    { key with Cache.fingerprint = String.make 32 '0' }
+    payload;
+  rejects "garbage payload" key "not json at all";
+  rejects "payload version drift" key
+    (replace_once ~sub:Spill.version ~by:"unigen-prepared-v0" payload);
+  (* the unmutated payload still decodes: the probes above failed for
+     their own reasons, not because the fixture was broken *)
+  match Spill.decode key payload with
+  | Ok _ -> ()
+  | Error reason -> Alcotest.failf "control decode failed: %s" reason
+
+let spill_config dir =
+  { Scheduler.default_config with Scheduler.spill_dir = Some dir }
+
+let prep_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun n -> Filename.check_suffix n ".prep")
+
+let quarantined dir =
+  let qdir = Filename.concat dir "quarantine" in
+  if Sys.file_exists qdir then Array.length (Sys.readdir qdir) else 0
+
+(* Run one request through a fresh scheduler generation over [dir];
+   return where the preparation came from and the witnesses. *)
+let generation dir req =
+  with_sched ~config:(spill_config dir) @@ fun sched ->
+  ignore (submit_ok sched req : int);
+  match step_ok sched with
+  | _, Wire.Ok_sample r -> (r.Wire.cache, r.Wire.witnesses)
+  | _ -> Alcotest.fail "expected witnesses"
+
+let test_scheduler_restart_disk_warm () =
+  Obs.Metrics.enable ();
+  with_spill_dir @@ fun dir ->
+  let f = formula_of_string hashed_text in
+  let req = sample_request ~n:6 ~seed:33 ~prepare_seed:5 f in
+  let src1, w1 = generation dir req in
+  Alcotest.(check bool) "generation 1 is a cold miss" true
+    (src1 = Wire.Cache_miss);
+  Alcotest.(check int) "preparation spilled on insert" 1
+    (List.length (prep_files dir));
+  (* generation 2 — a restarted daemon: the preparation is loaded from
+     disk, ApproxMC never re-runs, witnesses are bit-identical *)
+  let store_hits = metric_counter "store.hit" in
+  with_sched ~config:(spill_config dir) @@ fun sched ->
+  ignore (submit_ok sched req : int);
+  (match step_ok sched with
+  | _, Wire.Ok_sample r ->
+      Alcotest.(check bool) "generation 2 is disk-warm" true
+        (r.Wire.cache = Wire.Cache_disk);
+      Alcotest.(check (list (list int))) "disk-warm bit-identical" w1
+        r.Wire.witnesses
+  | _ -> Alcotest.fail "expected witnesses");
+  Alcotest.(check bool) "store.hit counted" true
+    (metric_counter "store.hit" > store_hits);
+  (* the disk hit promoted the entry into RAM *)
+  ignore (submit_ok sched req : int);
+  match step_ok sched with
+  | _, Wire.Ok_sample r ->
+      Alcotest.(check bool) "promoted to RAM" true
+        (r.Wire.cache = Wire.Cache_ram);
+      Alcotest.(check (list (list int))) "ram-warm bit-identical" w1
+        r.Wire.witnesses
+  | _ -> Alcotest.fail "expected witnesses"
+
+let test_scheduler_restart_corrupt_spill () =
+  Obs.Metrics.enable ();
+  with_spill_dir @@ fun dir ->
+  let f = formula_of_string hashed_text in
+  let req = sample_request ~n:6 ~seed:33 ~prepare_seed:5 f in
+  let corrupt_before = metric_counter "store.corrupt" in
+  let _, w1 = generation dir req in
+  (* bit rot: flip one byte of the spill entry. The store's checksum
+     catches it; the restarted daemon quarantines and re-prepares,
+     still landing on identical witnesses *)
+  (match prep_files dir with
+  | [ name ] ->
+      let path = Filename.concat dir name in
+      let ic = open_in_bin path in
+      let raw =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let b = Bytes.of_string raw in
+      let i = Bytes.length b - 1 in
+      Bytes.set b i (if Bytes.get b i = 'x' then 'y' else 'x');
+      Store.atomic_write ~dir ~path (Bytes.to_string b)
+  | files -> Alcotest.failf "expected one spill entry, found %d" (List.length files));
+  let src2, w2 = generation dir req in
+  Alcotest.(check bool) "corrupt spill falls back to a clean miss" true
+    (src2 = Wire.Cache_miss);
+  Alcotest.(check (list (list int))) "re-prepared witnesses identical" w1 w2;
+  Alcotest.(check int) "evidence quarantined" 1 (quarantined dir);
+  Alcotest.(check int) "clean preparation re-spilled" 1
+    (List.length (prep_files dir));
+  (* codec-level corruption: a checksum-valid envelope whose payload
+     the spill codec cannot decode — quarantined by the cache, not
+     crashed on *)
+  let st = Store.create ~dir () in
+  Store.put st ~key:(Cache.key_to_string (cache_key f)) "{\"v\":\"nonsense\"}";
+  let src3, w3 = generation dir req in
+  Alcotest.(check bool) "undecodable payload is a miss" true
+    (src3 = Wire.Cache_miss);
+  Alcotest.(check (list (list int))) "witnesses still identical" w1 w3;
+  (* both corruptions counted; the quarantine file itself is reused
+     because both entries share the key's basename *)
+  Alcotest.(check int) "both corruptions counted" 2
+    (metric_counter "store.corrupt" - corrupt_before);
+  Alcotest.(check bool) "evidence still present" true (quarantined dir >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Client-side fleet machinery: retry with backpressure-aware backoff,
+   and the consistent-hash shard map. Both are pure of any socket. *)
+
+let test_with_retry () =
+  let rng = Rng.create 11 in
+  let retry ?(max_attempts = 4) f =
+    Client.with_retry ~max_attempts ~base_delay_s:0.001 ~max_delay_s:0.004 ~rng
+      f
+  in
+  (* rejections retry until the daemon admits the request *)
+  let calls = ref 0 in
+  let resp =
+    retry (fun () ->
+        incr calls;
+        if !calls < 3 then
+          Wire.Rejected { reason = Wire.Queue_full; retry_after_s = 0.001 }
+        else Wire.Bye)
+  in
+  Alcotest.(check bool) "eventual success surfaces" true (resp = Wire.Bye);
+  Alcotest.(check int) "two retries" 3 !calls;
+  (* attempts exhausted: the final rejection surfaces unchanged *)
+  calls := 0;
+  let final = Wire.Rejected { reason = Wire.Draining; retry_after_s = 0.0 } in
+  let resp = retry ~max_attempts:2 (fun () -> incr calls; final) in
+  Alcotest.(check bool) "final rejection unchanged" true (resp = final);
+  Alcotest.(check int) "attempts bounded" 2 !calls;
+  (* a daemon restarting under the client is transient *)
+  calls := 0;
+  let resp =
+    retry (fun () ->
+        incr calls;
+        if !calls = 1 then
+          raise (Unix.Unix_error (Unix.ECONNREFUSED, "connect", ""))
+        else if !calls = 2 then raise (Client.Protocol_error "eof mid-frame")
+        else Wire.Bye)
+  in
+  Alcotest.(check bool) "transient failures retried" true (resp = Wire.Bye);
+  Alcotest.(check int) "one call per failure" 3 !calls;
+  (* exhausted transient failures re-raise the last exception *)
+  calls := 0;
+  (match
+     retry ~max_attempts:2 (fun () ->
+         incr calls;
+         raise (Unix.Unix_error (Unix.ECONNRESET, "read", "")))
+   with
+  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+      Alcotest.(check int) "transient attempts bounded" 2 !calls
+  | _ -> Alcotest.fail "expected the transport error to surface");
+  (* non-transient exceptions surface immediately *)
+  calls := 0;
+  (match retry (fun () -> incr calls; failwith "logic error") with
+  | exception Failure _ ->
+      Alcotest.(check int) "no retry on non-transient" 1 !calls
+  | _ -> Alcotest.fail "expected the failure to surface");
+  match retry ~max_attempts:0 (fun () -> Wire.Bye) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "max_attempts = 0 accepted"
+
+let test_fleet_shard_map () =
+  let sockets = [ "/run/u/a.sock"; "/run/u/b.sock"; "/run/u/c.sock" ] in
+  let fleet = Client.Fleet.create sockets in
+  let keys = List.init 300 (fun i -> Printf.sprintf "fingerprint-%03d" i) in
+  (* the map is a pure function of the socket set: list order must not
+     matter, or two clients would disagree on shard ownership *)
+  let fleet_rev = Client.Fleet.create (List.rev sockets) in
+  List.iter
+    (fun k ->
+      Alcotest.(check string) "order-independent routing"
+        (Client.Fleet.route fleet k)
+        (Client.Fleet.route fleet_rev k))
+    keys;
+  (* with 64 vnodes per socket, every replica owns a share *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s owns keys" s)
+        true
+        (List.exists (fun k -> Client.Fleet.route fleet k = s) keys))
+    sockets;
+  (* consistent hashing: dropping a replica remaps only its own keys *)
+  let fleet_ab = Client.Fleet.create [ "/run/u/a.sock"; "/run/u/b.sock" ] in
+  List.iter
+    (fun k ->
+      let owner = Client.Fleet.route fleet k in
+      if owner <> "/run/u/c.sock" then
+        Alcotest.(check string) "stable under replica removal" owner
+          (Client.Fleet.route fleet_ab k))
+    keys;
+  (* degenerate inputs *)
+  (match Client.Fleet.create [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty socket list accepted");
+  match Client.Fleet.create ~vnodes:0 sockets with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "vnodes = 0 accepted"
+
+(* ------------------------------------------------------------------ *)
 (* Wire.Decoder fuzz: arbitrary payloads, arbitrary chunking, hostile
    length prefixes. Every malformed input must surface as a structured
    protocol error ([Frame_error] / [Json.Decode_error]) — never as an
@@ -888,8 +1279,10 @@ let test_socket_end_to_end () =
       let r2 = Service.Client.request conn req in
       (match (r1, r2) with
       | Wire.Ok_sample a, Wire.Ok_sample b ->
-          Alcotest.(check bool) "first cold" false a.Wire.cache_hit;
-          Alcotest.(check bool) "second warm" true b.Wire.cache_hit;
+          Alcotest.(check bool) "first cold" true
+            (a.Wire.cache = Wire.Cache_miss);
+          Alcotest.(check bool) "second warm" true
+            (b.Wire.cache = Wire.Cache_ram);
           Alcotest.(check bool) "same witnesses over the wire" true
             (a.Wire.witnesses = b.Wire.witnesses);
           Alcotest.(check int) "produced" 4 a.Wire.produced
@@ -1043,6 +1436,99 @@ let test_chaos_abrupt_disconnect_socket () =
     (match status with Unix.WEXITED 0 -> true | _ -> false)
 
 (* ------------------------------------------------------------------ *)
+(* Fleet mode end to end: a supervisor forks two replica daemons on
+   derived sockets; the client routes each formula to its shard by
+   consistent hashing. The acceptance criterion: witnesses from the
+   fleet are bit-identical to what a lone daemon (or the offline
+   sampler) would serve. *)
+
+let test_fleet_end_to_end () =
+  let dir = Filename.temp_file "unigen_service" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let socket_path = Filename.concat dir "fleet.sock" in
+  let shards = [ socket_path ^ ".0"; socket_path ^ ".1" ] in
+  match Unix.fork () with
+  | 0 ->
+      (try
+         Service.Server.run_fleet ~replicas:2
+           (Service.Server.default_config ~socket_path)
+       with _ -> ());
+      Unix._exit 0
+  | pid ->
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          (try ignore (Unix.waitpid [] pid : int * Unix.process_status)
+           with Unix.Unix_error (Unix.ECHILD, _, _) -> ());
+          List.iter
+            (fun p -> try Sys.remove p with Sys_error _ -> ())
+            shards;
+          try Unix.rmdir dir with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while
+        (not (List.for_all Sys.file_exists shards))
+        && Unix.gettimeofday () < deadline
+      do
+        ignore (Unix.select [] [] [] 0.02)
+      done;
+      Alcotest.(check bool) "both replicas came up" true
+        (List.for_all Sys.file_exists shards);
+      let fleet = Client.Fleet.create shards in
+      let ask sock text =
+        match
+          Client.call ~socket_path:sock
+            (Wire.Sample
+               {
+                 Wire.default_sample_req with
+                 Wire.formula_text = text;
+                 n = 3;
+                 seed = 9;
+               })
+        with
+        | Wire.Ok_sample r -> r
+        | _ -> Alcotest.fail "expected witnesses from the fleet"
+      in
+      List.iter
+        (fun text ->
+          let f = formula_of_string text in
+          let shard = Client.Fleet.route fleet (Registry.fingerprint f) in
+          let r1 = ask shard text in
+          let r2 = ask shard text in
+          Alcotest.(check bool) "routed repeat lands warm" true
+            (r1.Wire.cache = Wire.Cache_miss && r2.Wire.cache = Wire.Cache_ram);
+          Alcotest.(check bool) "warm witnesses identical" true
+            (r1.Wire.witnesses = r2.Wire.witnesses);
+          match offline_witnesses ~prepare_seed:1 ~seed:9 ~epsilon:6.0 ~n:3 f with
+          | Some reference ->
+              Alcotest.(check (list (list int)))
+                "fleet bit-identical to a lone daemon" reference
+                r1.Wire.witnesses
+          | None -> Alcotest.fail "offline preparation failed")
+        [ formula_a; formula_b; formula_c ];
+      (* each replica knows its shard *)
+      List.iteri
+        (fun i sock ->
+          match Client.call ~socket_path:sock Wire.Status with
+          | Wire.Metrics { info; _ } ->
+              Alcotest.(check (option string)) "shard id reported"
+                (Some (Printf.sprintf "%d/2" i))
+                (List.assoc_opt "shard" info)
+          | _ -> Alcotest.fail "expected a metrics response")
+        shards;
+      (* shutting down every replica ends the supervisor cleanly *)
+      List.iter
+        (fun sock ->
+          match Client.call ~socket_path:sock Wire.Shutdown with
+          | Wire.Bye -> ()
+          | _ -> Alcotest.fail "expected bye")
+        shards;
+      let _, status = Unix.waitpid [] pid in
+      Alcotest.(check bool) "fleet supervisor exited cleanly" true
+        (match status with Unix.WEXITED 0 -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "service"
@@ -1052,6 +1538,8 @@ let () =
           Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
           Alcotest.test_case "pinning" `Quick test_lru_pinning;
           Alcotest.test_case "capacity edge cases" `Quick test_lru_capacity_edge_cases;
+          Alcotest.test_case "pin cycle and re-put" `Quick
+            test_lru_pin_cycle_and_reput;
         ] );
       ( "registry",
         [
@@ -1060,6 +1548,8 @@ let () =
           Alcotest.test_case "canonical idempotent" `Quick
             test_registry_canonical_idempotent;
           Alcotest.test_case "interning" `Quick test_registry_interning;
+          Alcotest.test_case "golden vectors" `Quick
+            test_registry_golden_vectors;
           QCheck_alcotest.to_alcotest prop_dimacs_roundtrip_canonical;
           QCheck_alcotest.to_alcotest prop_canonical_preserves_models;
         ] );
@@ -1083,6 +1573,21 @@ let () =
             test_scheduler_unsat_and_bad_epsilon;
           QCheck_alcotest.to_alcotest prop_retry_hint_sane;
         ] );
+      ( "spill",
+        [
+          Alcotest.test_case "codec round trip" `Quick
+            test_spill_codec_roundtrip;
+          Alcotest.test_case "decode paranoia" `Quick test_spill_decode_paranoia;
+          Alcotest.test_case "restart serves disk-warm" `Quick
+            test_scheduler_restart_disk_warm;
+          Alcotest.test_case "corrupt spill quarantined" `Quick
+            test_scheduler_restart_corrupt_spill;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "retry with backoff" `Quick test_with_retry;
+          Alcotest.test_case "fleet shard map" `Quick test_fleet_shard_map;
+        ] );
       (* the daemon tests fork, and OCaml 5 forbids Unix.fork once any
          domain has ever been spawned in the process — so they must run
          before every jobs>1 test below (alcotest runs suites in
@@ -1092,6 +1597,7 @@ let () =
           Alcotest.test_case "socket end to end" `Quick test_socket_end_to_end;
           Alcotest.test_case "chaos: abrupt disconnect under parallelism" `Quick
             test_chaos_abrupt_disconnect_socket;
+          Alcotest.test_case "fleet end to end" `Quick test_fleet_end_to_end;
         ] );
       ( "parallel",
         [
