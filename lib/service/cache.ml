@@ -102,7 +102,16 @@ let put t k e =
   Lru.put t.lru k e;
   match t.spill with
   | None -> ()
-  | Some sp -> Store.put sp.sp_store ~key:(key_to_string k) (sp.sp_encode k e)
+  | Some sp ->
+      (* The spill is synchronous on the owner domain: encode + write +
+         two fsyncs block the select loop for the duration. Deliberate —
+         it keeps the no-lock ownership model intact, and a spill
+         happens once per fresh preparation (seconds of ApproxMC work),
+         so the fsync is noise by comparison; see DESIGN.md "Durable
+         store & fleet" for the tradeoff. [Store.put] never raises on
+         I/O failure, so a sick disk degrades this tier to RAM-only
+         rather than crashing the daemon mid-response. *)
+      Store.put sp.sp_store ~key:(key_to_string k) (sp.sp_encode k e)
 
 let pin t k =
   if Hashtbl.mem t.user_pins k then Lru.is_pinned t.lru k

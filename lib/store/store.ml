@@ -1,13 +1,17 @@
 let magic = "unigen-store-v1"
 let entry_suffix = ".prep"
+let tmp_suffix = ".tmp"
 let quarantine_dirname = "quarantine"
+let quarantine_keep = 16
 let default_budget_bytes = 256 * 1024 * 1024
+let stale_tmp_age_s = 3600.
 
 let c_hits = Obs.Metrics.counter "store.hit"
 let c_misses = Obs.Metrics.counter "store.miss"
 let c_spills = Obs.Metrics.counter "store.spill"
 let c_corrupt = Obs.Metrics.counter "store.corrupt"
 let c_evictions = Obs.Metrics.counter "store.eviction"
+let c_write_errors = Obs.Metrics.counter "store.write_error"
 
 type t = { dir : string; budget_bytes : int; owner : Audit.Ownership.t }
 
@@ -24,10 +28,33 @@ let rec mkdir_p dir =
         | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
       end
 
+(* A writer killed mid-spill leaves its private .tmp file behind; sweep
+   ones old enough that no live writer can still own them (writes take
+   milliseconds, the threshold is an hour). Recent temps may belong to
+   an in-flight fleet peer sharing the directory, so they are kept. *)
+let sweep_stale_tmps dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+      let now = Unix.gettimeofday () in
+      Array.iter
+        (fun name ->
+          if Filename.check_suffix name tmp_suffix then begin
+            let path = Filename.concat dir name in
+            match Unix.stat path with
+            | { Unix.st_kind = Unix.S_REG; st_mtime; _ }
+              when now -. st_mtime > stale_tmp_age_s -> (
+                try Unix.unlink path with Unix.Unix_error _ -> ())
+            | _ -> ()
+            | exception Unix.Unix_error _ -> ()
+          end)
+        names
+
 let create ?(budget_bytes = default_budget_bytes) ~dir () =
   if budget_bytes < 0 then
     invalid_arg "Store.create: budget_bytes must be >= 0";
   mkdir_p dir;
+  sweep_stale_tmps dir;
   { dir; budget_bytes; owner = Audit.Ownership.create "durable store" }
 
 let dir t = t.dir
@@ -49,18 +76,30 @@ let write_all fd data =
   done
 
 let atomic_write ~dir ~path data =
-  let tmp = path ^ ".tmp" in
-  let fd =
-    Unix.openfile tmp
-      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
-      0o644
-  in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () ->
-      write_all fd data;
-      Unix.fsync fd);
-  Unix.rename tmp path;
+  (* the temp name carries the writer's pid: fleet replicas share one
+     spill directory, and a fixed [path ^ ".tmp"] would let two
+     processes spilling the same key O_TRUNC each other's in-flight
+     staging file — the rename could then publish a torn entry and the
+     losing rename would raise ENOENT. A per-pid temp is private until
+     the rename, which stays the only cross-process-visible step. *)
+  let tmp = Printf.sprintf "%s.%d%s" path (Unix.getpid ()) tmp_suffix in
+  (match
+     let fd =
+       Unix.openfile tmp
+         [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+         0o644
+     in
+     Fun.protect
+       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+       (fun () ->
+         write_all fd data;
+         Unix.fsync fd);
+     Unix.rename tmp path
+   with
+  | () -> ()
+  | exception e ->
+      (try Unix.unlink tmp with Unix.Unix_error _ -> ());
+      raise e);
   (* fsync the directory so the rename itself is durable; some
      filesystems refuse fsync on a directory fd — losing only the
      rename's durability, not atomicity — so errors are swallowed *)
@@ -166,13 +205,46 @@ let decode_entry ~key raw =
 (* ------------------------------------------------------------------ *)
 (* Operations *)
 
+(* Quarantined files are debugging evidence, not data: keep only the
+   [quarantine_keep] most recent so systematic corruption — say a codec
+   version skew across a fleet upgrade quarantining every old spill —
+   cannot grow the directory without bound (the disk budget never
+   scans quarantine/). *)
+let prune_quarantine qdir =
+  match Sys.readdir qdir with
+  | exception Sys_error _ -> ()
+  | names ->
+      Array.to_list names
+      |> List.filter_map (fun name ->
+             let path = Filename.concat qdir name in
+             match Unix.stat path with
+             | { Unix.st_kind = Unix.S_REG; st_mtime; _ } ->
+                 Some (path, st_mtime)
+             | _ -> None
+             | exception Unix.Unix_error _ -> None)
+      |> List.sort (fun (pa, ma) (pb, mb) ->
+             (* newest first; path tiebreak keeps the order total *)
+             match Float.compare mb ma with
+             | 0 -> String.compare pa pb
+             | c -> c)
+      |> List.iteri (fun i (path, _) ->
+             if i >= quarantine_keep then
+               try Unix.unlink path with Unix.Unix_error _ -> ())
+
 let quarantine_path t path ~reason =
   let qdir = Filename.concat t.dir quarantine_dirname in
-  mkdir_p qdir;
+  (* quarantine runs on the load path and must never raise: if the
+     subdirectory cannot be created the rename below fails too and the
+     evidence is dropped rather than preserved *)
+  (try mkdir_p qdir with Unix.Unix_error _ -> ());
   let dest = Filename.concat qdir (Filename.basename path) in
-  (try Unix.rename path dest
-   with Unix.Unix_error _ -> (
-     try Unix.unlink path with Unix.Unix_error _ -> ()));
+  (match Unix.rename path dest with
+  | () ->
+      (* refresh so pruning age reflects quarantine time, not spill time *)
+      (try Unix.utimes dest 0.0 0.0 with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> (
+      try Unix.unlink path with Unix.Unix_error _ -> ()));
+  prune_quarantine qdir;
   Obs.Metrics.incr c_corrupt;
   Obs.Log.event ~level:Obs.Log.Warn "store.quarantine"
     [
@@ -193,9 +265,21 @@ let put t ~key payload =
     ~args:[ ("bytes", string_of_int (String.length payload)) ]
   @@ fun () ->
   let path = entry_path t ~key in
-  atomic_write ~dir:t.dir ~path (encode_entry ~key payload);
-  Obs.Metrics.incr c_spills;
-  enforce_budget t ~keep:path
+  match atomic_write ~dir:t.dir ~path (encode_entry ~key payload) with
+  | () ->
+      Obs.Metrics.incr c_spills;
+      enforce_budget t ~keep:path
+  | exception ((Unix.Unix_error _ | Sys_error _) as e) ->
+      (* a full or read-only disk must not take the daemon down with a
+         computed response in hand: the opt-in durability tier degrades
+         to RAM-only (the entry is already in the LRU above us) instead
+         of turning a transient disk error into a crash *)
+      Obs.Metrics.incr c_write_errors;
+      Obs.Log.event ~level:Obs.Log.Warn "store.spill_failed"
+        [
+          ("file", Obs.Report.String (Filename.basename path));
+          ("error", Obs.Report.String (Printexc.to_string e));
+        ]
 
 let read_file path =
   match open_in_bin path with

@@ -21,15 +21,22 @@
     detects truncation and bit rot.
 
     {b Crash safety}: every write goes through {!atomic_write} — the
-    bytes land in a [.tmp] sibling, are fsynced, and are renamed over
-    the final name, so a reader (or a crash) never observes a partial
-    entry. The [durable-write-discipline] lint rule flags spill-file
-    writes that bypass this helper.
+    bytes land in a per-writer [.<pid>.tmp] sibling (private even when
+    fleet replicas spill the same key into a shared directory), are
+    fsynced, and are renamed over the final name, so a reader (or a
+    crash) never observes a partial entry. The
+    [durable-write-discipline] lint rule flags spill-file writes that
+    bypass this helper. A failed {!put} degrades to RAM-only — it
+    logs, counts [store.write_error] and returns — because an opt-in
+    durability tier must never turn a full disk into a daemon crash.
 
     {b Corruption policy}: a load that fails verification moves the
-    file into a [quarantine/] subdirectory (never deletes evidence,
-    never raises) and reports a plain miss, so the caller falls back to
-    a clean re-preparation.
+    file into a [quarantine/] subdirectory (never raises) and reports
+    a plain miss, so the caller falls back to a clean re-preparation.
+    Evidence is bounded: only the {!quarantine_keep} most recently
+    quarantined files are kept, so systematic corruption (e.g. codec
+    version skew across a fleet upgrade) cannot grow the directory
+    without bound.
 
     {b Disk budget}: after each {!put} the store evicts
     least-recently-used entries — by file mtime, which {!find} refreshes
@@ -54,8 +61,14 @@ type t
 val default_budget_bytes : int
 (** 256 MiB. *)
 
+val quarantine_keep : int
+(** How many quarantined files are retained (16); older evidence is
+    pruned whenever a new file is quarantined. *)
+
 val create : ?budget_bytes:int -> dir:string -> unit -> t
-(** Open (and create, including parents) the spill directory.
+(** Open (and create, including parents) the spill directory, and
+    sweep staging ([.tmp]) files old enough that no live writer can
+    still own them — leftovers of a writer killed mid-spill.
     @raise Invalid_argument when [budget_bytes < 0].
     @raise Unix.Unix_error when the directory cannot be created. *)
 
@@ -65,7 +78,11 @@ val budget_bytes : t -> int
 val put : t -> key:string -> string -> unit
 (** Spill one payload under [key] (keys must not contain newlines —
     cache keys never do), overwriting any previous entry, then enforce
-    the disk budget. Crash-safe via {!atomic_write}.
+    the disk budget. Crash-safe via {!atomic_write}. An I/O failure
+    (disk full, permissions, directory vanished) does {e not} raise:
+    it counts [store.write_error], logs a [store.spill_failed] warn
+    event, and leaves the store unchanged — callers keep serving from
+    RAM.
     @raise Invalid_argument when the key contains a newline. *)
 
 val find : t -> key:string -> string option
@@ -96,7 +113,10 @@ val total_bytes : t -> int
 (** Bytes held by live entries. *)
 
 val atomic_write : dir:string -> path:string -> string -> unit
-(** The one sanctioned write path for spill files: write to
-    [path ^ ".tmp"], fsync, rename over [path], then fsync [dir] so
-    the rename itself survives a crash. Exposed so future writers of
-    sidecar files under the spill directory use the same discipline. *)
+(** The one sanctioned write path for spill files: write to a
+    per-writer temp sibling ([path.<pid>.tmp], so concurrent fleet
+    replicas never truncate each other's staging file), fsync, rename
+    over [path], then fsync [dir] so the rename itself survives a
+    crash. On failure the temp file is unlinked and the original
+    exception re-raised. Exposed so future writers of sidecar files
+    under the spill directory use the same discipline. *)

@@ -29,6 +29,20 @@ let quarantined dir =
   let qdir = Filename.concat dir "quarantine" in
   if Sys.file_exists qdir then Array.length (Sys.readdir qdir) else 0
 
+let counter_value name =
+  match List.assoc_opt name (Obs.Metrics.snapshot ()).Obs.Metrics.counters with
+  | Some v -> v
+  | None -> 0
+
+let no_staging_residue label dir =
+  Array.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: no staging residue: %s" label name)
+        false
+        (Filename.check_suffix name ".tmp"))
+    (Sys.readdir dir)
+
 let test_round_trip () =
   with_tmpdir @@ fun dir ->
   let t = Store.create ~dir () in
@@ -59,13 +73,7 @@ let test_round_trip () =
   Alcotest.(check (option string)) "key a" (Some "A") (Store.find t ~key:"a");
   Alcotest.(check (option string)) "key b" (Some "B") (Store.find t ~key:"b");
   (* no .tmp staging file survives a completed write *)
-  Array.iter
-    (fun name ->
-      Alcotest.(check bool)
-        (Printf.sprintf "no staging residue: %s" name)
-        false
-        (Filename.check_suffix name ".tmp"))
-    (Sys.readdir dir)
+  no_staging_residue "round trip" dir
 
 let test_invalid_arguments () =
   with_tmpdir @@ fun dir ->
@@ -190,8 +198,71 @@ let test_atomic_write () =
   Alcotest.(check string) "contents land" "first" (read_file path);
   Store.atomic_write ~dir ~path "second";
   Alcotest.(check string) "overwrite is atomic" "second" (read_file path);
-  Alcotest.(check bool) "no staging residue" false
-    (Sys.file_exists (path ^ ".tmp"))
+  no_staging_residue "atomic write" dir
+
+(* Spill-write failures must degrade to RAM-only, never raise: the
+   daemon holds a computed response when the spill runs, and an opt-in
+   durability tier crashing on a sick disk would lose it. *)
+let test_write_failure_degrades () =
+  with_tmpdir @@ fun dir ->
+  let sub = Filename.concat dir "spill" in
+  let t = Store.create ~dir:sub () in
+  Store.put t ~key:"k" "payload";
+  (* the directory vanishing underneath the store stands in for any
+     write-path I/O failure (ENOSPC, EACCES, rename failure) *)
+  rm_rf sub;
+  Obs.Metrics.enable ();
+  Fun.protect ~finally:Obs.Metrics.disable @@ fun () ->
+  let before = counter_value "store.write_error" in
+  Store.put t ~key:"k" "payload-after-disk-vanished";
+  Alcotest.(check int) "write error counted" (before + 1)
+    (counter_value "store.write_error");
+  Alcotest.(check (option string)) "degraded entry reads as a miss" None
+    (Store.find t ~key:"k")
+
+(* A rename that cannot land (here: a directory squatting on the entry
+   path) must not raise either, and must clean up its staging file. *)
+let test_failed_write_cleans_staging () =
+  with_tmpdir @@ fun dir ->
+  let t = Store.create ~dir () in
+  Unix.mkdir (Store.entry_path t ~key:"k") 0o700;
+  Store.put t ~key:"k" "payload";
+  no_staging_residue "failed write" dir
+
+let test_quarantine_cap () =
+  with_tmpdir @@ fun dir ->
+  let t = Store.create ~dir () in
+  (* systematic corruption — e.g. codec version skew quarantining every
+     old spill — must keep only bounded evidence *)
+  for i = 1 to Store.quarantine_keep + 5 do
+    let key = Printf.sprintf "k%d" i in
+    Store.put t ~key "payload";
+    Store.quarantine t ~key ~reason:"version skew"
+  done;
+  Alcotest.(check int) "evidence bounded" Store.quarantine_keep
+    (quarantined dir)
+
+let test_stale_tmp_sweep () =
+  with_tmpdir @@ fun dir ->
+  (* a writer killed mid-spill leaves its private staging file behind;
+     reopening the store sweeps old ones but keeps recent ones, which
+     may belong to an in-flight fleet peer *)
+  let stale = Filename.concat dir "dead.prep.12345.tmp" in
+  let fresh = Filename.concat dir "live.prep.67890.tmp" in
+  let plant path =
+    let oc = open_out_bin path in
+    output_string oc "partial";
+    close_out oc
+  in
+  plant stale;
+  plant fresh;
+  let old = Unix.gettimeofday () -. 7200. in
+  Unix.utimes stale old old;
+  let (_ : Store.t) = Store.create ~dir () in
+  Alcotest.(check bool) "stale staging file swept" false
+    (Sys.file_exists stale);
+  Alcotest.(check bool) "recent staging file kept" true
+    (Sys.file_exists fresh)
 
 let test_reopen_persists () =
   (* the whole point of the tier: a fresh store instance over the same
@@ -222,6 +293,12 @@ let () =
           Alcotest.test_case "oversized entry kept" `Quick
             test_oversized_entry_kept;
           Alcotest.test_case "atomic write" `Quick test_atomic_write;
+          Alcotest.test_case "write failure degrades" `Quick
+            test_write_failure_degrades;
+          Alcotest.test_case "failed write cleans staging" `Quick
+            test_failed_write_cleans_staging;
+          Alcotest.test_case "quarantine cap" `Quick test_quarantine_cap;
+          Alcotest.test_case "stale tmp sweep" `Quick test_stale_tmp_sweep;
           Alcotest.test_case "reopen persists" `Quick test_reopen_persists;
         ] );
     ]
